@@ -1,0 +1,160 @@
+// Package-level benchmarks: one benchmark per table and figure of the
+// paper's evaluation (§IV). Each benchmark replays the relevant workload
+// through the relevant system(s) and reports, besides wall time, the
+// deterministic measurements as custom metrics:
+//
+//	cpu-ticks/op      client CPU in the paper's tick unit
+//	srv-ticks/op      server CPU
+//	upload-MB/op      bytes sent client→cloud
+//	download-MB/op    bytes sent cloud→client
+//
+// The trace scale defaults to 0.1 so `go test -bench .` completes quickly;
+// set DELTACFS_BENCH_SCALE=1.0 to reproduce the paper's full dimensions
+// (cmd/benchall does the same and prints the assembled tables).
+package deltacfs_test
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+func benchScale() float64 {
+	if s := os.Getenv("DELTACFS_BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0.1
+}
+
+// benchTrace runs one (system, trace, platform) cell and reports metrics.
+func benchTrace(b *testing.B, sys experiment.System, mk func(scale float64) *trace.Trace, p metrics.Platform) {
+	b.Helper()
+	scale := benchScale()
+	var last *experiment.Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunTrace(sys, mk(scale), p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(float64(last.ClientTicks), "cpu-ticks/op")
+	b.ReportMetric(float64(last.ServerTicks), "srv-ticks/op")
+	b.ReportMetric(last.UploadMB, "upload-MB/op")
+	b.ReportMetric(last.DownloadMB, "download-MB/op")
+}
+
+var paperTraces = map[string]func(scale float64) *trace.Trace{
+	"Append": func(s float64) *trace.Trace { return trace.Append(trace.PaperAppendConfig().Scaled(s)) },
+	"Random": func(s float64) *trace.Trace { return trace.Random(trace.PaperRandomConfig().Scaled(s)) },
+	"Word":   func(s float64) *trace.Trace { return trace.Word(trace.PaperWordConfig().Scaled(s)) },
+	"WeChat": func(s float64) *trace.Trace { return trace.WeChat(trace.PaperWeChatConfig().Scaled(s)) },
+}
+
+var traceBenchOrder = []string{"Append", "Random", "Word", "WeChat"}
+
+// BenchmarkTable2Fig8 covers the paper's Table II (CPU) and Fig 8 (network):
+// both are measured in the same replay, exactly as in the paper. One
+// sub-benchmark per (trace, system) cell on the PC platform.
+func BenchmarkTable2Fig8(b *testing.B) {
+	for _, tn := range traceBenchOrder {
+		for _, sys := range experiment.PCSystems {
+			b.Run(fmt.Sprintf("%s/%s", tn, sys), func(b *testing.B) {
+				benchTrace(b, sys, paperTraces[tn], metrics.PC)
+			})
+		}
+	}
+}
+
+// BenchmarkTable2MobileFig9 covers Table II's mobile rows and Fig 9: the
+// mobile systems over the four traces.
+func BenchmarkTable2MobileFig9(b *testing.B) {
+	for _, tn := range traceBenchOrder {
+		for _, sys := range experiment.MobileSystems {
+			b.Run(fmt.Sprintf("%s/%s", tn, sys), func(b *testing.B) {
+				benchTrace(b, sys, paperTraces[tn], metrics.Mobile)
+			})
+		}
+	}
+}
+
+// BenchmarkFig1 covers the motivation figure: Dropbox vs Seafile client
+// resource consumption on the Fig 1 Word and SQLite workloads.
+func BenchmarkFig1(b *testing.B) {
+	workloads := map[string]func(scale float64) *trace.Trace{
+		"WordSaves": func(s float64) *trace.Trace { return trace.Word(trace.Fig1WordConfig().Scaled(s)) },
+		"SQLite":    func(s float64) *trace.Trace { return trace.WeChat(trace.Fig1WeChatConfig().Scaled(s)) },
+	}
+	for wl, mk := range workloads {
+		for _, sys := range []experiment.System{experiment.SysDropbox, experiment.SysSeafile} {
+			b.Run(fmt.Sprintf("%s/%s", wl, sys), func(b *testing.B) {
+				benchTrace(b, sys, mk, metrics.PC)
+			})
+		}
+	}
+}
+
+// BenchmarkFig2 covers the Dropsync/WeChat mobile motivation measurement.
+func BenchmarkFig2(b *testing.B) {
+	scale := benchScale()
+	var last *experiment.Fig2Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.Fig2(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.TUE, "TUE/op")
+	b.ReportMetric(last.UploadMB, "upload-MB/op")
+	b.ReportMetric(float64(last.Ticks), "cpu-ticks/op")
+}
+
+// BenchmarkTable3 covers the microbenchmark throughput table: one
+// sub-benchmark per (personality, configuration) cell, reporting the
+// simulated-disk throughput the table prints.
+func BenchmarkTable3(b *testing.B) {
+	iters := 500
+	if benchScale() >= 1.0 {
+		iters = 2000
+	}
+	for _, name := range []string{"Fileserver", "Varmail", "Webserver"} {
+		for _, cfg := range experiment.FSConfigs {
+			b.Run(fmt.Sprintf("%s/%s", name, cfg), func(b *testing.B) {
+				var mbps float64
+				for i := 0; i < b.N; i++ {
+					r, err := experiment.Table3Cell(name, cfg, iters)
+					if err != nil {
+						b.Fatal(err)
+					}
+					mbps = r.MBps
+				}
+				b.ReportMetric(mbps, "MBps/op")
+			})
+		}
+	}
+}
+
+// BenchmarkTable4 covers the reliability tests: the full scenario suite per
+// iteration, with a correctness check on the expected outcomes.
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := experiment.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rs {
+			if r.System == experiment.SysDeltaCFS &&
+				(r.Corrupted != "detect" || r.Inconsistent != "detect" || r.Causal != "Y") {
+				b.Fatalf("DeltaCFS reliability regressed: %+v", r)
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Command benchall regenerates every table and figure of the paper's
+// evaluation section. By default it runs everything at the given trace
+// scale; individual experiments can be selected.
+//
+// Usage:
+//
+//	benchall [-scale 1.0] [-exp all|fig1|fig2|table2|fig8|fig9|table3|table4]
+//
+// Scale 1.0 reproduces the paper's trace dimensions (a 131 MB SQLite file,
+// 373 update rounds, ...); smaller scales shrink files and counts
+// proportionally for quick runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "trace scale (1.0 = paper dimensions)")
+	exp := flag.String("exp", "all", "experiment: all|fig1|fig2|table2|fig8|fig9|table3|table4")
+	iters := flag.Int("filebench-iters", 2000, "filebench iterations per personality")
+	flag.Parse()
+
+	if err := run(*exp, *scale, *iters); err != nil {
+		fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, scale float64, iters int) error {
+	out := os.Stdout
+	needMatrix := exp == "all" || exp == "table2" || exp == "fig8" || exp == "fig9"
+
+	var m *experiment.Matrix
+	if needMatrix {
+		fmt.Fprintf(out, "running the evaluation matrix at scale %.2f (this replays all four traces through all systems)...\n\n", scale)
+		var err error
+		m, err = experiment.RunMatrix(scale)
+		if err != nil {
+			return err
+		}
+	}
+
+	if exp == "all" || exp == "fig1" {
+		rs, err := experiment.Fig1(scale)
+		if err != nil {
+			return err
+		}
+		experiment.PrintFig1(out, rs)
+		fmt.Fprintln(out)
+	}
+	if exp == "all" || exp == "fig2" {
+		r, err := experiment.Fig2(scale)
+		if err != nil {
+			return err
+		}
+		experiment.PrintFig2(out, r)
+		fmt.Fprintln(out)
+	}
+	if exp == "all" || exp == "table2" {
+		m.PrintTable2(out)
+		fmt.Fprintln(out)
+	}
+	if exp == "all" || exp == "fig8" {
+		m.PrintFig8(out)
+		fmt.Fprintln(out)
+	}
+	if exp == "all" || exp == "fig9" {
+		m.PrintFig9(out)
+		fmt.Fprintln(out)
+	}
+	if exp == "all" || exp == "table3" {
+		rs, err := experiment.Table3(iters)
+		if err != nil {
+			return err
+		}
+		experiment.PrintTable3(out, rs)
+		fmt.Fprintln(out)
+	}
+	if exp == "all" || exp == "table4" {
+		rs, err := experiment.Table4()
+		if err != nil {
+			return err
+		}
+		experiment.PrintTable4(out, rs)
+		fmt.Fprintln(out)
+	}
+	return nil
+}

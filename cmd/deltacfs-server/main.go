@@ -1,0 +1,91 @@
+// Command deltacfs-server runs the DeltaCFS cloud: a thin server that
+// stores files, applies the incremental data clients push, and forwards
+// updates to other clients sharing the namespace.
+//
+// Usage:
+//
+//	deltacfs-server [-addr :7420] [-tls] [-state state.db] [-snapshot 60s]
+//
+// With -state the server loads its durable state from the given file at
+// startup (if present), snapshots to it periodically and on SIGINT/SIGTERM
+// — the minimal durable-server design the paper leaves to future work.
+// With -tls the server generates an in-memory self-signed certificate.
+package main
+
+import (
+	"crypto/tls"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", ":7420", "listen address")
+	useTLS := flag.Bool("tls", false, "serve TLS with a self-signed certificate")
+	statePath := flag.String("state", "", "durable state file (empty = in-memory only)")
+	snapshotEvery := flag.Duration("snapshot", time.Minute, "periodic snapshot interval (with -state)")
+	flag.Parse()
+
+	meter := metrics.NewCPUMeter(metrics.PC)
+	srv := server.New(meter)
+
+	if *statePath != "" {
+		loaded, err := srv.LoadFile(*statePath)
+		if err != nil {
+			log.Fatalf("deltacfs-server: %v", err)
+		}
+		if loaded {
+			fmt.Printf("deltacfs-server: restored state from %s (%d files)\n",
+				*statePath, len(srv.Files()))
+		}
+	}
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("deltacfs-server: %v", err)
+	}
+	if *useTLS {
+		serverConf, _, err := wire.SelfSignedTLS()
+		if err != nil {
+			log.Fatalf("deltacfs-server: tls: %v", err)
+		}
+		lis = tls.NewListener(lis, serverConf)
+		fmt.Printf("deltacfs-server: TLS listening on %s (self-signed)\n", lis.Addr())
+	} else {
+		fmt.Printf("deltacfs-server: listening on %s\n", lis.Addr())
+	}
+
+	if *statePath != "" {
+		save := func(reason string) {
+			if err := srv.SaveFile(*statePath); err != nil {
+				log.Printf("deltacfs-server: snapshot (%s): %v", reason, err)
+			}
+		}
+		go func() {
+			for range time.Tick(*snapshotEvery) {
+				save("periodic")
+			}
+		}()
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			save("shutdown")
+			lis.Close()
+			os.Exit(0)
+		}()
+	}
+
+	if err := wire.Serve(lis, srv); err != nil {
+		log.Fatalf("deltacfs-server: %v", err)
+	}
+}

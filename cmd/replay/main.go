@@ -1,0 +1,57 @@
+// Command replay runs a serialized trace (see cmd/tracegen) through a sync
+// system and reports CPU and traffic measurements.
+//
+// Usage:
+//
+//	replay -sys DeltaCFS -platform pc word.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiment"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+func main() {
+	sys := flag.String("sys", "DeltaCFS", "system: Dropbox|Seafile|NFSv4|DeltaCFS|Dropsync")
+	platform := flag.String("platform", "pc", "platform: pc|mobile")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: replay [-sys NAME] [-platform pc|mobile] <trace file>")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatalf("replay: %v", err)
+	}
+	tr, err := trace.Load(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("replay: %v", err)
+	}
+
+	p := metrics.PC
+	if *platform == "mobile" {
+		p = metrics.Mobile
+	}
+	r, err := experiment.RunTrace(experiment.System(*sys), tr, p)
+	if err != nil {
+		log.Fatalf("replay: %v", err)
+	}
+	fmt.Printf("trace    %s (%s)\n", tr.Name, tr.Desc)
+	fmt.Printf("system   %s on %s\n", r.System, r.Platform)
+	fmt.Printf("client   %d CPU ticks\n", r.ClientTicks)
+	fmt.Printf("server   %d CPU ticks\n", r.ServerTicks)
+	fmt.Printf("traffic  %.2f MB up / %.2f MB down (update %.2f MB, TUE %.2f)\n",
+		r.UploadMB, r.DownloadMB, float64(r.UpdateBytes)/(1<<20), r.TUE)
+	if r.System == experiment.SysDeltaCFS {
+		fmt.Printf("deltas   %d triggered, %d in-place\n", r.DeltaTriggers, r.InPlaceDeltas)
+	}
+	fmt.Printf("wall     %s\n", r.Wall.Round(1e6))
+}

@@ -1,0 +1,54 @@
+// Command tracegen materializes the paper's workload traces into
+// self-contained files (setup state plus the timed operation stream) that
+// cmd/replay can run against any sync system.
+//
+// Usage:
+//
+//	tracegen -trace word -scale 0.5 -o word.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	name := flag.String("trace", "append", "trace: append|random|word|wechat")
+	scale := flag.Float64("scale", 1.0, "trace scale (1.0 = paper dimensions)")
+	out := flag.String("o", "", "output file (default <trace>.trace)")
+	flag.Parse()
+
+	var tr *trace.Trace
+	switch *name {
+	case "append":
+		tr = trace.Append(trace.PaperAppendConfig().Scaled(*scale))
+	case "random":
+		tr = trace.Random(trace.PaperRandomConfig().Scaled(*scale))
+	case "word":
+		tr = trace.Word(trace.PaperWordConfig().Scaled(*scale))
+	case "wechat":
+		tr = trace.WeChat(trace.PaperWeChatConfig().Scaled(*scale))
+	default:
+		log.Fatalf("tracegen: unknown trace %q", *name)
+	}
+
+	path := *out
+	if path == "" {
+		path = *name + ".trace"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatalf("tracegen: %v", err)
+	}
+	defer f.Close()
+	if err := trace.Save(tr, f); err != nil {
+		log.Fatalf("tracegen: save: %v", err)
+	}
+	st, _ := f.Stat()
+	fmt.Printf("tracegen: wrote %s (%s, update %d B, writes %d B, %d B on disk)\n",
+		path, tr.Desc, tr.UpdateBytes, tr.WriteBytes, st.Size())
+}

@@ -1,0 +1,153 @@
+// Package deltacfs is the public API of the DeltaCFS reproduction — a file
+// sync framework for cloud storage services that combines NFS-like file RPC
+// with triggered delta encoding (Zhang et al., "DeltaCFS: Boosting Delta
+// Sync for Cloud Storage Services by Learning from NFS", ICDCS 2017).
+//
+// The package re-exports the building blocks a downstream user needs:
+//
+//   - Engine: the DeltaCFS client. It implements FS, the file-operation
+//     interface applications write through (the FUSE position); operations
+//     are intercepted, batched in the Sync Queue, and synced incrementally.
+//   - Server: the thin cloud side; serve it over TCP/TLS with Serve or bind
+//     a client directly in-process with NewLoopback.
+//   - MemFS / DirFS: backing stores (in-memory, or a real directory).
+//   - The paper's workload traces and the evaluation harness live in
+//     internal/trace and internal/experiment, reachable through the
+//     cmd/benchall, cmd/tracegen and cmd/replay binaries and re-exported
+//     helpers below.
+//
+// Quickstart (see examples/quickstart for the full program):
+//
+//	srv := deltacfs.NewServer(nil)
+//	clk := &deltacfs.Clock{}
+//	eng, _ := deltacfs.NewEngine(deltacfs.Config{
+//		Backing:  deltacfs.NewMemFS(),
+//		Endpoint: deltacfs.NewLoopback(srv, nil, nil),
+//		Clock:    clk,
+//	})
+//	fs := eng.FS()
+//	fs.Create("notes.txt")
+//	fs.WriteAt("notes.txt", 0, []byte("hello"))
+//	fs.Close("notes.txt")
+//	clk.Advance(5 * time.Second) // pass the sync-queue delay
+//	eng.Tick(clk.Now())          // uploads
+package deltacfs
+
+import (
+	"crypto/tls"
+	"net"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/server"
+	"repro/internal/trace"
+	"repro/internal/vfs"
+	"repro/internal/wire"
+)
+
+// Core client types.
+type (
+	// Engine is the DeltaCFS client engine (the paper's contribution).
+	Engine = core.Engine
+	// Config configures an Engine.
+	Config = core.Config
+	// Stats reports engine activity counters.
+	Stats = core.Stats
+	// RecoveryReport summarizes a post-crash integrity scan.
+	RecoveryReport = core.RecoveryReport
+)
+
+// Cloud-side and transport types.
+type (
+	// Server is the DeltaCFS cloud.
+	Server = server.Server
+	// Loopback is an in-process client endpoint bound to a Server.
+	Loopback = server.Loopback
+	// Endpoint is the client↔cloud interface.
+	Endpoint = wire.Endpoint
+	// Batch is the upload unit.
+	Batch = wire.Batch
+)
+
+// File-system types.
+type (
+	// FS is the file-operation interface applications write through.
+	FS = vfs.FS
+	// MemFS is the in-memory backing store.
+	MemFS = vfs.MemFS
+	// DirFS backs the engine with a real directory.
+	DirFS = vfs.DirFS
+	// FileInfo describes a file.
+	FileInfo = vfs.FileInfo
+)
+
+// Measurement types.
+type (
+	// Clock is the logical clock driving delays and expirations.
+	Clock = clock.Clock
+	// CPUMeter accounts deterministic CPU work.
+	CPUMeter = metrics.CPUMeter
+	// TrafficMeter accounts wire traffic.
+	TrafficMeter = metrics.TrafficMeter
+	// Trace is a replayable workload.
+	Trace = trace.Trace
+)
+
+// NewEngine builds a DeltaCFS client engine.
+func NewEngine(cfg Config) (*Engine, error) { return core.New(cfg) }
+
+// NewServer builds a cloud server charging CPU work to meter (may be nil).
+func NewServer(meter *CPUMeter) *Server { return server.New(meter) }
+
+// NewLoopback registers an in-process client on srv. meter and traffic
+// account the client side and may be nil.
+func NewLoopback(srv *Server, meter *CPUMeter, traffic *TrafficMeter) *Loopback {
+	return server.NewLoopback(srv, meter, traffic)
+}
+
+// NewMemFS returns an empty in-memory backing store.
+func NewMemFS() *MemFS { return vfs.NewMemFS() }
+
+// NewDirFS returns a backing store rooted at dir (created if needed).
+func NewDirFS(dir string) (*DirFS, error) { return vfs.NewDirFS(dir) }
+
+// NewCPUMeter returns a PC-platform CPU meter.
+func NewCPUMeter() *CPUMeter { return metrics.NewCPUMeter(metrics.PC) }
+
+// Serve accepts sync clients on lis until it is closed.
+func Serve(lis net.Listener, srv *Server) error { return wire.Serve(lis, srv) }
+
+// Dial connects to a remote Server. tlsConf may be nil for plaintext; meter
+// and traffic may be nil.
+func Dial(addr string, tlsConf *tls.Config, meter *CPUMeter, traffic *TrafficMeter) (Endpoint, error) {
+	return wire.Dial(addr, tlsConf, meter, traffic)
+}
+
+// SelfSignedTLS generates matched server/client TLS configurations with an
+// in-memory self-signed certificate.
+func SelfSignedTLS() (serverConf, clientConf *tls.Config, err error) {
+	return wire.SelfSignedTLS()
+}
+
+// Paper traces, for users who want to replay the evaluation workloads
+// against their own systems. scale 1.0 reproduces the paper's dimensions.
+func PaperAppendTrace(scale float64) *Trace {
+	return trace.Append(trace.PaperAppendConfig().Scaled(scale))
+}
+
+// PaperRandomTrace returns the random-write trace at the given scale.
+func PaperRandomTrace(scale float64) *Trace {
+	return trace.Random(trace.PaperRandomConfig().Scaled(scale))
+}
+
+// PaperWordTrace returns the transactional-update trace at the given scale.
+func PaperWordTrace(scale float64) *Trace {
+	return trace.Word(trace.PaperWordConfig().Scaled(scale))
+}
+
+// PaperWeChatTrace returns the SQLite in-place-update trace at the given
+// scale.
+func PaperWeChatTrace(scale float64) *Trace {
+	return trace.WeChat(trace.PaperWeChatConfig().Scaled(scale))
+}

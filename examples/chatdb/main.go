@@ -1,0 +1,115 @@
+// Chat database: the SQLite in-place-update scenario from the paper's
+// Fig 3 (the WeChat pattern).
+//
+// A 16 MB "chat history database" receives small row updates: each commit
+// writes a rollback journal, updates a few pages of the database in place,
+// and truncates the journal. Delta-sync clients re-scan the whole database
+// per commit and ship at least a chunk per touched page; DeltaCFS intercepts
+// the writes — they *are* the incremental data — and the truncated journal
+// never reaches the wire at all.
+//
+//	go run ./examples/chatdb
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	deltacfs "repro"
+)
+
+const (
+	dbSize   = 16 << 20
+	pageSize = 4096
+)
+
+func main() {
+	srv := deltacfs.NewServer(nil)
+	traffic := &deltacfs.TrafficMeter{}
+	meter := deltacfs.NewCPUMeter()
+	clk := &deltacfs.Clock{}
+	backing := deltacfs.NewMemFS()
+	eng, err := deltacfs.NewEngine(deltacfs.Config{
+		Backing:  backing,
+		Endpoint: deltacfs.NewLoopback(srv, meter, traffic),
+		Clock:    clk,
+		Meter:    meter,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs := eng.FS()
+
+	// Build and sync the initial database.
+	rng := rand.New(rand.NewSource(2))
+	db := make([]byte, dbSize)
+	rng.Read(db)
+	must(fs.Create("chat.db"))
+	must(fs.WriteAt("chat.db", 0, db))
+	must(fs.Close("chat.db"))
+	settle(eng, clk)
+	traffic.Reset()
+	meter.Reset()
+
+	// Ten chat messages arrive: each is a SQLite-style commit.
+	var updateBytes int64
+	journal := make([]byte, 2*pageSize+512)
+	row := make([]byte, 600)
+	for msg := 0; msg < 10; msg++ {
+		// 1-2: rollback journal (old page images).
+		rng.Read(journal)
+		must(fs.Create("chat.db-journal"))
+		must(fs.WriteAt("chat.db-journal", 0, journal))
+
+		// 3: the row lands inside an existing page, plus the header
+		// counter changes.
+		rng.Read(row)
+		page := rng.Intn(dbSize / pageSize)
+		off := int64(page)*pageSize + int64(rng.Intn(pageSize-len(row)))
+		must(fs.WriteAt("chat.db", off, row))
+		must(fs.WriteAt("chat.db", 24, []byte{byte(msg), 1, 2, 3}))
+		updateBytes += int64(len(row)) + 4
+
+		// 4: commit — the journal dies before it could ever upload.
+		must(fs.Truncate("chat.db-journal", 0))
+
+		clk.Advance(2 * time.Second)
+		eng.Tick(clk.Now())
+	}
+	settle(eng, clk)
+
+	fmt.Printf("10 commits: %d B of row updates\n", updateBytes)
+	fmt.Printf("uploaded:   %d B (TUE %.2f — near 1 is optimal)\n",
+		traffic.Uploaded(), float64(traffic.Uploaded())/float64(updateBytes))
+	fmt.Printf("client CPU: %d ticks — no scanning, chunking or fingerprinting ran\n",
+		meter.Ticks())
+	st := eng.Stats()
+	fmt.Printf("deltas:     %d triggered (none needed for in-place updates)\n", st.DeltaTriggers)
+
+	local, _ := backing.ReadFile("chat.db")
+	remote, _ := srv.FileContent("chat.db")
+	same := len(local) == len(remote)
+	for i := range local {
+		if !same || local[i] != remote[i] {
+			same = false
+			break
+		}
+	}
+	fmt.Printf("cloud in sync: %v\n", same)
+}
+
+func settle(eng *deltacfs.Engine, clk *deltacfs.Clock) {
+	clk.Advance(30 * time.Second)
+	eng.Tick(clk.Now())
+	if err := eng.Drain(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

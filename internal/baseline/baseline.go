@@ -1,0 +1,92 @@
+// Package baseline holds the building blocks shared by the comparison sync
+// systems the paper evaluates against DeltaCFS: Dropbox (rsync inside 4 MB
+// dedup blocks, client-side checksum offloading, network compression),
+// Seafile (CDC with 1 MB chunks), NFSv4 (write RPCs with a write-back cache
+// and close-to-open consistency), and Dropsync (whole-file upload on
+// change, the mobile Dropbox auto-sync client).
+//
+// Each baseline implements trace.Target (FS() + Tick) plus Drain, exactly
+// like the DeltaCFS engine, so the benchmark harness swaps engines over
+// identical trace replays.
+package baseline
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/vfs"
+)
+
+// Dirty tracks inotify-style modification state per path: when the file
+// first became dirty and when it was last touched. Sync cycles fire when a
+// file has been quiescent for the debounce interval (Dropbox-like clients
+// coalesce the event storm a single save produces).
+type Dirty struct {
+	first map[string]time.Duration
+	last  map[string]time.Duration
+}
+
+// NewDirty returns an empty tracker.
+func NewDirty() *Dirty {
+	return &Dirty{
+		first: make(map[string]time.Duration),
+		last:  make(map[string]time.Duration),
+	}
+}
+
+// Mark records a modification event for path at time now.
+func (d *Dirty) Mark(path string, now time.Duration) {
+	if _, ok := d.first[path]; !ok {
+		d.first[path] = now
+	}
+	d.last[path] = now
+}
+
+// Forget drops path (synced, or removed).
+func (d *Dirty) Forget(path string) {
+	delete(d.first, path)
+	delete(d.last, path)
+}
+
+// IsDirty reports whether path has unsynced modifications.
+func (d *Dirty) IsDirty(path string) bool {
+	_, ok := d.first[path]
+	return ok
+}
+
+// Ready returns (sorted) paths quiescent for at least debounce at time now.
+// A huge now (Drain) releases everything.
+func (d *Dirty) Ready(now, debounce time.Duration) []string {
+	var out []string
+	for p, last := range d.last {
+		if now-last >= debounce {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of dirty paths.
+func (d *Dirty) Len() int { return len(d.first) }
+
+// DefaultDebounce is the quiescence window before a baseline client syncs a
+// modified file.
+const DefaultDebounce = time.Second
+
+// OrderBySize reorders paths by current file size, smallest first. It models
+// the completion order of the baselines’ parallel uploads: small files
+// finish first, which is exactly the causal-ordering violation the paper's
+// Table IV observes ("small files are often uploaded first"). DeltaCFS, by
+// contrast, uploads in strict Sync Queue order.
+func OrderBySize(fs vfs.FS, paths []string) []string {
+	sort.SliceStable(paths, func(i, j int) bool {
+		si, erri := fs.Stat(paths[i])
+		sj, errj := fs.Stat(paths[j])
+		if erri != nil || errj != nil {
+			return false
+		}
+		return si.Size < sj.Size
+	})
+	return paths
+}

@@ -1,0 +1,60 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDirtyMarkReady(t *testing.T) {
+	d := NewDirty()
+	d.Mark("a", 0)
+	d.Mark("b", 500*time.Millisecond)
+
+	if got := d.Ready(time.Second-time.Millisecond, time.Second); len(got) != 0 {
+		t.Fatalf("ready too early: %v", got)
+	}
+	if got := d.Ready(time.Second, time.Second); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("ready = %v, want [a]", got)
+	}
+	if got := d.Ready(2*time.Second, time.Second); len(got) != 2 {
+		t.Fatalf("ready = %v, want both", got)
+	}
+}
+
+func TestDirtyTouchResetsQuiescence(t *testing.T) {
+	d := NewDirty()
+	d.Mark("a", 0)
+	d.Mark("a", 900*time.Millisecond) // touched again
+	if got := d.Ready(time.Second, time.Second); len(got) != 0 {
+		t.Fatalf("file ready despite recent touch: %v", got)
+	}
+	if got := d.Ready(1900*time.Millisecond, time.Second); len(got) != 1 {
+		t.Fatalf("file not ready after quiescence: %v", got)
+	}
+}
+
+func TestDirtyForget(t *testing.T) {
+	d := NewDirty()
+	d.Mark("a", 0)
+	if !d.IsDirty("a") || d.Len() != 1 {
+		t.Fatal("Mark did not register")
+	}
+	d.Forget("a")
+	if d.IsDirty("a") || d.Len() != 0 {
+		t.Fatal("Forget did not clear")
+	}
+	if got := d.Ready(time.Hour, 0); len(got) != 0 {
+		t.Fatalf("forgotten path still ready: %v", got)
+	}
+}
+
+func TestDirtyReadySorted(t *testing.T) {
+	d := NewDirty()
+	for _, p := range []string{"z", "a", "m"} {
+		d.Mark(p, 0)
+	}
+	got := d.Ready(time.Hour, 0)
+	if len(got) != 3 || got[0] != "a" || got[1] != "m" || got[2] != "z" {
+		t.Fatalf("ready not sorted: %v", got)
+	}
+}

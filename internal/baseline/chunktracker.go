@@ -1,0 +1,53 @@
+package baseline
+
+import (
+	"repro/internal/block"
+	"repro/internal/wire"
+)
+
+// ChunkTracker is the client-side mirror of the cloud's bounded chunk store:
+// it records which chunk hashes the server holds, inserting and evicting
+// (FIFO, by bytes) in exactly the order the server does, so a hash the
+// tracker reports as known is guaranteed still resident server-side.
+type ChunkTracker struct {
+	known  map[block.Strong]int64 // hash -> size
+	fifo   []block.Strong
+	bytes  int64
+	budget int64
+}
+
+// NewChunkTracker returns a tracker with the protocol's chunk-store budget.
+func NewChunkTracker() *ChunkTracker {
+	return &ChunkTracker{
+		known:  make(map[block.Strong]int64),
+		budget: wire.ChunkStoreBudget,
+	}
+}
+
+// Known reports whether the server still holds the chunk.
+func (t *ChunkTracker) Known(h block.Strong) bool {
+	_, ok := t.known[h]
+	return ok
+}
+
+// Add records that the chunk was (or is about to be) stored server-side.
+// Re-adding a resident chunk is a no-op, matching the server.
+func (t *ChunkTracker) Add(h block.Strong, size int64) {
+	if _, ok := t.known[h]; ok {
+		return
+	}
+	t.known[h] = size
+	t.fifo = append(t.fifo, h)
+	t.bytes += size
+	for t.bytes > t.budget && len(t.fifo) > 0 {
+		old := t.fifo[0]
+		t.fifo = t.fifo[1:]
+		if sz, ok := t.known[old]; ok {
+			t.bytes -= sz
+			delete(t.known, old)
+		}
+	}
+}
+
+// Len returns the number of resident chunks.
+func (t *ChunkTracker) Len() int { return len(t.known) }

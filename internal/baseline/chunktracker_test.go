@@ -1,0 +1,91 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/vfs"
+	"repro/internal/wire"
+)
+
+func h(b byte) block.Strong {
+	var out block.Strong
+	out[0] = b
+	return out
+}
+
+func TestChunkTrackerFIFOEviction(t *testing.T) {
+	old := wire.ChunkStoreBudget
+	wire.ChunkStoreBudget = 100
+	defer func() { wire.ChunkStoreBudget = old }()
+
+	tr := NewChunkTracker()
+	tr.Add(h(1), 40)
+	tr.Add(h(2), 40)
+	if !tr.Known(h(1)) || !tr.Known(h(2)) {
+		t.Fatal("chunks within budget not known")
+	}
+	tr.Add(h(3), 40) // 120 > 100: evict h(1)
+	if tr.Known(h(1)) {
+		t.Fatal("oldest chunk not evicted")
+	}
+	if !tr.Known(h(2)) || !tr.Known(h(3)) {
+		t.Fatal("younger chunks evicted")
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+}
+
+func TestChunkTrackerReAddIsNoOp(t *testing.T) {
+	old := wire.ChunkStoreBudget
+	wire.ChunkStoreBudget = 100
+	defer func() { wire.ChunkStoreBudget = old }()
+
+	tr := NewChunkTracker()
+	tr.Add(h(1), 40)
+	tr.Add(h(2), 40)
+	tr.Add(h(1), 40) // re-add: must NOT refresh position
+	tr.Add(h(3), 40) // evicts h(1), the true oldest
+	if tr.Known(h(1)) {
+		t.Fatal("re-add refreshed FIFO position")
+	}
+	if !tr.Known(h(2)) {
+		t.Fatal("h(2) wrongly evicted")
+	}
+}
+
+func TestChunkTrackerEvictedThenReInserted(t *testing.T) {
+	old := wire.ChunkStoreBudget
+	wire.ChunkStoreBudget = 50
+	defer func() { wire.ChunkStoreBudget = old }()
+
+	tr := NewChunkTracker()
+	tr.Add(h(1), 30)
+	tr.Add(h(2), 30) // evicts h(1)
+	tr.Add(h(1), 30) // re-insert after eviction: valid
+	if !tr.Known(h(1)) {
+		t.Fatal("re-inserted chunk not known")
+	}
+}
+
+func TestOrderBySize(t *testing.T) {
+	fs := vfs.NewMemFS()
+	sizes := map[string]int{"big": 3000, "mid": 200, "tiny": 5}
+	for p, n := range sizes {
+		fs.Create(p)
+		fs.WriteAt(p, 0, make([]byte, n))
+	}
+	got := OrderBySize(fs, []string{"big", "tiny", "mid"})
+	want := []string{"tiny", "mid", "big"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("OrderBySize = %v, want %v", got, want)
+		}
+	}
+	// Missing files keep their relative order without panicking.
+	got = OrderBySize(fs, []string{"ghost", "tiny"})
+	if len(got) != 2 {
+		t.Fatalf("OrderBySize dropped entries: %v", got)
+	}
+}

@@ -1,0 +1,352 @@
+// Package dropbox implements the Dropbox-like baseline: delta sync with
+// rsync, as the paper characterizes the desktop Dropbox client.
+//
+// Mechanisms reproduced (from §II-A, §IV-B and [2], [38] as summarized in
+// the paper):
+//
+//   - inotify-triggered sync: the client learns *that* a file changed, not
+//     what changed, so every sync cycle re-reads and re-scans the whole file;
+//   - 4 MB deduplication: files are split into 4 MB aligned blocks, hashed,
+//     and blocks the server already stores are never re-sent;
+//   - rsync confined to the 4 MB block: a missed block is delta-encoded at
+//     4 KB granularity against the same-index block of the client's shadow
+//     copy (checksum computation offloaded to the client: the client
+//     computes the base signature itself, which saves download traffic and
+//     burns client CPU);
+//   - network compression of literal bytes (DEFLATE).
+//
+// The upload carries the missing 4 MB blocks' content so the server can
+// stay simple, but its wire size is the compressed rsync output — the
+// paper's Table II has no Dropbox server column precisely because Dropbox's
+// server is opaque; only client CPU and traffic are measured.
+package dropbox
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/block"
+	"repro/internal/metrics"
+	"repro/internal/version"
+	"repro/internal/vfs"
+	"repro/internal/wire"
+)
+
+// DedupBlockSize is Dropbox's deduplication granularity [2].
+const DedupBlockSize = 4 << 20
+
+// RsyncBlockSize is the delta granularity inside a dedup block.
+const RsyncBlockSize = 4096
+
+// Config configures the engine.
+type Config struct {
+	Backing  vfs.FS
+	Endpoint wire.Endpoint
+	Meter    *metrics.CPUMeter
+	Debounce time.Duration // quiescence before a sync cycle (default 1 s)
+	// Untuned disables delta encoding inside missed dedup blocks, leaving
+	// 4 MB dedup plus full-block uploads — the behaviour the paper observed
+	// before tuning the replay ("otherwise Dropbox would directly upload
+	// files without using rsync, which transmits 5 times larger").
+	Untuned bool
+}
+
+// Engine is the Dropbox-like client.
+type Engine struct {
+	cfg   Config
+	obs   *vfs.ObserverFS
+	ep    wire.Endpoint
+	meter *metrics.CPUMeter
+
+	dirty   *baseline.Dirty
+	deleted map[string]bool
+	renames []rename
+	// shadow is the client's copy of the last-synced content per path
+	// (what the real client keeps in its cache directory).
+	shadow map[string][]byte
+	// known tracks the 4 MB block hashes resident in the server's bounded
+	// chunk store.
+	known *baseline.ChunkTracker
+
+	counter *version.Counter
+	vers    *version.Map
+
+	now     time.Duration
+	pushErr error
+}
+
+type rename struct{ from, to string }
+
+// New builds the engine and registers with the cloud.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Debounce <= 0 {
+		cfg.Debounce = baseline.DefaultDebounce
+	}
+	id, err := cfg.Endpoint.Register()
+	if err != nil {
+		return nil, fmt.Errorf("dropbox: register: %w", err)
+	}
+	e := &Engine{
+		cfg:     cfg,
+		obs:     vfs.NewObserverFS(cfg.Backing),
+		ep:      cfg.Endpoint,
+		meter:   cfg.Meter,
+		dirty:   baseline.NewDirty(),
+		deleted: make(map[string]bool),
+		shadow:  make(map[string][]byte),
+		known:   baseline.NewChunkTracker(),
+		counter: version.NewCounter(id),
+		vers:    version.NewMap(),
+	}
+	e.obs.Subscribe(vfs.ObserverFunc(e.onOp))
+	return e, nil
+}
+
+// FS implements trace.Target.
+func (e *Engine) FS() vfs.FS { return e.obs }
+
+// Prime initializes the shadow copies and server-known hashes from the
+// already-synced seed state (no traffic: both sides start identical). seed,
+// when non-nil, receives each 4 MB block so the harness can install it in
+// the server's chunk store.
+func (e *Engine) Prime(seed func(h block.Strong, data []byte)) error {
+	paths, err := e.cfg.Backing.List("")
+	if err != nil {
+		return err
+	}
+	for _, p := range paths {
+		content, err := e.cfg.Backing.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		e.shadow[p] = content
+		if v, ok, err := e.ep.Head(p); err == nil && ok {
+			e.vers.Set(p, v)
+		}
+		for off := 0; off < len(content); off += DedupBlockSize {
+			end := off + DedupBlockSize
+			if end > len(content) {
+				end = len(content)
+			}
+			h := block.StrongSum(content[off:end])
+			e.known.Add(h, int64(end-off))
+			if seed != nil {
+				seed(h, content[off:end])
+			}
+		}
+	}
+	return nil
+}
+
+// onOp is the inotify stand-in.
+func (e *Engine) onOp(op vfs.Op) {
+	switch op.Kind {
+	case vfs.OpCreate, vfs.OpWrite, vfs.OpTruncate:
+		e.dirty.Mark(op.Path, e.now)
+		delete(e.deleted, op.Path)
+	case vfs.OpLink:
+		e.dirty.Mark(op.Dst, e.now)
+	case vfs.OpRename:
+		if sh, ok := e.shadow[op.Path]; ok {
+			// The cloud knows the source: a real server-side move. The
+			// shadow is copied, not moved: if the old name is immediately
+			// re-created (transactional update), the retained shadow is
+			// the rsync base that makes Dropbox's "tuned best performance"
+			// possible (the client cache keys blocks by content).
+			e.renames = append(e.renames, rename{from: op.Path, to: op.Dst})
+			e.shadow[op.Dst] = sh
+		} else {
+			// Source never synced (a freshly written temp file renamed
+			// into place): the destination just looks modified.
+			e.dirty.Forget(op.Path)
+		}
+		e.dirty.Mark(op.Dst, e.now)
+		delete(e.deleted, op.Dst)
+	case vfs.OpUnlink:
+		e.dirty.Forget(op.Path)
+		if _, hadShadow := e.shadow[op.Path]; hadShadow {
+			e.deleted[op.Path] = true
+		}
+		delete(e.shadow, op.Path)
+	}
+}
+
+// Tick implements trace.Target: run sync cycles for quiescent dirty files.
+func (e *Engine) Tick(now time.Duration) {
+	e.now = now
+	// Structural changes first (renames/deletes are cheap metadata ops the
+	// client sends promptly).
+	e.flushStructural()
+	for _, p := range baseline.OrderBySize(e.obs.Backing(), e.dirty.Ready(now, e.cfg.Debounce)) {
+		e.syncFile(p)
+	}
+}
+
+// Drain forces all pending state to the cloud.
+func (e *Engine) Drain() error {
+	e.Tick(1<<62 - 1)
+	return e.pushErr
+}
+
+// LastPushError reports the most recent push failure.
+func (e *Engine) LastPushError() error { return e.pushErr }
+
+func (e *Engine) push(nodes ...*wire.Node) {
+	if len(nodes) == 0 {
+		return
+	}
+	reply, err := e.ep.Push(&wire.Batch{Nodes: nodes})
+	if err != nil {
+		e.pushErr = err
+		return
+	}
+	if reply.Err != "" {
+		e.pushErr = fmt.Errorf("dropbox: push: %s", reply.Err)
+	}
+}
+
+func (e *Engine) flushStructural() {
+	var nodes []*wire.Node
+	for _, r := range e.renames {
+		n := &wire.Node{Kind: wire.NRename, Path: r.from, Dst: r.to,
+			Base: e.vers.Get(r.from), Ver: e.counter.Next()}
+		e.vers.Rename(r.from, r.to)
+		e.vers.Set(r.to, n.Ver)
+		nodes = append(nodes, n)
+	}
+	e.renames = nil
+	for p := range e.deleted {
+		nodes = append(nodes, &wire.Node{Kind: wire.NUnlink, Path: p, Base: e.vers.Get(p)})
+		e.vers.Delete(p)
+		delete(e.deleted, p)
+	}
+	e.push(nodes...)
+}
+
+// syncFile runs one delta-sync cycle for path.
+func (e *Engine) syncFile(path string) {
+	content, err := e.obs.Backing().ReadFile(path)
+	if err != nil {
+		e.dirty.Forget(path)
+		return
+	}
+	// The whole file is re-read and re-scanned — the IO cost the paper
+	// calls out ("Dropbox issues over 700MB data read in that test").
+	e.meter.DiskIO(int64(len(content)))
+	// Beyond the 4 MB dedup hashes, the client refreshes its 4 KB-chunk
+	// hash index over the full content every cycle (the client-side
+	// checksum recalculation [38] that Table II charges Dropbox for).
+	e.meter.StrongHash(int64(len(content)))
+	e.meter.RollingHash(int64(len(content)))
+
+	shadow := e.shadow[path]
+	node := e.buildUpdate(path, content, shadow)
+	node.Base = e.vers.Get(path)
+	node.Ver = e.counter.Next()
+	e.vers.Set(path, node.Ver)
+	e.push(node)
+
+	e.shadow[path] = content
+	for _, c := range node.Chunks {
+		if c.Data != nil {
+			// Mirror the server exactly: only carried chunks are inserted
+			// (a reference never refreshes or re-inserts store position).
+			e.known.Add(c.Hash, c.Len)
+		}
+	}
+	e.dirty.Forget(path)
+}
+
+// buildUpdate produces the upload for one file: an NCDC node over fixed
+// 4 MB blocks whose wire size reflects dedup, block-confined rsync, and
+// compression.
+func (e *Engine) buildUpdate(path string, content, shadow []byte) *wire.Node {
+	node := &wire.Node{Kind: wire.NCDC, Path: path}
+	var wireBytes int64
+	for off := int64(0); off < int64(len(content)); off += DedupBlockSize {
+		end := off + DedupBlockSize
+		if end > int64(len(content)) {
+			end = int64(len(content))
+		}
+		blk := content[off:end]
+		e.meter.StrongHash(int64(len(blk))) // dedup hash
+		h := block.StrongSum(blk)
+		ref := wire.ChunkRef{Hash: h, Len: int64(len(blk))}
+		if !e.known.Known(h) {
+			ref.Data = blk
+			wireBytes += e.missedBlockWireSize(blk, shadow, off)
+		} else {
+			wireBytes += 24 // hash reference
+		}
+		node.Chunks = append(node.Chunks, ref)
+	}
+	node.PayloadWire = wireBytes + 24
+	return node
+}
+
+// missedBlockWireSize computes the delta between the new 4 MB block and the
+// same-index block of the shadow copy at Dropbox's 4 KB chunk granularity:
+// aligned 4 KB chunks are compared by strong checksum (the base checksums
+// recomputed on the client — the offloading [38] that burns client CPU), and
+// mismatching chunks ship as compressed literals. The aligned comparison is
+// what the paper's measurements pin down: a 1010-byte random write costs a
+// full 4 KB chunk (Fig 8(b): "every random write is 1010 bytes while
+// Dropbox's chunk size is 4KB"), and an insertion misaligns every following
+// chunk, "impacting the effect of delta encoding a lot" on the Word trace.
+func (e *Engine) missedBlockWireSize(blk, shadow []byte, off int64) int64 {
+	var base []byte
+	if off < int64(len(shadow)) {
+		bend := off + DedupBlockSize
+		if bend > int64(len(shadow)) {
+			bend = int64(len(shadow))
+		}
+		base = shadow[off:bend]
+	}
+	if len(base) == 0 || e.cfg.Untuned {
+		// New block with no base (or delta encoding not engaged): full
+		// content, compressed.
+		return e.compressedSize(blk)
+	}
+	// Client-side checksum offloading: the base chunk checksums are
+	// recomputed locally rather than downloaded.
+	e.meter.StrongHash(int64(len(base)))
+	e.meter.StrongHash(int64(len(blk)))
+	var literal []byte
+	refs := 0
+	for lo := 0; lo < len(blk); lo += RsyncBlockSize {
+		hi := lo + RsyncBlockSize
+		if hi > len(blk) {
+			hi = len(blk)
+		}
+		if hi <= len(base) && block.StrongSum(blk[lo:hi]) == block.StrongSum(base[lo:hi]) {
+			refs++
+			continue
+		}
+		literal = append(literal, blk[lo:hi]...)
+	}
+	return e.compressedSize(literal) + int64(refs)*20
+}
+
+// compressedSize DEFLATEs p and returns the output size, charging the
+// compression pass.
+func (e *Engine) compressedSize(p []byte) int64 {
+	if len(p) == 0 {
+		return 0
+	}
+	e.meter.Compress(int64(len(p)))
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return int64(len(p))
+	}
+	if _, err := w.Write(p); err != nil {
+		return int64(len(p))
+	}
+	if err := w.Close(); err != nil {
+		return int64(len(p))
+	}
+	return int64(buf.Len())
+}

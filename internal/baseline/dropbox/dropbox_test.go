@@ -1,0 +1,243 @@
+package dropbox
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/server"
+	"repro/internal/vfs"
+)
+
+type rig struct {
+	backing *vfs.MemFS
+	srv     *server.Server
+	eng     *Engine
+	meter   *metrics.CPUMeter
+	traffic *metrics.TrafficMeter
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	r := &rig{
+		backing: vfs.NewMemFS(),
+		srv:     server.New(nil),
+		meter:   metrics.NewCPUMeter(metrics.PC),
+		traffic: &metrics.TrafficMeter{},
+	}
+	eng, err := New(Config{
+		Backing:  r.backing,
+		Endpoint: server.NewLoopback(r.srv, r.meter, r.traffic),
+		Meter:    r.meter,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.eng = eng
+	return r
+}
+
+func (r *rig) seed(t *testing.T, path string, content []byte) {
+	t.Helper()
+	if err := r.backing.Create(path); err != nil {
+		t.Fatal(err)
+	}
+	if len(content) > 0 {
+		if err := r.backing.WriteAt(path, 0, content); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.srv.SeedFile(path, content)
+}
+
+func (r *rig) settle(t *testing.T) {
+	t.Helper()
+	r.eng.Tick(1<<62 - 1)
+	if err := r.eng.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (r *rig) assertSynced(t *testing.T, path string) {
+	t.Helper()
+	local, err := r.backing.ReadFile(path)
+	if err != nil {
+		t.Fatalf("local %s: %v", path, err)
+	}
+	remote, ok := r.srv.FileContent(path)
+	if !ok || !bytes.Equal(local, remote) {
+		t.Fatalf("%s diverged (local %d, remote %d, ok=%v)", path, len(local), len(remote), ok)
+	}
+}
+
+func randBytes(seed int64, n int) []byte {
+	p := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(p)
+	return p
+}
+
+func TestUploadNewFile(t *testing.T) {
+	r := newRig(t)
+	fs := r.eng.FS()
+	fs.Create("f")
+	fs.WriteAt("f", 0, []byte("new content"))
+	fs.Close("f")
+	r.settle(t)
+	r.assertSynced(t, "f")
+}
+
+func TestRescanWholeFilePerCycle(t *testing.T) {
+	// The inotify model: a 1-byte change to a big file costs a full
+	// re-read plus hashing of every block — the paper's core complaint.
+	r := newRig(t)
+	content := randBytes(1, 8<<20)
+	r.seed(t, "big", content)
+	if err := r.eng.Prime(r.srv.SeedChunk); err != nil {
+		t.Fatal(err)
+	}
+
+	before := r.meter.Breakdown()
+	r.eng.FS().WriteAt("big", 4<<20, []byte{0xFF})
+	r.settle(t)
+	after := r.meter.Breakdown()
+
+	if scanned := after["disk_bytes"] - before["disk_bytes"]; scanned < 8<<20 {
+		t.Fatalf("read only %d bytes; full rescan expected", scanned)
+	}
+	if hashed := after["strong_bytes"] - before["strong_bytes"]; hashed < 8<<20 {
+		t.Fatalf("hashed only %d bytes; dedup hashing covers the file", hashed)
+	}
+	r.assertSynced(t, "big")
+}
+
+func TestDedupSkipsUnchangedBlocks(t *testing.T) {
+	// 12 MB file, 1 byte changed in the last 4 MB block: only that block
+	// misses dedup, and rsync-within-the-block shrinks it to ~a literal
+	// region, compressed.
+	r := newRig(t)
+	content := randBytes(2, 12<<20)
+	r.seed(t, "f", content)
+	if err := r.eng.Prime(r.srv.SeedChunk); err != nil {
+		t.Fatal(err)
+	}
+
+	r.eng.FS().WriteAt("f", 9<<20, []byte("edit!"))
+	r.settle(t)
+	r.assertSynced(t, "f")
+	// Traffic: two clean blocks are references; the dirty block rsyncs to
+	// about one 4 KB rsync block of literal + op headers.
+	if up := r.traffic.Uploaded(); up > 256<<10 {
+		t.Fatalf("uploaded %d; dedup+rsync ineffective", up)
+	}
+}
+
+func TestShiftConfinedToBlockBoundaries(t *testing.T) {
+	// Insert 100 bytes near the start: every 4 MB block hash changes and
+	// every 4 KB chunk after the insertion point misaligns.
+	r := newRig(t)
+	content := randBytes(3, 12<<20)
+	r.seed(t, "f", content)
+	if err := r.eng.Prime(r.srv.SeedChunk); err != nil {
+		t.Fatal(err)
+	}
+
+	insert := randBytes(4, 100)
+	newContent := append(append(append([]byte(nil), content[:1000]...), insert...), content[1000:]...)
+	fs := r.eng.FS()
+	fs.Create("f")
+	fs.WriteAt("f", 0, newContent)
+	fs.Close("f")
+	r.settle(t)
+	r.assertSynced(t, "f")
+
+	// Aligned 4 KB chunk comparison: the insertion misaligns every chunk
+	// after offset 1000, so nearly the whole file ships — the shift
+	// penalty the paper measures on the Word trace.
+	up := r.traffic.Uploaded()
+	if up < int64(len(content))/2 {
+		t.Fatalf("uploaded %d: shift penalty missing under aligned chunking", up)
+	}
+}
+
+func TestTransactionalSaveUsesRetainedShadow(t *testing.T) {
+	// Word pattern: rename f->t0, write t1, rename t1->f, unlink t0.
+	// The retained shadow for f lets the new content rsync against the
+	// old version ("tuned best performance").
+	r := newRig(t)
+	content := randBytes(5, 6<<20)
+	r.seed(t, "f", content)
+	if err := r.eng.Prime(r.srv.SeedChunk); err != nil {
+		t.Fatal(err)
+	}
+
+	newContent := append([]byte(nil), content...)
+	copy(newContent[3<<20:(3<<20)+500], randBytes(6, 500))
+
+	fs := r.eng.FS()
+	fs.Rename("f", "t0")
+	r.eng.Tick(10 * time.Millisecond)
+	fs.Create("t1")
+	fs.WriteAt("t1", 0, newContent)
+	fs.Close("t1")
+	fs.Rename("t1", "f")
+	fs.Unlink("t0")
+	r.settle(t)
+
+	r.assertSynced(t, "f")
+	if _, ok := r.srv.FileContent("t0"); ok {
+		t.Fatal("t0 lingers on server")
+	}
+	if up := r.traffic.Uploaded(); up > 1<<20 {
+		t.Fatalf("uploaded %d for a 500-byte edit; shadow rsync not used", up)
+	}
+}
+
+func TestUnlinkPropagates(t *testing.T) {
+	r := newRig(t)
+	r.seed(t, "f", []byte("x"))
+	if err := r.eng.Prime(r.srv.SeedChunk); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.FS().Unlink("f")
+	r.settle(t)
+	if _, ok := r.srv.FileContent("f"); ok {
+		t.Fatal("unlink did not reach server")
+	}
+}
+
+func TestNeverSyncedTempFileNotRenamedOnServer(t *testing.T) {
+	// A temp file created and renamed before any sync cycle must not
+	// produce a server-side rename of a nonexistent path.
+	r := newRig(t)
+	fs := r.eng.FS()
+	fs.Create("tmp")
+	fs.WriteAt("tmp", 0, []byte("data"))
+	fs.Rename("tmp", "final")
+	r.settle(t)
+	if err := r.eng.LastPushError(); err != nil {
+		t.Fatalf("push error: %v", err)
+	}
+	r.assertSynced(t, "final")
+	if _, ok := r.srv.FileContent("tmp"); ok {
+		t.Fatal("tmp reached the server")
+	}
+}
+
+func TestCompressionCharged(t *testing.T) {
+	r := newRig(t)
+	fs := r.eng.FS()
+	fs.Create("f")
+	fs.WriteAt("f", 0, bytes.Repeat([]byte("compressible "), 10000))
+	fs.Close("f")
+	r.settle(t)
+	if r.meter.Breakdown()["compress_bytes"] == 0 {
+		t.Fatal("no compression work charged")
+	}
+	// Highly compressible data: wire bytes well under the payload.
+	if up := r.traffic.Uploaded(); up > 20000 {
+		t.Fatalf("uploaded %d of 130000 compressible bytes", up)
+	}
+	r.assertSynced(t, "f")
+}

@@ -1,0 +1,54 @@
+package dropbox
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// TestChunkEvictionStaysConsistent is the regression test for the bounded
+// chunk store: with a budget small enough to force constant eviction, many
+// sync cycles over a mutating file must never produce an "unknown chunk"
+// error or diverge — the client's tracker and the server's store must evict
+// in lockstep, and references within one upload must resolve before that
+// upload's own insertions can evict them.
+func TestChunkEvictionStaysConsistent(t *testing.T) {
+	oldBudget := wire.ChunkStoreBudget
+	wire.ChunkStoreBudget = 24 << 20 // 6 dedup blocks
+	defer func() { wire.ChunkStoreBudget = oldBudget }()
+
+	r := newRig(t)
+	content := randBytes(100, 16<<20) // 4 dedup blocks
+	r.seed(t, "f", content)
+	if err := r.eng.Prime(r.srv.SeedChunk); err != nil {
+		t.Fatal(err)
+	}
+
+	fs := r.eng.FS()
+	now := time.Duration(0)
+	for round := 0; round < 12; round++ {
+		now += 10 * time.Second
+		r.eng.Tick(now) // set the engine's notion of time before the write
+		// Mutate one block per round; the other blocks stay references,
+		// some of which the rolling eviction has pushed to the edge.
+		off := int64(round%4) * (4 << 20)
+		if err := fs.WriteAt("f", off+512, randBytes(int64(round), 64<<10)); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Close("f"); err != nil {
+			t.Fatal(err)
+		}
+		now += 5 * time.Second
+		r.eng.Tick(now) // quiescent past the debounce: sync cycle runs
+		if err := r.eng.LastPushError(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		local, _ := r.backing.ReadFile("f")
+		remote, ok := r.srv.FileContent("f")
+		if !ok || !bytes.Equal(local, remote) {
+			t.Fatalf("round %d: content diverged", round)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package dropsync implements the Dropsync baseline [24]: the third-party
+// auto-sync client for Dropbox on Android that the paper uses for the
+// mobile experiments. Dropsync has no delta encoding at all — every time a
+// watched file changes, the whole file is re-read and re-uploaded. On a
+// mobile WAN link the uploads are slow, so changes arriving while an upload
+// is in flight coalesce ("it only completed limited numbers of sync
+// actions, which has the effect of batching file updates"), and every sync
+// cycle also pulls account metadata, which is where Dropsync's nonzero
+// download traffic in Fig 9(b) comes from.
+package dropsync
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/metrics"
+	"repro/internal/version"
+	"repro/internal/vfs"
+	"repro/internal/wire"
+)
+
+// DefaultBandwidth is the modelled mobile upload bandwidth (bytes/second).
+const DefaultBandwidth = 1500 * 1024
+
+// MetadataPerCycle is the account-metadata download per sync cycle.
+const MetadataPerCycle = 96 << 10
+
+// Config configures the engine.
+type Config struct {
+	Backing   vfs.FS
+	Endpoint  wire.Endpoint
+	Meter     *metrics.CPUMeter
+	Traffic   *metrics.TrafficMeter // for the metadata download accounting
+	Debounce  time.Duration
+	Bandwidth int64 // upload bytes/second
+}
+
+// Engine is the Dropsync-like client.
+type Engine struct {
+	cfg   Config
+	obs   *vfs.ObserverFS
+	ep    wire.Endpoint
+	meter *metrics.CPUMeter
+
+	dirty   *baseline.Dirty
+	deleted map[string]bool
+	renames []rename
+	synced  map[string]bool
+	counter *version.Counter
+	vers    *version.Map
+
+	busyUntil time.Duration
+	now       time.Duration
+	pushErr   error
+	cycles    int
+}
+
+type rename struct{ from, to string }
+
+// New builds the engine and registers with the cloud.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Debounce <= 0 {
+		cfg.Debounce = baseline.DefaultDebounce
+	}
+	if cfg.Bandwidth <= 0 {
+		cfg.Bandwidth = DefaultBandwidth
+	}
+	id, err := cfg.Endpoint.Register()
+	if err != nil {
+		return nil, fmt.Errorf("dropsync: register: %w", err)
+	}
+	e := &Engine{
+		cfg:     cfg,
+		obs:     vfs.NewObserverFS(cfg.Backing),
+		ep:      cfg.Endpoint,
+		meter:   cfg.Meter,
+		dirty:   baseline.NewDirty(),
+		deleted: make(map[string]bool),
+		synced:  make(map[string]bool),
+		counter: version.NewCounter(id),
+		vers:    version.NewMap(),
+	}
+	e.obs.Subscribe(vfs.ObserverFunc(e.onOp))
+	return e, nil
+}
+
+// FS implements trace.Target.
+func (e *Engine) FS() vfs.FS { return e.obs }
+
+// Prime records the seed state as already synced.
+func (e *Engine) Prime() error {
+	paths, err := e.cfg.Backing.List("")
+	if err != nil {
+		return err
+	}
+	for _, p := range paths {
+		e.synced[p] = true
+		if v, ok, err := e.ep.Head(p); err == nil && ok {
+			e.vers.Set(p, v)
+		}
+	}
+	return nil
+}
+
+// SyncCycles reports how many upload cycles completed (the batching effect
+// shows as far fewer cycles than file modifications).
+func (e *Engine) SyncCycles() int { return e.cycles }
+
+func (e *Engine) onOp(op vfs.Op) {
+	switch op.Kind {
+	case vfs.OpCreate, vfs.OpWrite, vfs.OpTruncate:
+		e.dirty.Mark(op.Path, e.now)
+		delete(e.deleted, op.Path)
+	case vfs.OpLink:
+		e.dirty.Mark(op.Dst, e.now)
+	case vfs.OpRename:
+		if e.synced[op.Path] {
+			e.renames = append(e.renames, rename{from: op.Path, to: op.Dst})
+			e.synced[op.Dst] = true
+			delete(e.synced, op.Path)
+		}
+		e.dirty.Forget(op.Path)
+		e.dirty.Mark(op.Dst, e.now)
+	case vfs.OpUnlink:
+		e.dirty.Forget(op.Path)
+		if e.synced[op.Path] {
+			e.deleted[op.Path] = true
+			delete(e.synced, op.Path)
+		}
+	}
+}
+
+// Tick implements trace.Target: when the link is free and a file has
+// quiesced, upload its full content; the link stays busy for size/bandwidth
+// of logical time, batching any updates that arrive meanwhile.
+func (e *Engine) Tick(now time.Duration) {
+	e.now = now
+	e.flushStructural()
+	if now < e.busyUntil {
+		return
+	}
+	for _, p := range baseline.OrderBySize(e.obs.Backing(), e.dirty.Ready(now, e.cfg.Debounce)) {
+		if now < e.busyUntil {
+			break // link saturated; remaining files batch into later cycles
+		}
+		e.syncFile(p, now)
+	}
+}
+
+// Drain uploads everything pending regardless of the link.
+func (e *Engine) Drain() error {
+	e.flushStructural()
+	for _, p := range e.dirty.Ready(1<<62-1, 0) {
+		e.syncFile(p, e.busyUntil)
+	}
+	return e.pushErr
+}
+
+// LastPushError reports the most recent push failure.
+func (e *Engine) LastPushError() error { return e.pushErr }
+
+func (e *Engine) flushStructural() {
+	var nodes []*wire.Node
+	for _, r := range e.renames {
+		n := &wire.Node{Kind: wire.NRename, Path: r.from, Dst: r.to,
+			Base: e.vers.Get(r.from), Ver: e.counter.Next()}
+		e.vers.Rename(r.from, r.to)
+		e.vers.Set(r.to, n.Ver)
+		nodes = append(nodes, n)
+	}
+	e.renames = nil
+	for p := range e.deleted {
+		nodes = append(nodes, &wire.Node{Kind: wire.NUnlink, Path: p, Base: e.vers.Get(p)})
+		e.vers.Delete(p)
+		delete(e.deleted, p)
+	}
+	if len(nodes) == 0 {
+		return
+	}
+	if _, err := e.ep.Push(&wire.Batch{Nodes: nodes}); err != nil {
+		e.pushErr = err
+	}
+}
+
+// syncFile uploads the file's entire current content.
+func (e *Engine) syncFile(path string, now time.Duration) {
+	content, err := e.obs.Backing().ReadFile(path)
+	if err != nil {
+		e.dirty.Forget(path)
+		return
+	}
+	// Whole-file read + upload: the CPU profile the paper measures for
+	// Dropsync ("it has to load the file from disk and transmit the whole
+	// file through network every time the file is modified").
+	e.meter.DiskIO(int64(len(content)))
+	e.meter.Copy(int64(len(content)))
+
+	node := &wire.Node{Kind: wire.NFull, Path: path, Full: content,
+		Base: e.vers.Get(path), Ver: e.counter.Next()}
+	e.vers.Set(path, node.Ver)
+	reply, err := e.ep.Push(&wire.Batch{Nodes: []*wire.Node{node}})
+	if err != nil {
+		e.pushErr = err
+		return
+	}
+	if reply.Err != "" {
+		e.pushErr = fmt.Errorf("dropsync: push: %s", reply.Err)
+	}
+
+	// Account-metadata poll accompanying the cycle.
+	e.cfg.Traffic.Download(MetadataPerCycle)
+	e.meter.Net(MetadataPerCycle)
+
+	e.cycles++
+	e.synced[path] = true
+	e.dirty.Forget(path)
+	if e.busyUntil < now {
+		e.busyUntil = now
+	}
+	e.busyUntil += time.Duration(int64(len(content)) * int64(time.Second) / e.cfg.Bandwidth)
+}

@@ -1,0 +1,177 @@
+package dropsync
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/server"
+	"repro/internal/vfs"
+)
+
+type rig struct {
+	backing *vfs.MemFS
+	srv     *server.Server
+	eng     *Engine
+	meter   *metrics.CPUMeter
+	traffic *metrics.TrafficMeter
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	r := &rig{
+		backing: vfs.NewMemFS(),
+		srv:     server.New(nil),
+		meter:   metrics.NewCPUMeter(metrics.Mobile),
+		traffic: &metrics.TrafficMeter{},
+	}
+	eng, err := New(Config{
+		Backing:  r.backing,
+		Endpoint: server.NewLoopback(r.srv, r.meter, r.traffic),
+		Meter:    r.meter,
+		Traffic:  r.traffic,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.eng = eng
+	return r
+}
+
+func randBytes(seed int64, n int) []byte {
+	p := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(p)
+	return p
+}
+
+func TestFullFileUpload(t *testing.T) {
+	r := newRig(t)
+	content := randBytes(1, 200<<10)
+	fs := r.eng.FS()
+	fs.Create("f")
+	fs.WriteAt("f", 0, content)
+	fs.Close("f")
+	r.eng.Tick(10 * time.Second)
+	if err := r.eng.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r.srv.FileContent("f")
+	if !ok || !bytes.Equal(got, content) {
+		t.Fatal("content not synced")
+	}
+	if up := r.traffic.Uploaded(); up < int64(len(content)) {
+		t.Fatalf("uploaded %d < file size %d: Dropsync ships whole files", up, len(content))
+	}
+}
+
+func TestEverySyncShipsWholeFile(t *testing.T) {
+	// 1-byte change to a seeded file: the whole file travels again.
+	r := newRig(t)
+	content := randBytes(2, 500<<10)
+	r.backing.Create("f")
+	r.backing.WriteAt("f", 0, content)
+	r.srv.SeedFile("f", content)
+	if err := r.eng.Prime(); err != nil {
+		t.Fatal(err)
+	}
+
+	r.eng.FS().WriteAt("f", 100, []byte{1})
+	r.eng.FS().Close("f")
+	r.eng.Tick(time.Hour)
+	if err := r.eng.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if up := r.traffic.Uploaded(); up < int64(len(content)) {
+		t.Fatalf("uploaded %d for a 1-byte change; no delta encoding exists here", up)
+	}
+}
+
+func TestBandwidthBatching(t *testing.T) {
+	// While an upload occupies the link, further modifications coalesce:
+	// fewer sync cycles than modifications.
+	r := newRig(t)
+	fs := r.eng.FS()
+	fs.Create("f")
+	now := time.Duration(0)
+	const mods = 20
+	for i := 0; i < mods; i++ {
+		fs.WriteAt("f", int64(i)*500<<10, randBytes(int64(i), 500<<10))
+		fs.Close("f")
+		now += 1200 * time.Millisecond // faster than the link drains the growing file
+		r.eng.Tick(now)
+	}
+	if err := r.eng.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if c := r.eng.SyncCycles(); c >= mods {
+		t.Fatalf("cycles = %d, want < %d (bandwidth batching)", c, mods)
+	}
+	if c := r.eng.SyncCycles(); c == 0 {
+		t.Fatal("no sync cycles at all")
+	}
+	// Final state still converges.
+	local, _ := r.backing.ReadFile("f")
+	remote, _ := r.srv.FileContent("f")
+	if !bytes.Equal(local, remote) {
+		t.Fatal("content diverged under batching")
+	}
+}
+
+func TestMetadataDownloads(t *testing.T) {
+	r := newRig(t)
+	fs := r.eng.FS()
+	fs.Create("f")
+	fs.WriteAt("f", 0, []byte("x"))
+	fs.Close("f")
+	r.eng.Tick(time.Hour)
+	if err := r.eng.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if down := r.traffic.Downloaded(); down < MetadataPerCycle {
+		t.Fatalf("downloaded %d; metadata poll missing", down)
+	}
+}
+
+func TestMobileMeterScale(t *testing.T) {
+	r := newRig(t)
+	fs := r.eng.FS()
+	fs.Create("f")
+	fs.WriteAt("f", 0, randBytes(3, 1<<20))
+	fs.Close("f")
+	r.eng.Tick(time.Hour)
+	r.eng.Drain()
+	if r.meter.Platform() != metrics.Mobile {
+		t.Fatal("meter not mobile")
+	}
+	if r.meter.NanoTicks() == 0 {
+		t.Fatal("no CPU charged")
+	}
+}
+
+func TestRenameAndUnlinkPropagate(t *testing.T) {
+	r := newRig(t)
+	r.backing.Create("a")
+	r.backing.WriteAt("a", 0, []byte("x"))
+	r.srv.SeedFile("a", []byte("x"))
+	if err := r.eng.Prime(); err != nil {
+		t.Fatal(err)
+	}
+	fs := r.eng.FS()
+	fs.Rename("a", "b")
+	r.eng.Tick(time.Hour)
+	r.eng.Drain()
+	if _, ok := r.srv.FileContent("a"); ok {
+		t.Fatal("a survives rename")
+	}
+	if _, ok := r.srv.FileContent("b"); !ok {
+		t.Fatal("b missing after rename")
+	}
+	fs.Unlink("b")
+	r.eng.Tick(2 * time.Hour)
+	r.eng.Drain()
+	if _, ok := r.srv.FileContent("b"); ok {
+		t.Fatal("b survives unlink")
+	}
+}

@@ -1,0 +1,371 @@
+// Package nfs implements the NFSv4-like baseline [37]: every file operation
+// becomes an RPC to the server, moderated by the kernel client's write-back
+// page cache. The behaviours the paper measures are modelled explicitly:
+//
+//   - write RPCs: all written bytes eventually cross the wire (no delta
+//     encoding of any kind), buffered briefly by the write-back cache and
+//     flushed on close (close-to-open consistency), fsync, or age;
+//   - the write-back cache absorbs data that dies young: a journal written
+//     and truncated to zero before flush never reaches the server;
+//   - fetch-before-write: a partial-block write to an uncached page must
+//     first read that page from the server [41] — the download traffic NFS
+//     shows on the WeChat trace (Fig 8(d));
+//   - stale-handle refetch: renaming a new file over a cached one changes
+//     the file handle, so the client's cached content is invalid and the
+//     application's next open re-reads the file from the server [40] — why
+//     NFS downloads almost as much as it uploads on the Word trace
+//     (Fig 8(c)).
+package nfs
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/version"
+	"repro/internal/vfs"
+	"repro/internal/wire"
+)
+
+// PageSize is the client page-cache granularity.
+const PageSize = 4096
+
+// DefaultFlushDelay is how long dirty pages may age before write-back.
+const DefaultFlushDelay = 5 * time.Second
+
+// Config configures the engine.
+type Config struct {
+	Backing    vfs.FS
+	Endpoint   wire.Endpoint
+	Meter      *metrics.CPUMeter
+	FlushDelay time.Duration
+}
+
+// pending is one buffered operation awaiting write-back, in issue order.
+type pending struct {
+	node *wire.Node
+	at   time.Duration
+	open bool // write node still accepting extents
+}
+
+// fileCache is the client's view of one file's pages.
+type fileCache struct {
+	pages  map[int64]bool // block index -> cached
+	size   int64          // client's view of the file size
+	whole  bool           // full content cached (after a fetch)
+	synced bool           // server has this path
+}
+
+// Engine is the NFS-like client.
+type Engine struct {
+	cfg   Config
+	obs   *vfs.ObserverFS
+	ep    wire.Endpoint
+	meter *metrics.CPUMeter
+
+	queue []*pending
+	open  map[string]*pending // open write node per path
+	cache map[string]*fileCache
+	// knownNames is the application-visible working set: names that have
+	// existed on this mount. Renaming a fresh file over a known name swaps
+	// the file handle beneath the name, which invalidates cached content
+	// and forces the application's next open to re-read from the server
+	// [40] (the Word-trace download signature).
+	knownNames map[string]bool
+	counter    *version.Counter
+	vers       *version.Map
+
+	now     time.Duration
+	pushErr error
+}
+
+// New builds the engine and registers with the server.
+func New(cfg Config) (*Engine, error) {
+	if cfg.FlushDelay <= 0 {
+		cfg.FlushDelay = DefaultFlushDelay
+	}
+	id, err := cfg.Endpoint.Register()
+	if err != nil {
+		return nil, fmt.Errorf("nfs: register: %w", err)
+	}
+	e := &Engine{
+		cfg:        cfg,
+		obs:        vfs.NewObserverFS(cfg.Backing),
+		ep:         cfg.Endpoint,
+		meter:      cfg.Meter,
+		open:       make(map[string]*pending),
+		cache:      make(map[string]*fileCache),
+		knownNames: make(map[string]bool),
+		counter:    version.NewCounter(id),
+		vers:       version.NewMap(),
+	}
+	e.obs.Subscribe(vfs.ObserverFunc(e.onOp))
+	return e, nil
+}
+
+// FS implements trace.Target.
+func (e *Engine) FS() vfs.FS { return e.obs }
+
+// Prime records the seed state as mounted server state: files are known to
+// the server and their attributes cached, but no pages are cached yet (a
+// fresh mount).
+func (e *Engine) Prime() error {
+	paths, err := e.cfg.Backing.List("")
+	if err != nil {
+		return err
+	}
+	for _, p := range paths {
+		st, err := e.cfg.Backing.Stat(p)
+		if err != nil {
+			return err
+		}
+		e.cache[p] = &fileCache{pages: make(map[int64]bool), size: st.Size, synced: true}
+		e.knownNames[p] = true
+		if v, ok, err := e.ep.Head(p); err == nil && ok {
+			e.vers.Set(p, v)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) fc(path string) *fileCache {
+	c, ok := e.cache[path]
+	if !ok {
+		c = &fileCache{pages: make(map[int64]bool)}
+		e.cache[path] = c
+	}
+	return c
+}
+
+func (e *Engine) onOp(op vfs.Op) {
+	switch op.Kind {
+	case vfs.OpCreate:
+		// O_TRUNC: buffered dirty pages for the old content die in cache.
+		if n, ok := e.open[op.Path]; ok {
+			n.node.Extents = nil
+			n.open = false
+			delete(e.open, op.Path)
+		}
+		c := e.fc(op.Path)
+		c.size = 0
+		c.whole = true // empty file: fully "cached"
+		c.pages = make(map[int64]bool)
+		node := &wire.Node{Kind: wire.NCreate, Path: op.Path}
+		e.stamp(node, op.Path)
+		e.queue = append(e.queue, &pending{node: node, at: e.now})
+		c.synced = true
+		e.knownNames[op.Path] = true
+
+	case vfs.OpWrite:
+		e.write(op.Path, op.Off, op.Data)
+
+	case vfs.OpTruncate:
+		e.truncate(op.Path, op.Size)
+
+	case vfs.OpRename:
+		// Metadata ops are synchronous: flush first, then RPC.
+		e.Flush()
+		src := e.fc(op.Path)
+		staleName := e.knownNames[op.Dst]
+		n := &wire.Node{Kind: wire.NRename, Path: op.Path, Dst: op.Dst,
+			Base: e.vers.Get(op.Path), Ver: e.counter.Next()}
+		e.vers.Rename(op.Path, op.Dst)
+		e.vers.Set(op.Dst, n.Ver)
+		e.push(&wire.Batch{Nodes: []*wire.Node{n}})
+		src.synced = true
+		e.cache[op.Dst] = src
+		delete(e.cache, op.Path)
+		e.knownNames[op.Dst] = true
+		if staleName {
+			// Stale filehandle: the name's cached content is invalid; the
+			// application's re-open pulls the new content from the server
+			// [40].
+			e.refetch(op.Dst)
+		}
+
+	case vfs.OpLink:
+		e.Flush()
+		n := &wire.Node{Kind: wire.NLink, Path: op.Path, Dst: op.Dst,
+			Base: e.vers.Get(op.Path), Ver: e.counter.Next()}
+		e.vers.Set(op.Dst, n.Ver)
+		e.push(&wire.Batch{Nodes: []*wire.Node{n}})
+		st, err := e.cfg.Backing.Stat(op.Dst)
+		if err == nil {
+			e.cache[op.Dst] = &fileCache{pages: make(map[int64]bool), size: st.Size, synced: true}
+		}
+
+	case vfs.OpUnlink:
+		e.dropPending(op.Path)
+		n := &wire.Node{Kind: wire.NUnlink, Path: op.Path, Base: e.vers.Get(op.Path)}
+		e.vers.Delete(op.Path)
+		e.push(&wire.Batch{Nodes: []*wire.Node{n}})
+		delete(e.cache, op.Path)
+
+	case vfs.OpMkdir:
+		e.push(&wire.Batch{Nodes: []*wire.Node{{Kind: wire.NMkdir, Path: op.Path}}})
+	case vfs.OpRmdir:
+		e.push(&wire.Batch{Nodes: []*wire.Node{{Kind: wire.NRmdir, Path: op.Path}}})
+
+	case vfs.OpClose:
+		// Close-to-open consistency: flush on close.
+		e.Flush()
+	case vfs.OpFsync:
+		e.Flush()
+	}
+}
+
+// write buffers the payload in the write-back cache, fetching uncached
+// partial pages first.
+func (e *Engine) write(path string, off int64, data []byte) {
+	c := e.fc(path)
+	end := off + int64(len(data))
+
+	// Fetch-before-write for partial first/last pages inside the known
+	// file size, when not already cached.
+	if c.synced && !c.whole {
+		for _, edge := range []struct {
+			partial bool
+			page    int64
+		}{
+			{off%PageSize != 0, off / PageSize},
+			{end%PageSize != 0, (end - 1) / PageSize},
+		} {
+			if !edge.partial || edge.page*PageSize >= c.size || c.pages[edge.page] {
+				continue
+			}
+			if data, err := e.ep.FetchRange(path, edge.page*PageSize, PageSize); err == nil {
+				e.meter.Copy(int64(len(data)))
+				c.pages[edge.page] = true
+			}
+		}
+	}
+	for p := off / PageSize; p <= (end-1)/PageSize; p++ {
+		c.pages[p] = true
+	}
+	if end > c.size {
+		c.size = end
+	}
+
+	n, ok := e.open[path]
+	if !ok {
+		node := &wire.Node{Kind: wire.NWrite, Path: path}
+		e.stamp(node, path)
+		n = &pending{node: node, at: e.now, open: true}
+		e.queue = append(e.queue, n)
+		e.open[path] = n
+	}
+	cp := append([]byte(nil), data...)
+	e.meter.Copy(int64(len(cp)))
+	n.node.Extents = append(n.node.Extents, wire.Extent{Off: off, Data: cp})
+	c.synced = true
+}
+
+// truncate trims buffered data (the cache absorbing short-lived bytes) and
+// buffers a truncate op.
+func (e *Engine) truncate(path string, size int64) {
+	if n, ok := e.open[path]; ok {
+		kept := n.node.Extents[:0]
+		for _, ext := range n.node.Extents {
+			switch {
+			case ext.Off >= size:
+			case ext.Off+int64(len(ext.Data)) > size:
+				ext.Data = ext.Data[:size-ext.Off]
+				kept = append(kept, ext)
+			default:
+				kept = append(kept, ext)
+			}
+		}
+		n.node.Extents = kept
+		n.open = false
+		delete(e.open, path)
+	}
+	c := e.fc(path)
+	c.size = size
+	node := &wire.Node{Kind: wire.NTruncate, Path: path, Size: size}
+	e.stamp(node, path)
+	e.queue = append(e.queue, &pending{node: node, at: e.now})
+	c.synced = true
+}
+
+func (e *Engine) stamp(n *wire.Node, path string) {
+	n.Base = e.vers.Get(path)
+	n.Ver = e.counter.Next()
+	e.vers.Set(path, n.Ver)
+}
+
+// dropPending discards buffered ops for a path being unlinked (the cache
+// simply forgets dirty pages of a deleted file).
+func (e *Engine) dropPending(path string) {
+	kept := e.queue[:0]
+	for _, p := range e.queue {
+		if p.node.Path == path &&
+			(p.node.Kind == wire.NWrite || p.node.Kind == wire.NTruncate || p.node.Kind == wire.NCreate) {
+			if e.open[path] == p {
+				delete(e.open, path)
+			}
+			continue
+		}
+		kept = append(kept, p)
+	}
+	e.queue = kept
+}
+
+// refetch downloads a file's full content (stale-handle revalidation).
+func (e *Engine) refetch(path string) {
+	rep, err := e.ep.Fetch(path)
+	if err != nil || !rep.Exists {
+		return
+	}
+	e.meter.Copy(int64(len(rep.Content)))
+	c := e.fc(path)
+	c.whole = true
+	c.size = int64(len(rep.Content))
+	c.synced = true
+}
+
+// Flush writes back all buffered operations in order.
+func (e *Engine) Flush() {
+	if len(e.queue) == 0 {
+		return
+	}
+	nodes := make([]*wire.Node, 0, len(e.queue))
+	for _, p := range e.queue {
+		nodes = append(nodes, p.node)
+	}
+	e.queue = e.queue[:0]
+	for p := range e.open {
+		delete(e.open, p)
+	}
+	e.push(&wire.Batch{Nodes: nodes})
+}
+
+func (e *Engine) push(b *wire.Batch) {
+	if len(b.Nodes) == 0 {
+		return
+	}
+	reply, err := e.ep.Push(b)
+	if err != nil {
+		e.pushErr = err
+		return
+	}
+	if reply.Err != "" {
+		e.pushErr = fmt.Errorf("nfs: push: %s", reply.Err)
+	}
+}
+
+// Tick implements trace.Target: age-based write-back.
+func (e *Engine) Tick(now time.Duration) {
+	e.now = now
+	if len(e.queue) > 0 && now-e.queue[0].at >= e.cfg.FlushDelay {
+		e.Flush()
+	}
+}
+
+// Drain flushes everything.
+func (e *Engine) Drain() error {
+	e.Flush()
+	return e.pushErr
+}
+
+// LastPushError reports the most recent push failure.
+func (e *Engine) LastPushError() error { return e.pushErr }

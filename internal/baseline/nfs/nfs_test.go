@@ -1,0 +1,255 @@
+package nfs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/server"
+	"repro/internal/vfs"
+)
+
+type rig struct {
+	backing *vfs.MemFS
+	srv     *server.Server
+	eng     *Engine
+	meter   *metrics.CPUMeter
+	traffic *metrics.TrafficMeter
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	r := &rig{
+		backing: vfs.NewMemFS(),
+		srv:     server.New(nil),
+		meter:   metrics.NewCPUMeter(metrics.PC),
+		traffic: &metrics.TrafficMeter{},
+	}
+	eng, err := New(Config{
+		Backing:  r.backing,
+		Endpoint: server.NewLoopback(r.srv, r.meter, r.traffic),
+		Meter:    r.meter,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.eng = eng
+	return r
+}
+
+func (r *rig) seed(t *testing.T, path string, content []byte) {
+	t.Helper()
+	r.backing.Create(path)
+	if len(content) > 0 {
+		r.backing.WriteAt(path, 0, content)
+	}
+	r.srv.SeedFile(path, content)
+	if err := r.eng.Prime(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (r *rig) assertSynced(t *testing.T, path string) {
+	t.Helper()
+	local, _ := r.backing.ReadFile(path)
+	remote, ok := r.srv.FileContent(path)
+	if !ok || !bytes.Equal(local, remote) {
+		t.Fatalf("%s diverged (local %d, remote %d, ok=%v)", path, len(local), len(remote), ok)
+	}
+}
+
+func randBytes(seed int64, n int) []byte {
+	p := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(p)
+	return p
+}
+
+func TestWriteFlushOnClose(t *testing.T) {
+	r := newRig(t)
+	fs := r.eng.FS()
+	fs.Create("f")
+	fs.WriteAt("f", 0, []byte("payload"))
+	// Buffered: not on the server yet (create RPC is buffered too).
+	fs.Close("f")
+	if err := r.eng.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	r.assertSynced(t, "f")
+}
+
+func TestAgeBasedWriteBack(t *testing.T) {
+	r := newRig(t)
+	fs := r.eng.FS()
+	fs.Create("f")
+	fs.WriteAt("f", 0, []byte("aging"))
+	r.eng.Tick(time.Second)
+	if _, ok := r.srv.FileContent("f"); ok {
+		t.Fatal("flushed before the write-back delay")
+	}
+	r.eng.Tick(DefaultFlushDelay + time.Second)
+	r.assertSynced(t, "f")
+}
+
+func TestUploadsAllWrittenBytes(t *testing.T) {
+	// NFS has no delta encoding: a full rewrite of a seeded file ships
+	// every byte.
+	r := newRig(t)
+	content := randBytes(1, 256<<10)
+	r.seed(t, "f", content)
+	newContent := append([]byte(nil), content...)
+	newContent[0] ^= 0xff // tiny real change, but the app rewrites all of it
+
+	fs := r.eng.FS()
+	fs.WriteAt("f", 0, newContent)
+	fs.Close("f")
+	if err := r.eng.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	r.assertSynced(t, "f")
+	if up := r.traffic.Uploaded(); up < int64(len(newContent)) {
+		t.Fatalf("uploaded %d < %d: write RPCs must carry all bytes", up, len(newContent))
+	}
+}
+
+func TestJournalAbsorbedByWriteBackCache(t *testing.T) {
+	// Journal created, written and truncated to zero before any flush:
+	// its bytes never reach the wire.
+	r := newRig(t)
+	fs := r.eng.FS()
+	fs.Create("j")
+	fs.WriteAt("j", 0, randBytes(2, 20<<10))
+	fs.Truncate("j", 0)
+	if err := r.eng.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	r.assertSynced(t, "j")
+	if up := r.traffic.Uploaded(); up > 2048 {
+		t.Fatalf("uploaded %d; journal writes not absorbed", up)
+	}
+}
+
+func TestFetchBeforeWrite(t *testing.T) {
+	// A non-aligned small write to an uncached page downloads the page
+	// first [41].
+	r := newRig(t)
+	r.seed(t, "db", randBytes(3, 64<<10))
+	fs := r.eng.FS()
+	if err := fs.WriteAt("db", 10_000, []byte("rowdata")); err != nil {
+		t.Fatal(err)
+	}
+	if down := r.traffic.Downloaded(); down < PageSize {
+		t.Fatalf("downloaded %d; fetch-before-write missing", down)
+	}
+	fs.Close("db")
+	if err := r.eng.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	r.assertSynced(t, "db")
+}
+
+func TestAlignedWriteNeedsNoFetch(t *testing.T) {
+	r := newRig(t)
+	r.seed(t, "db", randBytes(4, 64<<10))
+	base := r.traffic.Downloaded() // Prime's Head metadata
+	fs := r.eng.FS()
+	page := randBytes(5, PageSize)
+	if err := fs.WriteAt("db", 2*PageSize, page); err != nil {
+		t.Fatal(err)
+	}
+	if down := r.traffic.Downloaded() - base; down != 0 {
+		t.Fatalf("downloaded %d for a block-aligned full-page write", down)
+	}
+}
+
+func TestAppendNeedsNoFetch(t *testing.T) {
+	r := newRig(t)
+	r.seed(t, "log", randBytes(6, 8<<10))
+	base := r.traffic.Downloaded() // Prime's Head metadata
+	fs := r.eng.FS()
+	if err := fs.WriteAt("log", 8<<10, []byte("appended")); err != nil {
+		t.Fatal(err)
+	}
+	if down := r.traffic.Downloaded() - base; down != 0 {
+		t.Fatalf("downloaded %d for an append at EOF", down)
+	}
+}
+
+func TestCachedPageFetchedOnce(t *testing.T) {
+	r := newRig(t)
+	r.seed(t, "db", randBytes(7, 64<<10))
+	fs := r.eng.FS()
+	fs.WriteAt("db", 10_000, []byte("a"))
+	first := r.traffic.Downloaded()
+	fs.WriteAt("db", 10_100, []byte("b")) // same page, now cached
+	if r.traffic.Downloaded() != first {
+		t.Fatal("second write to a cached page re-fetched it")
+	}
+}
+
+func TestStaleHandleRefetchAfterRename(t *testing.T) {
+	// Word on NFS: writing t1 and renaming it over the cached f forces
+	// the client to re-read f's content from the server [40].
+	r := newRig(t)
+	content := randBytes(8, 128<<10)
+	r.seed(t, "f", content)
+
+	newContent := randBytes(9, 128<<10)
+	fs := r.eng.FS()
+	fs.Create("t1")
+	fs.WriteAt("t1", 0, newContent)
+	fs.Close("t1")
+
+	upBefore := r.traffic.Uploaded()
+	downBefore := r.traffic.Downloaded()
+	if err := fs.Rename("t1", "f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.eng.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	r.assertSynced(t, "f")
+	_ = upBefore
+	// The refetch downloads roughly the whole new file.
+	if got := r.traffic.Downloaded() - downBefore; got < int64(len(newContent)) {
+		t.Fatalf("downloaded %d after rename; stale-handle refetch missing", got)
+	}
+}
+
+func TestRenameOntoUncachedNameNoRefetch(t *testing.T) {
+	r := newRig(t)
+	fs := r.eng.FS()
+	fs.Create("t1")
+	fs.WriteAt("t1", 0, randBytes(10, 64<<10))
+	fs.Close("t1")
+	down := r.traffic.Downloaded()
+	if err := fs.Rename("t1", "brand-new"); err != nil {
+		t.Fatal(err)
+	}
+	// RPC replies count as (small) downloads; a refetch would be >=64 KB.
+	if got := r.traffic.Downloaded() - down; got > 1024 {
+		t.Fatalf("downloaded %d: rename onto a fresh name must not refetch", got)
+	}
+	if err := r.eng.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	r.assertSynced(t, "brand-new")
+}
+
+func TestUnlinkDropsBufferedWrites(t *testing.T) {
+	r := newRig(t)
+	fs := r.eng.FS()
+	fs.Create("tmp")
+	fs.WriteAt("tmp", 0, randBytes(11, 32<<10))
+	fs.Unlink("tmp")
+	if err := r.eng.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if up := r.traffic.Uploaded(); up > 1024 {
+		t.Fatalf("uploaded %d for a file that died in cache", up)
+	}
+	if _, ok := r.srv.FileContent("tmp"); ok {
+		t.Fatal("dead temp file reached the server")
+	}
+}

@@ -1,0 +1,219 @@
+// Package seafile implements the Seafile-like baseline: content-defined
+// chunking with 1 MB average chunks [3], [22]. On each sync cycle the client
+// re-chunks the modified file (gear scan + chunk checksums, computed on the
+// client and sent to the server, which is why the paper's Table II shows a
+// cheap Seafile server) and uploads only the chunks the server lacks. The
+// large chunk size is what makes Seafile cheap on CPU but expensive on the
+// network — the trade-off Figures 1 and 8 quantify.
+package seafile
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/cdc"
+	"repro/internal/metrics"
+	"repro/internal/version"
+	"repro/internal/vfs"
+	"repro/internal/wire"
+)
+
+// Config configures the engine.
+type Config struct {
+	Backing  vfs.FS
+	Endpoint wire.Endpoint
+	Meter    *metrics.CPUMeter
+	Chunking cdc.Config    // default cdc.SeafileConfig()
+	Debounce time.Duration // default 1 s
+}
+
+// Engine is the Seafile-like client.
+type Engine struct {
+	cfg   Config
+	obs   *vfs.ObserverFS
+	ep    wire.Endpoint
+	meter *metrics.CPUMeter
+
+	dirty   *baseline.Dirty
+	deleted map[string]bool
+	renames []rename
+	// known tracks the chunk hashes resident in the server's bounded store.
+	known *baseline.ChunkTracker
+	// synced tracks paths the cloud currently has.
+	synced map[string]bool
+
+	counter *version.Counter
+	vers    *version.Map
+
+	now     time.Duration
+	pushErr error
+}
+
+type rename struct{ from, to string }
+
+// New builds the engine and registers with the cloud.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Chunking.AvgSize == 0 {
+		cfg.Chunking = cdc.SeafileConfig()
+	}
+	if cfg.Debounce <= 0 {
+		cfg.Debounce = baseline.DefaultDebounce
+	}
+	id, err := cfg.Endpoint.Register()
+	if err != nil {
+		return nil, fmt.Errorf("seafile: register: %w", err)
+	}
+	e := &Engine{
+		cfg:     cfg,
+		obs:     vfs.NewObserverFS(cfg.Backing),
+		ep:      cfg.Endpoint,
+		meter:   cfg.Meter,
+		dirty:   baseline.NewDirty(),
+		deleted: make(map[string]bool),
+		known:   baseline.NewChunkTracker(),
+		synced:  make(map[string]bool),
+		counter: version.NewCounter(id),
+		vers:    version.NewMap(),
+	}
+	e.obs.Subscribe(vfs.ObserverFunc(e.onOp))
+	return e, nil
+}
+
+// FS implements trace.Target.
+func (e *Engine) FS() vfs.FS { return e.obs }
+
+// Prime marks the seed state's chunks as server-known. The server's chunk
+// store must be primed with the same chunks (harness responsibility) so
+// dedup references resolve.
+func (e *Engine) Prime(seed func(c cdc.Chunk, data []byte)) error {
+	paths, err := e.cfg.Backing.List("")
+	if err != nil {
+		return err
+	}
+	for _, p := range paths {
+		content, err := e.cfg.Backing.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		e.synced[p] = true
+		if v, ok, err := e.ep.Head(p); err == nil && ok {
+			e.vers.Set(p, v)
+		}
+		for _, c := range cdc.Split(content, e.cfg.Chunking, nil) {
+			e.known.Add(c.Hash, c.Len)
+			if seed != nil {
+				seed(c, content[c.Off:c.Off+c.Len])
+			}
+		}
+	}
+	return nil
+}
+
+func (e *Engine) onOp(op vfs.Op) {
+	switch op.Kind {
+	case vfs.OpCreate, vfs.OpWrite, vfs.OpTruncate:
+		e.dirty.Mark(op.Path, e.now)
+		delete(e.deleted, op.Path)
+	case vfs.OpLink:
+		e.dirty.Mark(op.Dst, e.now)
+	case vfs.OpRename:
+		if e.synced[op.Path] {
+			e.renames = append(e.renames, rename{from: op.Path, to: op.Dst})
+			e.synced[op.Dst] = true
+			delete(e.synced, op.Path)
+		}
+		e.dirty.Forget(op.Path)
+		e.dirty.Mark(op.Dst, e.now)
+		delete(e.deleted, op.Dst)
+	case vfs.OpUnlink:
+		e.dirty.Forget(op.Path)
+		if e.synced[op.Path] {
+			e.deleted[op.Path] = true
+			delete(e.synced, op.Path)
+		}
+	}
+}
+
+// Tick implements trace.Target.
+func (e *Engine) Tick(now time.Duration) {
+	e.now = now
+	e.flushStructural()
+	for _, p := range baseline.OrderBySize(e.obs.Backing(), e.dirty.Ready(now, e.cfg.Debounce)) {
+		e.syncFile(p)
+	}
+}
+
+// Drain forces everything pending to the cloud.
+func (e *Engine) Drain() error {
+	e.Tick(1<<62 - 1)
+	return e.pushErr
+}
+
+// LastPushError reports the most recent push failure.
+func (e *Engine) LastPushError() error { return e.pushErr }
+
+func (e *Engine) push(nodes ...*wire.Node) {
+	if len(nodes) == 0 {
+		return
+	}
+	reply, err := e.ep.Push(&wire.Batch{Nodes: nodes})
+	if err != nil {
+		e.pushErr = err
+		return
+	}
+	if reply.Err != "" {
+		e.pushErr = fmt.Errorf("seafile: push: %s", reply.Err)
+	}
+}
+
+func (e *Engine) flushStructural() {
+	var nodes []*wire.Node
+	for _, r := range e.renames {
+		n := &wire.Node{Kind: wire.NRename, Path: r.from, Dst: r.to,
+			Base: e.vers.Get(r.from), Ver: e.counter.Next()}
+		e.vers.Rename(r.from, r.to)
+		e.vers.Set(r.to, n.Ver)
+		nodes = append(nodes, n)
+	}
+	e.renames = nil
+	for p := range e.deleted {
+		nodes = append(nodes, &wire.Node{Kind: wire.NUnlink, Path: p, Base: e.vers.Get(p)})
+		e.vers.Delete(p)
+		delete(e.deleted, p)
+	}
+	e.push(nodes...)
+}
+
+// syncFile re-chunks path and uploads missing chunks.
+func (e *Engine) syncFile(path string) {
+	content, err := e.obs.Backing().ReadFile(path)
+	if err != nil {
+		e.dirty.Forget(path)
+		return
+	}
+	e.meter.DiskIO(int64(len(content)))
+	chunks := cdc.Split(content, e.cfg.Chunking, e.meter)
+
+	node := &wire.Node{Kind: wire.NCDC, Path: path}
+	for _, c := range chunks {
+		ref := wire.ChunkRef{Hash: c.Hash, Len: c.Len}
+		if !e.known.Known(c.Hash) {
+			ref.Data = content[c.Off : c.Off+c.Len]
+		}
+		node.Chunks = append(node.Chunks, ref)
+	}
+	node.Base = e.vers.Get(path)
+	node.Ver = e.counter.Next()
+	e.vers.Set(path, node.Ver)
+	e.push(node)
+
+	for _, c := range node.Chunks {
+		if c.Data != nil {
+			// Mirror the server exactly: only carried chunks insert.
+			e.known.Add(c.Hash, c.Len)
+		}
+	}
+	e.synced[path] = true
+	e.dirty.Forget(path)
+}

@@ -1,0 +1,24 @@
+package block
+
+import "crypto/md5"
+
+// StrongSize is the size in bytes of a strong checksum (MD5, as in librsync).
+const StrongSize = md5.Size
+
+// Strong is the strong block checksum: MD5, the digest librsync uses and the
+// one the paper's modified librsync replaces with bitwise comparison when
+// both file versions are local.
+type Strong [StrongSize]byte
+
+// StrongSum computes the strong checksum of data.
+func StrongSum(data []byte) Strong { return md5.Sum(data) }
+
+// Sig is the signature of one fixed-size block of a file: its index within
+// the file, its weak rolling checksum and its strong checksum. A file
+// signature is a []Sig plus the block size and total length, produced by
+// rsync.Signature.
+type Sig struct {
+	Index  int    // block number within the file
+	Weak   uint32 // rolling checksum of the block
+	Strong Strong // MD5 of the block
+}

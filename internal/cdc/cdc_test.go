@@ -1,0 +1,229 @@
+package cdc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/metrics"
+)
+
+// small config keeps unit tests fast.
+func smallConfig() Config {
+	return Config{MinSize: 64, AvgSize: 256, MaxSize: 1024}
+}
+
+func randBytes(seed int64, n int) []byte {
+	p := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(p)
+	return p
+}
+
+func reassemble(data []byte, chunks []Chunk) []byte {
+	var out []byte
+	for _, c := range chunks {
+		out = append(out, data[c.Off:c.Off+c.Len]...)
+	}
+	return out
+}
+
+func TestSplitEmpty(t *testing.T) {
+	if got := Split(nil, smallConfig(), nil); len(got) != 0 {
+		t.Fatalf("empty input produced %d chunks", len(got))
+	}
+}
+
+func TestSplitCoversInput(t *testing.T) {
+	data := randBytes(1, 100_000)
+	chunks := Split(data, smallConfig(), nil)
+	if !bytes.Equal(reassemble(data, chunks), data) {
+		t.Fatal("chunks do not cover input contiguously")
+	}
+	var off int64
+	for i, c := range chunks {
+		if c.Off != off {
+			t.Fatalf("chunk %d off = %d, want %d", i, c.Off, off)
+		}
+		off += c.Len
+	}
+}
+
+func TestSplitRespectsSizeBounds(t *testing.T) {
+	cfg := smallConfig()
+	data := randBytes(2, 200_000)
+	chunks := Split(data, cfg, nil)
+	for i, c := range chunks {
+		if c.Len > int64(cfg.MaxSize) {
+			t.Fatalf("chunk %d len %d exceeds max %d", i, c.Len, cfg.MaxSize)
+		}
+		if i < len(chunks)-1 && c.Len < int64(cfg.MinSize) {
+			t.Fatalf("non-final chunk %d len %d below min %d", i, c.Len, cfg.MinSize)
+		}
+	}
+}
+
+func TestSplitAverageNearConfig(t *testing.T) {
+	cfg := smallConfig()
+	data := randBytes(3, 1<<20)
+	chunks := Split(data, cfg, nil)
+	avg := len(data) / len(chunks)
+	// Expect the empirical average within a loose factor of the target:
+	// min/max clamping skews it, but it must be the right order.
+	if avg < cfg.AvgSize/4 || avg > cfg.AvgSize*4 {
+		t.Fatalf("empirical average %d too far from target %d", avg, cfg.AvgSize)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	data := randBytes(4, 50_000)
+	a := Split(data, smallConfig(), nil)
+	b := Split(data, smallConfig(), nil)
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic chunk count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("chunk %d differs between runs", i)
+		}
+	}
+}
+
+func TestSplitLocalizedEdit(t *testing.T) {
+	// The CDC property: a local edit only changes nearby chunks, so most
+	// chunk hashes survive. This is what gives Seafile any dedup at all.
+	cfg := smallConfig()
+	data := randBytes(5, 1<<19)
+	edited := append([]byte(nil), data...)
+	copy(edited[200_000:200_010], randBytes(6, 10))
+
+	before := Split(data, cfg, nil)
+	after := Split(edited, cfg, nil)
+
+	seen := NewStore()
+	for _, c := range before {
+		seen.Add(c.Hash)
+	}
+	_, missing := seen.MissingBytes(after)
+	// Only chunks around the edit should be new: far less than 10% of file.
+	if missing > int64(len(data))/10 {
+		t.Fatalf("localized edit invalidated %d bytes of chunks (file %d)",
+			missing, len(data))
+	}
+	if missing == 0 {
+		t.Fatal("edit produced no new chunks; hashes cannot be content-derived")
+	}
+}
+
+func TestSplitInsertionShiftResistance(t *testing.T) {
+	// Insert bytes near the start; fixed-size blocking would invalidate
+	// everything after, CDC must keep most chunks.
+	cfg := smallConfig()
+	data := randBytes(7, 1<<19)
+	edited := append(append(append([]byte(nil), data[:1000]...),
+		randBytes(8, 37)...), data[1000:]...)
+
+	seen := NewStore()
+	for _, c := range Split(data, cfg, nil) {
+		seen.Add(c.Hash)
+	}
+	_, missing := seen.MissingBytes(Split(edited, cfg, nil))
+	if missing > int64(len(data))/10 {
+		t.Fatalf("insertion invalidated %d bytes of chunks (file %d)",
+			missing, len(data))
+	}
+}
+
+func TestSplitDefaultsToSeafileConfig(t *testing.T) {
+	data := randBytes(9, 3<<20)
+	chunks := Split(data, Config{}, nil)
+	for _, c := range chunks {
+		if c.Len > int64(SeafileConfig().MaxSize) {
+			t.Fatalf("default config: chunk len %d exceeds Seafile max", c.Len)
+		}
+	}
+}
+
+func TestSplitChargesMeter(t *testing.T) {
+	m := metrics.NewCPUMeter(metrics.PC)
+	data := randBytes(10, 10_000)
+	Split(data, smallConfig(), m)
+	b := m.Breakdown()
+	if b["gear_bytes"] != int64(len(data)) || b["strong_bytes"] != int64(len(data)) {
+		t.Fatalf("meter breakdown wrong: %v", b)
+	}
+}
+
+func TestStore(t *testing.T) {
+	s := NewStore()
+	data := randBytes(11, 10_000)
+	chunks := Split(data, smallConfig(), nil)
+	missing, total := s.MissingBytes(chunks)
+	if len(missing) != len(chunks) || total != int64(len(data)) {
+		t.Fatalf("empty store: missing %d/%d bytes, want all", total, len(data))
+	}
+	for _, c := range chunks {
+		s.Add(c.Hash)
+	}
+	if s.Len() == 0 {
+		t.Fatal("store empty after adds")
+	}
+	missing, total = s.MissingBytes(chunks)
+	if len(missing) != 0 || total != 0 {
+		t.Fatalf("full store: still missing %d chunks / %d bytes", len(missing), total)
+	}
+}
+
+// Property: chunks always partition the input exactly.
+func TestSplitPartitionProperty(t *testing.T) {
+	cfg := Config{MinSize: 8, AvgSize: 32, MaxSize: 128}
+	f := func(data []byte) bool {
+		chunks := Split(data, cfg, nil)
+		return bytes.Equal(reassemble(data, chunks), data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: identical content yields identical chunk hashes regardless of
+// surrounding context (content-defined, not offset-defined) — verified by
+// checking determinism over copies.
+func TestSplitContentAddressedProperty(t *testing.T) {
+	cfg := Config{MinSize: 8, AvgSize: 32, MaxSize: 128}
+	f := func(data []byte) bool {
+		cp := append([]byte(nil), data...)
+		a := Split(data, cfg, nil)
+		b := Split(cp, cfg, nil)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i].Hash != b[i].Hash {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSplitSeafile16MB(b *testing.B) {
+	data := randBytes(12, 16<<20)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Split(data, SeafileConfig(), nil)
+	}
+}
+
+func BenchmarkSplitLBFS16MB(b *testing.B) {
+	data := randBytes(13, 16<<20)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Split(data, LBFSConfig(), nil)
+	}
+}

@@ -1,0 +1,42 @@
+// Package clock provides the logical clock that drives every time-dependent
+// mechanism in the reproduction: relation-table expiry (1–3 s in the paper),
+// the Sync Queue upload delay (~3 s), and trace replay pacing (the paper's
+// traces space writes 10–15 s apart). Using a logical clock instead of wall
+// time makes a multi-minute trace replay instantaneous and — more
+// importantly — makes every experiment deterministic.
+package clock
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock is a monotonic logical clock. The zero value starts at 0. It is safe
+// for concurrent use.
+type Clock struct {
+	now atomic.Int64 // nanoseconds
+}
+
+// Now returns the current logical time.
+func (c *Clock) Now() time.Duration { return time.Duration(c.now.Load()) }
+
+// Advance moves the clock forward by d (negative d is ignored).
+func (c *Clock) Advance(d time.Duration) {
+	if d > 0 {
+		c.now.Add(int64(d))
+	}
+}
+
+// Set jumps the clock to t if t is later than the current time, keeping the
+// clock monotonic.
+func (c *Clock) Set(t time.Duration) {
+	for {
+		cur := c.now.Load()
+		if int64(t) <= cur {
+			return
+		}
+		if c.now.CompareAndSwap(cur, int64(t)) {
+			return
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestZeroValue(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock Now = %v", c.Now())
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	var c Clock
+	c.Advance(3 * time.Second)
+	c.Advance(2 * time.Second)
+	if c.Now() != 5*time.Second {
+		t.Fatalf("Now = %v, want 5s", c.Now())
+	}
+	c.Advance(-time.Hour) // ignored
+	if c.Now() != 5*time.Second {
+		t.Fatal("negative Advance moved the clock")
+	}
+}
+
+func TestSetMonotonic(t *testing.T) {
+	var c Clock
+	c.Set(10 * time.Second)
+	if c.Now() != 10*time.Second {
+		t.Fatalf("Now = %v", c.Now())
+	}
+	c.Set(4 * time.Second) // earlier: ignored
+	if c.Now() != 10*time.Second {
+		t.Fatal("Set moved the clock backwards")
+	}
+	c.Set(11 * time.Second)
+	if c.Now() != 11*time.Second {
+		t.Fatalf("Now = %v", c.Now())
+	}
+}
+
+func TestConcurrentSetKeepsMax(t *testing.T) {
+	var c Clock
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Set(time.Duration(g*1000+i) * time.Millisecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Now() != 7999*time.Millisecond {
+		t.Fatalf("Now = %v, want 7.999s", c.Now())
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/vfs"
+)
+
+func TestDebugSeed7(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	reference := vfs.NewMemFS()
+	r := newRig(t, false)
+	names := []string{"a", "b", "c", "d", "tmp", "f~", "doc"}
+	pick := func() string { return names[rng.Intn(len(names))] }
+	var ops []string
+	apply := func(desc string, do func(fs vfs.FS) error) {
+		engErr := do(r.eng.FS())
+		refErr := do(reference)
+		ops = append(ops, fmt.Sprintf("%s eng=%v ref=%v", desc, engErr, refErr))
+	}
+	now := time.Duration(0)
+	for i := 0; i < 400; i++ {
+		switch rng.Intn(10) {
+		case 0, 1:
+			p := pick()
+			apply("create "+p, func(fs vfs.FS) error { return fs.Create(p) })
+		case 2, 3, 4, 5:
+			p := pick()
+			data := make([]byte, 1+rng.Intn(8<<10))
+			rng.Read(data)
+			off := int64(rng.Intn(32 << 10))
+			apply(fmt.Sprintf("write %s off=%d len=%d", p, off, len(data)), func(fs vfs.FS) error { return fs.WriteAt(p, off, data) })
+		case 6:
+			p := pick()
+			sz := int64(rng.Intn(16 << 10))
+			apply(fmt.Sprintf("trunc %s %d", p, sz), func(fs vfs.FS) error { return fs.Truncate(p, sz) })
+		case 7:
+			src, dst := pick(), pick()
+			if src != dst {
+				apply(fmt.Sprintf("rename %s %s", src, dst), func(fs vfs.FS) error { return fs.Rename(src, dst) })
+			}
+		case 8:
+			p := pick()
+			apply("unlink "+p, func(fs vfs.FS) error { return fs.Unlink(p) })
+		case 9:
+			p := pick()
+			apply("close "+p, func(fs vfs.FS) error { return fs.Close(p) })
+		}
+		if rng.Intn(4) == 0 {
+			now += time.Duration(rng.Intn(5000)) * time.Millisecond
+			r.clk.Set(now)
+			r.eng.Tick(r.clk.Now())
+			ops = append(ops, fmt.Sprintf("tick %v", now))
+		}
+		// check convergence point for file b after drain-equivalent? skip
+	}
+	r.clk.Advance(time.Minute)
+	r.eng.Tick(r.clk.Now())
+	r.eng.Drain()
+	t.Logf("stats: %+v conflicts=%v lastPush=%v", r.eng.Stats(), r.eng.ConflictFiles(), r.eng.LastPushError())
+	want, _ := reference.ReadFile("b")
+	got, ok := r.srv.FileContent("b")
+	if !bytes.Equal(want, got) {
+		// print last ops touching b
+		n := 0
+		for i := len(ops) - 1; i >= 0 && n < 40; i-- {
+			t.Log(ops[i])
+			n++
+		}
+		t.Fatalf("b: cloud %d (ok=%v) != ref %d", len(got), ok, len(want))
+	}
+}

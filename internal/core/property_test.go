@@ -1,0 +1,172 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/vfs"
+	"repro/internal/wire"
+)
+
+// traceEP wraps an endpoint and records every pushed node, so a convergence
+// failure dumps the exact upload history.
+type traceEP struct {
+	wire.Endpoint
+	log *[]string
+}
+
+func (l traceEP) Push(b *wire.Batch) (*wire.PushReply, error) {
+	for _, n := range b.Nodes {
+		*l.log = append(*l.log, fmt.Sprintf("PUSH %s %s dst=%s base=%v ver=%v payload=%d atomic=%v",
+			n.Kind, n.Path, n.Dst, n.Base, n.Ver, n.PayloadBytes(), b.Atomic))
+	}
+	rep, err := l.Endpoint.Push(b)
+	if rep != nil && (rep.Err != "" || len(rep.Conflicts) > 0) {
+		*l.log = append(*l.log, fmt.Sprintf("REPLY err=%q conflicts=%v", rep.Err, rep.Conflicts))
+	}
+	return rep, err
+}
+
+// TestRandomOpsConvergence is the system-level property test: an arbitrary
+// operation sequence issued through the DeltaCFS engine must leave the cloud
+// bit-identical to the same sequence applied to a plain file system —
+// whatever combination of write batching, delta triggering, node dropping,
+// backindex grouping and trash preservation the sequence tickles.
+func TestRandomOpsConvergence(t *testing.T) {
+	var seeds []int64
+	for i := int64(1); i <= 24; i++ {
+		seeds = append(seeds, i)
+	}
+	if testing.Short() {
+		seeds = seeds[:4]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runRandomOps(t, seed, 400)
+		})
+	}
+}
+
+func runRandomOps(t *testing.T, seed int64, nOps int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+
+	reference := vfs.NewMemFS()
+	r := newRig(t, false)
+	var oplog []string
+	// Rebuild the engine over a push-tracing endpoint so failures are
+	// diagnosable from the upload history.
+	ep := traceEP{Endpoint: server.NewLoopback(r.srv, r.meter, r.traffic), log: &oplog}
+	eng, err := New(Config{Backing: r.backing, Endpoint: ep, Clock: r.clk, Meter: r.meter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.eng = eng
+	dump := func() {
+		start := len(oplog) - 10000
+		if start < 0 {
+			start = 0
+		}
+		for _, l := range oplog[start:] {
+			t.Log(l)
+		}
+	}
+
+	// A small namespace so operations collide and patterns emerge.
+	names := []string{"a", "b", "c", "d", "tmp", "f~", "doc"}
+	pick := func() string { return names[rng.Intn(len(names))] }
+
+	// Mirror every successful engine op onto the reference FS. Outcomes
+	// (success/failure) must agree, except where DeltaCFS semantics differ
+	// intentionally (none do at the vfs level).
+	apply := func(desc string, do func(fs vfs.FS) error) {
+		engErr := do(r.eng.FS())
+		refErr := do(reference)
+		oplog = append(oplog, fmt.Sprintf("OP %s err=%v", desc, engErr))
+		if (engErr == nil) != (refErr == nil) {
+			t.Fatalf("divergent outcome: engine=%v reference=%v", engErr, refErr)
+		}
+	}
+
+	now := time.Duration(0)
+	for i := 0; i < nOps; i++ {
+		switch rng.Intn(10) {
+		case 0, 1:
+			p := pick()
+			apply("create "+p, func(fs vfs.FS) error { return fs.Create(p) })
+		case 2, 3, 4, 5:
+			p := pick()
+			data := make([]byte, 1+rng.Intn(8<<10))
+			rng.Read(data)
+			off := int64(rng.Intn(32 << 10))
+			apply(fmt.Sprintf("write %s off=%d len=%d", p, off, len(data)),
+				func(fs vfs.FS) error { return fs.WriteAt(p, off, data) })
+		case 6:
+			p := pick()
+			sz := int64(rng.Intn(16 << 10))
+			apply(fmt.Sprintf("trunc %s %d", p, sz),
+				func(fs vfs.FS) error { return fs.Truncate(p, sz) })
+		case 7:
+			src, dst := pick(), pick()
+			if src != dst {
+				apply(fmt.Sprintf("rename %s %s", src, dst),
+					func(fs vfs.FS) error { return fs.Rename(src, dst) })
+			}
+		case 8:
+			p := pick()
+			apply("unlink "+p, func(fs vfs.FS) error { return fs.Unlink(p) })
+		case 9:
+			p := pick()
+			apply("close "+p, func(fs vfs.FS) error { return fs.Close(p) })
+		}
+		if rng.Intn(4) == 0 {
+			now += time.Duration(rng.Intn(5000)) * time.Millisecond
+			r.clk.Set(now)
+			r.eng.Tick(r.clk.Now())
+			oplog = append(oplog, fmt.Sprintf("TICK %v", now))
+		}
+	}
+	r.clk.Advance(time.Minute)
+	r.eng.Tick(r.clk.Now())
+	if err := r.eng.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.eng.LastPushError(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every reference file must exist on the cloud with identical content,
+	// and the cloud must hold nothing else (modulo trash bookkeeping,
+	// which never uploads).
+	refFiles, err := reference.List("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range refFiles {
+		want, _ := reference.ReadFile(p)
+		got, ok := r.srv.FileContent(p)
+		if !ok {
+			dump()
+			t.Fatalf("cloud missing %s (%d bytes expected)", p, len(want))
+		}
+		if !bytes.Equal(got, want) {
+			dump()
+			t.Fatalf("%s: cloud %d bytes != reference %d bytes", p, len(got), len(want))
+		}
+	}
+	refSet := make(map[string]bool, len(refFiles))
+	for _, p := range refFiles {
+		refSet[p] = true
+	}
+	for _, p := range r.srv.Files() {
+		if !refSet[p] && !strings.HasPrefix(p, ".deltacfs/") {
+			t.Fatalf("cloud has unexpected file %s", p)
+		}
+	}
+}

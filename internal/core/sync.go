@@ -1,0 +1,392 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/rsync"
+	"repro/internal/syncqueue"
+	"repro/internal/version"
+	"repro/internal/wire"
+)
+
+// pollInterval rate-limits forwarding polls to one per logical second.
+const pollInterval = time.Second
+
+// Tick advances background processing to logical time now: relation-table
+// expiry (with trash cleanup), pack-time delta decisions for aged open
+// write nodes, delayed uploads, and forwarded-update polling. The trace
+// replayer calls this after every clock advance.
+func (e *Engine) Tick(now time.Duration) {
+	for _, ent := range e.rel.Expire(now) {
+		if ent.FromUnlink {
+			_ = e.backing.Unlink(ent.Dst)
+		}
+	}
+	for _, path := range e.q.OpenReady(now) {
+		e.packDecision(path)
+	}
+	for _, b := range e.q.PopReady(now) {
+		e.pushBatch(b)
+	}
+	if now-e.lastPoll >= pollInterval {
+		e.lastPoll = now
+		e.pollForwarded()
+	}
+}
+
+// Drain forces everything pending onto the cloud (end of trace / shutdown).
+func (e *Engine) Drain() error {
+	for _, path := range e.q.OpenReady(1<<62 - 1) {
+		e.packDecision(path)
+	}
+	for _, b := range e.q.Drain() {
+		e.pushBatch(b)
+	}
+	e.pollForwarded()
+	return nil
+}
+
+// packDecision runs when a write node for path stops growing (close,
+// upload selection): if a relation-triggered delta is pending, or the
+// in-place update rewrote more than the threshold fraction of the file,
+// replace the buffered raw writes with a local rsync delta (§III-A).
+func (e *Engine) packDecision(path string) {
+	if e.cfg.DisableDelta {
+		e.undo.Reset(path)
+		return
+	}
+	if pd, ok := e.pendingDelta[path]; ok {
+		e.resolvePendingDelta(path, pd)
+		return
+	}
+	e.maybeInPlaceDelta(path)
+	// The file's state at pack time becomes the base for the next update
+	// cycle.
+	e.undo.Reset(path)
+}
+
+// resolvePendingDelta finishes the unlink-then-rewrite pattern: the file was
+// deleted (preserved in trash) and re-created; its buffered unlink/create/
+// write nodes collapse into one delta against the version the cloud still
+// holds.
+func (e *Engine) resolvePendingDelta(path string, pd pendingBase) {
+	defer func() {
+		delete(e.pendingDelta, path)
+		_ = e.backing.Unlink(pd.basePath)
+		e.undo.Reset(path)
+	}()
+
+	// The optimization collapses exactly the unlink/create(/write) triple
+	// of this rewrite cycle. Any other pending node touching the path —
+	// an older cycle's leftovers, a rename onto it, an interleaved
+	// truncate — voids the invariant that the cloud's content at the
+	// collapsed position is the pre-unlink version, so ship raw instead.
+	kinds := e.q.PendingKinds(path)
+	validTriple := len(kinds) == 3 && kinds[0] == syncqueue.KindUnlink &&
+		kinds[1] == syncqueue.KindCreate && kinds[2] == syncqueue.KindWrite
+	validPair := len(kinds) == 2 && kinds[0] == syncqueue.KindUnlink &&
+		kinds[1] == syncqueue.KindCreate
+	if !validTriple && !validPair {
+		return
+	}
+
+	newContent, err := e.backing.ReadFile(path)
+	if err != nil {
+		return
+	}
+	baseContent, err := e.backing.ReadFile(pd.basePath)
+	if err != nil {
+		return
+	}
+	e.meter.DiskIO(int64(len(newContent)) + int64(len(baseContent)))
+
+	// The unlink must still be queued, or the cloud has already deleted
+	// the file and a delta against it cannot apply.
+	if !e.q.RemoveRecent(path, syncqueue.KindUnlink) {
+		return
+	}
+	// Without the create node the cloud never truncates the file, so the
+	// delta (whose target is the full new content) lands on the old
+	// version — exactly what DeltaLocal encodes against.
+	if !e.q.RemoveRecent(path, syncqueue.KindCreate) {
+		return // unlink removed alone is still correct: create+write follow raw
+	}
+	d := rsync.DeltaLocal(baseContent, newContent, e.cfg.BlockSize, e.meter)
+	node := &syncqueue.Node{
+		Kind:  syncqueue.KindDelta,
+		Path:  path,
+		Delta: d,
+		At:    e.clk.Now(),
+	}
+	node.Ver = e.counter.Next()
+	if !e.q.ReplaceWithDelta(path, node) {
+		// The file was re-created but never written (no write node to
+		// replace). The unlink and create are already removed, so the
+		// delta — whose base is the cloud's still-current content — must
+		// be appended, or the update would vanish entirely.
+		e.q.Append(node)
+	}
+	// The cloud's version of path is still the pre-unlink version.
+	node.Base = pd.baseVer
+	e.vers.Set(path, node.Ver)
+	e.stats.DeltaTriggers++
+}
+
+// maybeInPlaceDelta applies the §III-A extension: when an in-place update
+// has overwritten more than InPlaceThreshold of the file, reconstruct the
+// old version from the undo log and ship a delta if it is smaller than the
+// buffered raw writes.
+func (e *Engine) maybeInPlaceDelta(path string) {
+	oldSize, tracked := e.undo.OldSize(path)
+	if !tracked || oldSize <= 0 {
+		return
+	}
+	preserved := e.undo.PreservedBytes(path)
+	if float64(preserved) < e.cfg.InPlaceThreshold*float64(oldSize) {
+		return
+	}
+	if !e.q.OnlyWriteNodePending(path) {
+		return
+	}
+	payload := e.q.WritePayload(path)
+	if payload == 0 {
+		return
+	}
+	current, err := e.backing.ReadFile(path)
+	if err != nil {
+		return
+	}
+	old, ok := e.undo.OldVersion(path, current)
+	if !ok {
+		return
+	}
+	e.meter.DiskIO(int64(len(current)))
+	d := rsync.DeltaLocal(old, current, e.cfg.BlockSize, e.meter)
+	if d.WireSize() >= payload {
+		return // raw writes are already the cheaper encoding
+	}
+	node := &syncqueue.Node{
+		Kind:  syncqueue.KindDelta,
+		Path:  path,
+		Delta: d,
+		At:    e.clk.Now(),
+	}
+	node.Ver = e.counter.Next()
+	if e.q.ReplaceWithDelta(path, node) {
+		e.vers.Set(path, node.Ver)
+		e.stats.InPlaceDeltas++
+	}
+}
+
+// kindToWire maps queue node kinds onto wire node kinds.
+var kindToWire = map[syncqueue.Kind]wire.NodeKind{
+	syncqueue.KindCreate:   wire.NCreate,
+	syncqueue.KindWrite:    wire.NWrite,
+	syncqueue.KindTruncate: wire.NTruncate,
+	syncqueue.KindRename:   wire.NRename,
+	syncqueue.KindLink:     wire.NLink,
+	syncqueue.KindUnlink:   wire.NUnlink,
+	syncqueue.KindMkdir:    wire.NMkdir,
+	syncqueue.KindRmdir:    wire.NRmdir,
+	syncqueue.KindDelta:    wire.NDelta,
+}
+
+// pushBatch converts a queue batch to wire form and uploads it.
+func (e *Engine) pushBatch(b syncqueue.Batch) {
+	wb := &wire.Batch{Atomic: b.Atomic, Nodes: make([]*wire.Node, 0, len(b.Nodes))}
+	for _, n := range b.Nodes {
+		wn := &wire.Node{
+			Kind:     kindToWire[n.Kind],
+			Path:     n.Path,
+			Dst:      n.Dst,
+			Size:     n.Size,
+			Delta:    n.Delta,
+			BasePath: n.BasePath,
+			Base:     n.Base,
+			Ver:      n.Ver,
+		}
+		for _, ext := range n.Extents {
+			wn.Extents = append(wn.Extents, wire.Extent{Off: ext.Off, Data: ext.Data})
+		}
+		wb.Nodes = append(wb.Nodes, wn)
+	}
+	reply, err := e.ep.Push(wb)
+	if err != nil {
+		e.lastPushErr = err
+		return
+	}
+	e.stats.UploadedBatches++
+	e.stats.UploadedNodes += len(b.Nodes)
+	for i, st := range reply.Statuses {
+		if st == wire.StatusConflict {
+			e.stats.Conflicts++
+			_ = i
+		}
+	}
+	e.conflictFiles = append(e.conflictFiles, reply.Conflicts...)
+	for _, n := range b.Nodes {
+		if !e.q.HasPendingWrite(n.Path) && !e.q.HasOpen(n.Path) {
+			e.clearDirty(n.Path)
+		}
+	}
+}
+
+// LastPushError returns the most recent upload failure, if any.
+func (e *Engine) LastPushError() error { return e.lastPushErr }
+
+// pollForwarded applies updates other clients pushed to shared files
+// (§III-D: the cloud forwards incremental data verbatim).
+func (e *Engine) pollForwarded() {
+	batches, err := e.ep.Poll()
+	if err != nil {
+		return
+	}
+	for _, b := range batches {
+		if b.Client == e.clientID {
+			continue // our own batch reflected back (defensive)
+		}
+		e.applyRemote(b)
+	}
+}
+
+// applyRemote applies one forwarded batch to the local tree. A forwarded
+// node whose base version does not match our local version means we have
+// concurrent local edits: the forwarded content is materialized as a
+// conflict file and the user resolves it (§III-C/§III-D).
+func (e *Engine) applyRemote(b *wire.Batch) {
+	for _, n := range b.Nodes {
+		if err := e.applyRemoteNode(n); err != nil {
+			continue
+		}
+	}
+}
+
+func (e *Engine) applyRemoteNode(n *wire.Node) error {
+	switch n.Kind {
+	case wire.NMkdir:
+		return e.backing.Mkdir(n.Path)
+	case wire.NRmdir:
+		return e.backing.Rmdir(n.Path)
+	}
+	if !version.CheckBase(e.vers.Get(n.Path), n.Base) {
+		e.stats.RemoteConflicts++
+		name := fmt.Sprintf("%s.conflict-%d-%d", n.Path, n.Ver.Client, n.Ver.Count)
+		e.conflictFiles = append(e.conflictFiles, name)
+		if content, err := e.remoteContent(n); err == nil && content != nil {
+			_ = e.backing.Create(name)
+			_ = e.backing.WriteAt(name, 0, content)
+		}
+		return nil
+	}
+	switch n.Kind {
+	case wire.NCreate:
+		if err := e.backing.Create(n.Path); err != nil {
+			return err
+		}
+	case wire.NWrite:
+		for _, ext := range n.Extents {
+			if err := e.backing.WriteAt(n.Path, ext.Off, ext.Data); err != nil {
+				return err
+			}
+		}
+	case wire.NTruncate:
+		if err := e.backing.Truncate(n.Path, n.Size); err != nil {
+			return err
+		}
+	case wire.NRename:
+		if err := e.backing.Rename(n.Path, n.Dst); err != nil {
+			return err
+		}
+		e.vers.Rename(n.Path, n.Dst)
+		e.vers.Set(n.Dst, n.Ver)
+		if e.cfg.Checksums {
+			_ = e.integ.Rename(n.Path, n.Dst)
+		}
+		e.stats.RemoteApplied++
+		return nil
+	case wire.NLink:
+		if err := e.backing.Link(n.Path, n.Dst); err != nil {
+			return err
+		}
+		e.vers.Set(n.Dst, n.Ver)
+		e.stats.RemoteApplied++
+		return nil
+	case wire.NUnlink:
+		if err := e.backing.Unlink(n.Path); err != nil {
+			return err
+		}
+		e.vers.Delete(n.Path)
+		if e.cfg.Checksums {
+			_ = e.integ.Remove(n.Path)
+		}
+		e.stats.RemoteApplied++
+		return nil
+	case wire.NDelta, wire.NFull:
+		content, err := e.remoteContent(n)
+		if err != nil {
+			return err
+		}
+		if err := e.replaceLocal(n.Path, content); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("core: forwarded node kind %v unsupported", n.Kind)
+	}
+	if !n.Ver.IsZero() {
+		e.vers.Set(n.Path, n.Ver)
+	}
+	if e.cfg.Checksums {
+		content, err := e.backing.ReadFile(n.Path)
+		if err == nil {
+			_ = e.integ.SetFile(n.Path, content)
+		}
+	}
+	e.stats.RemoteApplied++
+	return nil
+}
+
+// remoteContent materializes the content a forwarded node produces.
+func (e *Engine) remoteContent(n *wire.Node) ([]byte, error) {
+	switch n.Kind {
+	case wire.NFull:
+		return n.Full, nil
+	case wire.NDelta:
+		basePath := n.BasePath
+		if basePath == "" {
+			basePath = n.Path
+		}
+		base, err := e.backing.ReadFile(basePath)
+		if err != nil {
+			base = nil
+		}
+		return rsync.Patch(base, n.Delta, e.meter)
+	case wire.NWrite:
+		base, err := e.backing.ReadFile(n.Path)
+		if err != nil {
+			base = nil
+		}
+		buf := append([]byte(nil), base...)
+		for _, ext := range n.Extents {
+			if end := ext.Off + int64(len(ext.Data)); end > int64(len(buf)) {
+				grown := make([]byte, end)
+				copy(grown, buf)
+				buf = grown
+			}
+			copy(buf[ext.Off:], ext.Data)
+		}
+		return buf, nil
+	}
+	return nil, nil
+}
+
+// replaceLocal overwrites path's full content in the backing store.
+func (e *Engine) replaceLocal(path string, content []byte) error {
+	if err := e.backing.Create(path); err != nil {
+		return err
+	}
+	if len(content) == 0 {
+		return nil
+	}
+	return e.backing.WriteAt(path, 0, content)
+}

@@ -1,0 +1,236 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Matrix holds the results of the main evaluation sweep: every PC system on
+// every trace, plus the mobile systems, measured in one pass (the paper:
+// "During measuring CPU consumption of different solutions using various
+// traces, we also measured their data transmission"). Table II, Fig 8 and
+// Fig 9 are different projections of this matrix.
+type Matrix struct {
+	Scale  float64
+	PC     []*Result // PCSystems x Traces
+	Mobile []*Result // MobileSystems x Traces
+}
+
+// RunMatrix executes the full sweep at the given trace scale.
+func RunMatrix(scale float64) (*Matrix, error) {
+	m := &Matrix{Scale: scale}
+	for _, tr := range Traces(scale) {
+		for _, sys := range PCSystems {
+			r, err := RunTrace(sys, tr, metrics.PC)
+			if err != nil {
+				return nil, err
+			}
+			m.PC = append(m.PC, r)
+		}
+	}
+	for _, tr := range Traces(scale) {
+		for _, sys := range MobileSystems {
+			r, err := RunTrace(sys, tr, metrics.Mobile)
+			if err != nil {
+				return nil, err
+			}
+			m.Mobile = append(m.Mobile, r)
+		}
+	}
+	return m, nil
+}
+
+// find returns the result for (sys, trace) in rs, or nil.
+func find(rs []*Result, sys System, traceName string) *Result {
+	for _, r := range rs {
+		if r.System == sys && r.Trace == traceName {
+			return r
+		}
+	}
+	return nil
+}
+
+var traceOrder = []string{"append", "random", "word", "wechat"}
+var traceTitle = map[string]string{
+	"append": "Append write", "random": "Random write",
+	"word": "Word trace", "wechat": "WeChat trace",
+}
+
+// PrintTable2 renders the CPU-usage table in the paper's Table II layout.
+// Dropbox's server is opaque (no server column); NFS client CPU runs in
+// kernel callbacks (not measured) — both printed as "-", as in the paper.
+func (m *Matrix) PrintTable2(w io.Writer) {
+	fmt.Fprintln(w, "TABLE II: CPU USAGE OF DIFFERENT SYNC SOLUTIONS (unit: CPU tick)")
+	fmt.Fprintf(w, "trace scale %.2f; first four rows PC, last two rows mobile\n", m.Scale)
+	tw := tabwriter.NewWriter(w, 4, 0, 2, ' ', 0)
+	fmt.Fprint(tw, "Solutions")
+	for _, tn := range traceOrder {
+		fmt.Fprintf(tw, "\t%s Cli\tSrv", traceTitle[tn])
+	}
+	fmt.Fprintln(tw)
+	for _, sys := range PCSystems {
+		fmt.Fprint(tw, string(sys))
+		for _, tn := range traceOrder {
+			r := find(m.PC, sys, tn)
+			if r == nil {
+				fmt.Fprint(tw, "\t-\t-")
+				continue
+			}
+			cli := fmt.Sprint(r.ClientTicks)
+			srv := fmt.Sprint(r.ServerTicks)
+			if sys == SysDropbox {
+				srv = "-" // opaque, as in the paper
+			}
+			if sys == SysNFS {
+				cli = "-" // kernel callbacks, as in the paper
+			}
+			fmt.Fprintf(tw, "\t%s\t%s", cli, srv)
+		}
+		fmt.Fprintln(tw)
+	}
+	for _, sys := range MobileSystems {
+		fmt.Fprintf(tw, "%s (mobile)", sys)
+		for _, tn := range traceOrder {
+			r := find(m.Mobile, sys, tn)
+			if r == nil {
+				fmt.Fprint(tw, "\t-\t-")
+				continue
+			}
+			srv := fmt.Sprint(r.ServerTicks)
+			if sys == SysDropsync {
+				srv = "-"
+			}
+			fmt.Fprintf(tw, "\t%d\t%s", r.ClientTicks, srv)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// PrintFig8 renders the PC network-traffic series (one sub-plot per trace).
+func (m *Matrix) PrintFig8(w io.Writer) {
+	fmt.Fprintln(w, "FIG 8: NETWORK TRAFFIC OF EXPERIMENTS ON PC (MB)")
+	fmt.Fprintf(w, "trace scale %.2f\n", m.Scale)
+	tw := tabwriter.NewWriter(w, 4, 0, 2, ' ', 0)
+	for i, tn := range traceOrder {
+		fmt.Fprintf(tw, "(%c) %s\tupload\tdownload\n", 'a'+i, traceTitle[tn])
+		for _, sys := range PCSystems {
+			r := find(m.PC, sys, tn)
+			if r == nil {
+				continue
+			}
+			fmt.Fprintf(tw, "  %s\t%.2f\t%.2f\n", sys, r.UploadMB, r.DownloadMB)
+		}
+	}
+	tw.Flush()
+}
+
+// PrintFig9 renders the mobile network-traffic series.
+func (m *Matrix) PrintFig9(w io.Writer) {
+	fmt.Fprintln(w, "FIG 9: NETWORK TRAFFIC OF EXPERIMENTS ON MOBILE (MB)")
+	fmt.Fprintf(w, "trace scale %.2f\n", m.Scale)
+	tw := tabwriter.NewWriter(w, 4, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "(a) upload\tappend\trandom\tword\twechat")
+	for _, sys := range MobileSystems {
+		fmt.Fprintf(tw, "  %s", sys)
+		for _, tn := range traceOrder {
+			r := find(m.Mobile, sys, tn)
+			fmt.Fprintf(tw, "\t%.2f", r.UploadMB)
+		}
+		fmt.Fprintln(tw)
+	}
+	fmt.Fprintln(tw, "(b) download\tappend\trandom\tword\twechat")
+	for _, sys := range MobileSystems {
+		fmt.Fprintf(tw, "  %s", sys)
+		for _, tn := range traceOrder {
+			r := find(m.Mobile, sys, tn)
+			fmt.Fprintf(tw, "\t%.2f", r.DownloadMB)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// Fig1Result holds one client-resource measurement of Fig 1.
+type Fig1Result struct {
+	System   System
+	Workload string // "word" (12 MB, 23 saves) or "wechat" (130 MB SQLite)
+	Ticks    int64
+	UploadMB float64
+}
+
+// Fig1 measures client resource consumption for the motivation figure:
+// Dropbox vs Seafile on the Fig 1 Word and SQLite workloads.
+func Fig1(scale float64) ([]Fig1Result, error) {
+	workloads := []struct {
+		name string
+		tr   *trace.Trace
+	}{
+		{"word", trace.Word(trace.Fig1WordConfig().Scaled(scale))},
+		{"wechat", trace.WeChat(trace.Fig1WeChatConfig().Scaled(scale))},
+	}
+	var out []Fig1Result
+	for _, wl := range workloads {
+		for _, sys := range []System{SysDropbox, SysSeafile} {
+			r, err := RunTrace(sys, wl.tr, metrics.PC)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Fig1Result{
+				System: sys, Workload: wl.name,
+				Ticks: r.ClientTicks, UploadMB: r.UploadMB,
+			})
+		}
+	}
+	return out, nil
+}
+
+// PrintFig1 renders the Fig 1 measurements.
+func PrintFig1(w io.Writer, rs []Fig1Result) {
+	fmt.Fprintln(w, "FIG 1: CLIENT RESOURCE CONSUMPTION (Dropbox vs Seafile)")
+	tw := tabwriter.NewWriter(w, 4, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tsystem\tclient CPU ticks\tupload MB")
+	for _, r := range rs {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.2f\n", r.Workload, r.System, r.Ticks, r.UploadMB)
+	}
+	tw.Flush()
+}
+
+// Fig2Result summarizes Dropsync syncing WeChat data on mobile.
+type Fig2Result struct {
+	UploadMB   float64
+	DownloadMB float64
+	UpdateMB   float64
+	TUE        float64
+	Ticks      int64
+	Cycles     int64
+}
+
+// Fig2 reproduces the Dropsync/WeChat motivation measurement.
+func Fig2(scale float64) (*Fig2Result, error) {
+	tr := trace.WeChat(trace.PaperWeChatConfig().Scaled(scale))
+	r, err := RunTrace(SysDropsync, tr, metrics.Mobile)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig2Result{
+		UploadMB:   r.UploadMB,
+		DownloadMB: r.DownloadMB,
+		UpdateMB:   float64(r.UpdateBytes) / (1 << 20),
+		TUE:        r.TUE,
+		Ticks:      r.ClientTicks,
+	}, nil
+}
+
+// PrintFig2 renders the Fig 2 measurement.
+func PrintFig2(w io.Writer, r *Fig2Result) {
+	fmt.Fprintln(w, "FIG 2: SYNCHRONIZING WECHAT DATA THROUGH DROPSYNC (mobile)")
+	fmt.Fprintf(w, "  total traffic  %.2f MB up / %.2f MB down\n", r.UploadMB, r.DownloadMB)
+	fmt.Fprintf(w, "  data update    %.2f MB\n", r.UpdateMB)
+	fmt.Fprintf(w, "  TUE            %.1f\n", r.TUE)
+	fmt.Fprintf(w, "  client CPU     %d ticks\n", r.Ticks)
+}

@@ -1,0 +1,325 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/baseline/dropbox"
+	"repro/internal/baseline/seafile"
+	"repro/internal/cdc"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/server"
+	"repro/internal/vfs"
+	"repro/internal/wire"
+)
+
+// ReliabilityResult is one row of Table IV.
+type ReliabilityResult struct {
+	System System
+	// Corrupted: what happens to disk-corrupted data — "upload" (propagated
+	// to the cloud) or "detect".
+	Corrupted string
+	// Inconsistent: what happens to crash-inconsistent data — "upload/omit"
+	// or "detect".
+	Inconsistent string
+	// Causal: is the update order preserved when uploading ("Y"/"N").
+	Causal string
+}
+
+// relRig is a fresh (system, server) pair for a reliability scenario.
+type relRig struct {
+	backing *vfs.MemFS
+	srv     *server.Server
+	clk     *clock.Clock
+	tgt     target
+	fs      vfs.FS
+	eng     *core.Engine // non-nil for DeltaCFS
+	mk      func(r *relRig) error
+}
+
+func newRelRig(sys System) (*relRig, error) {
+	r := &relRig{
+		backing: vfs.NewMemFS(),
+		srv:     server.New(nil),
+		clk:     &clock.Clock{},
+	}
+	mk := func(r *relRig) error {
+		ep := server.NewLoopback(r.srv, nil, nil)
+		switch sys {
+		case SysDeltaCFS:
+			eng, err := core.New(core.Config{
+				Backing: r.backing, Endpoint: ep, Clock: r.clk, Checksums: true,
+			})
+			if err != nil {
+				return err
+			}
+			if err := eng.PrimeChecksums(); err != nil {
+				return err
+			}
+			r.eng, r.tgt = eng, eng
+		case SysDropbox:
+			e, err := dropbox.New(dropbox.Config{Backing: r.backing, Endpoint: ep})
+			if err != nil {
+				return err
+			}
+			if err := e.Prime(r.srv.SeedChunk); err != nil {
+				return err
+			}
+			r.eng, r.tgt = nil, e
+		case SysSeafile:
+			e, err := seafile.New(seafile.Config{Backing: r.backing, Endpoint: ep,
+				Chunking: cdc.Config{MinSize: 16 << 10, AvgSize: 64 << 10, MaxSize: 256 << 10}})
+			if err != nil {
+				return err
+			}
+			if err := e.Prime(func(c cdc.Chunk, data []byte) { r.srv.SeedChunk(c.Hash, data) }); err != nil {
+				return err
+			}
+			r.eng, r.tgt = nil, e
+		default:
+			return fmt.Errorf("reliability: unsupported system %s", sys)
+		}
+		r.fs = r.tgt.FS()
+		return nil
+	}
+	r.mk = mk
+	if err := mk(r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// restart models a client restart: the engine process is replaced; only its
+// persistent state (for DeltaCFS, the checksum kvstore would persist — the
+// scenario keeps the same engine and drops volatile state instead; for the
+// baselines a fresh engine re-primed from local+cloud state).
+func (r *relRig) restart() error {
+	if r.eng != nil {
+		r.eng.DropVolatileState()
+		return nil
+	}
+	return r.mk(r)
+}
+
+func (r *relRig) settle() error {
+	r.clk.Advance(time.Minute)
+	r.tgt.Tick(r.clk.Now())
+	if err := r.tgt.Drain(); err != nil {
+		return err
+	}
+	return r.tgt.LastPushError()
+}
+
+// corruptionScenario reproduces the paper's data-corruption experiment:
+// flip a bit in a synced file, restart the client, write one byte, and see
+// whether the corruption reaches the cloud.
+func corruptionScenario(sys System) (string, error) {
+	r, err := newRelRig(sys)
+	if err != nil {
+		return "", err
+	}
+	content := make([]byte, 64<<10)
+	rand.New(rand.NewSource(42)).Read(content)
+	if err := r.fs.Create("victim"); err != nil {
+		return "", err
+	}
+	if err := r.fs.WriteAt("victim", 0, content); err != nil {
+		return "", err
+	}
+	if err := r.fs.Close("victim"); err != nil {
+		return "", err
+	}
+	if err := r.settle(); err != nil {
+		return "", err
+	}
+
+	const corruptOff = 20 << 10
+	if err := faultinject.FlipBit(r.backing, "victim", corruptOff); err != nil {
+		return "", err
+	}
+	if err := r.restart(); err != nil {
+		return "", err
+	}
+	// Touch the file with a 1-byte write, as the paper does.
+	if err := r.fs.WriteAt("victim", 100, []byte{0x5A}); err != nil {
+		return "", err
+	}
+	if err := r.fs.Close("victim"); err != nil {
+		return "", err
+	}
+	if err := r.settle(); err != nil {
+		return "", err
+	}
+
+	srvContent, _ := r.srv.FileContent("victim")
+	corruptedOnCloud := int64(len(srvContent)) > corruptOff &&
+		srvContent[corruptOff] != content[corruptOff]
+	if corruptedOnCloud {
+		return "upload", nil
+	}
+	// DeltaCFS: confirm it actively detects (a read triggers verification).
+	if r.eng != nil {
+		if _, err := r.fs.ReadFile("victim"); err != nil {
+			return "", err
+		}
+		if r.eng.Stats().Corruptions == 0 {
+			return "silent", nil // corruption neither uploaded nor detected
+		}
+	}
+	return "detect", nil
+}
+
+// inconsistencyScenario reproduces the crash-inconsistency experiment:
+// a crash interrupts an update, data changes without metadata (torn write),
+// and the question is whether the inconsistent content is uploaded.
+func inconsistencyScenario(sys System) (string, error) {
+	r, err := newRelRig(sys)
+	if err != nil {
+		return "", err
+	}
+	content := make([]byte, 64<<10)
+	rand.New(rand.NewSource(43)).Read(content)
+	if err := r.fs.Create("doc"); err != nil {
+		return "", err
+	}
+	if err := r.fs.WriteAt("doc", 0, content); err != nil {
+		return "", err
+	}
+	if err := r.fs.Close("doc"); err != nil {
+		return "", err
+	}
+	if err := r.settle(); err != nil {
+		return "", err
+	}
+
+	// New update in flight when the power goes out...
+	if err := r.fs.WriteAt("doc", 0, []byte("committed part")); err != nil {
+		return "", err
+	}
+	// ...leaving a torn write the file system's ordered journaling never
+	// told anyone about.
+	torn := make([]byte, 300)
+	rand.New(rand.NewSource(44)).Read(torn)
+	if err := faultinject.TornWrite(r.backing, "doc", 32<<10, torn); err != nil {
+		return "", err
+	}
+	if err := r.restart(); err != nil {
+		return "", err
+	}
+
+	if r.eng != nil {
+		// DeltaCFS scans recently-modified files after the crash.
+		rep, err := r.eng.CrashScan(false)
+		if err != nil {
+			return "", err
+		}
+		for _, p := range rep.Inconsistent {
+			if p == "doc" {
+				return "detect", nil
+			}
+		}
+		return "silent", nil
+	}
+
+	// Baselines: whether they notice depends on further activity; touch
+	// the file so they do (the paper's "upload" subcase).
+	if err := r.fs.WriteAt("doc", 100, []byte{1}); err != nil {
+		return "", err
+	}
+	if err := r.fs.Close("doc"); err != nil {
+		return "", err
+	}
+	if err := r.settle(); err != nil {
+		return "", err
+	}
+	srvContent, _ := r.srv.FileContent("doc")
+	if int64(len(srvContent)) > 32<<10 && bytes.Equal(srvContent[32<<10:(32<<10)+300], torn) {
+		return "upload/omit", nil
+	}
+	return "omit", nil
+}
+
+// causalScenario reproduces the upload-order experiment: files of different
+// sizes created in order; does the cloud apply them in creation order?
+func causalScenario(sys System) (string, error) {
+	r, err := newRelRig(sys)
+	if err != nil {
+		return "", err
+	}
+	big := make([]byte, 8<<20)
+	rand.New(rand.NewSource(45)).Read(big)
+	// Big file first, then a small one — causal order says big arrives
+	// first.
+	if err := r.fs.Create("big.bin"); err != nil {
+		return "", err
+	}
+	if err := r.fs.WriteAt("big.bin", 0, big); err != nil {
+		return "", err
+	}
+	if err := r.fs.Close("big.bin"); err != nil {
+		return "", err
+	}
+	if err := r.fs.Create("small.txt"); err != nil {
+		return "", err
+	}
+	if err := r.fs.WriteAt("small.txt", 0, []byte("tiny")); err != nil {
+		return "", err
+	}
+	if err := r.fs.Close("small.txt"); err != nil {
+		return "", err
+	}
+	if err := r.settle(); err != nil {
+		return "", err
+	}
+
+	for _, op := range r.srv.AppliedLog() {
+		switch {
+		case op.Path == "big.bin" && op.Kind != wire.NUnlink:
+			return "Y", nil
+		case op.Path == "small.txt":
+			return "N", nil
+		}
+	}
+	return "", fmt.Errorf("causal: neither file reached the server")
+}
+
+// Table4 runs all reliability scenarios for the three systems the paper
+// compares.
+func Table4() ([]ReliabilityResult, error) {
+	var out []ReliabilityResult
+	for _, sys := range []System{SysDropbox, SysSeafile, SysDeltaCFS} {
+		corr, err := corruptionScenario(sys)
+		if err != nil {
+			return nil, fmt.Errorf("%s corruption: %w", sys, err)
+		}
+		inc, err := inconsistencyScenario(sys)
+		if err != nil {
+			return nil, fmt.Errorf("%s inconsistency: %w", sys, err)
+		}
+		causal, err := causalScenario(sys)
+		if err != nil {
+			return nil, fmt.Errorf("%s causal: %w", sys, err)
+		}
+		out = append(out, ReliabilityResult{
+			System: sys, Corrupted: corr, Inconsistent: inc, Causal: causal,
+		})
+	}
+	return out, nil
+}
+
+// PrintTable4 renders the reliability results in the paper's layout.
+func PrintTable4(w io.Writer, rs []ReliabilityResult) {
+	fmt.Fprintln(w, "TABLE IV: RESULTS OF RELIABILITY TESTS")
+	tw := tabwriter.NewWriter(w, 4, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "Services\tCorrupted\tInconsistent\tCausal upload")
+	for _, r := range rs {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", r.System, r.Corrupted, r.Inconsistent, r.Causal)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,198 @@
+// Package experiment is the evaluation harness: it reproduces every table
+// and figure of the paper's §IV by replaying the paper's traces through
+// DeltaCFS and the baseline systems under identical conditions, collecting
+// deterministic CPU ticks (internal/metrics) and wire-accurate traffic.
+//
+// The per-experiment entry points are:
+//
+//	Fig1, Fig2          – client resource consumption / Dropsync TUE
+//	Table2 (+ Fig8/9)   – CPU and network for all systems on all traces
+//	Table3              – local IO throughput (filebench personalities)
+//	Table4              – reliability: corruption, crash, causal order
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baseline/dropbox"
+	"repro/internal/baseline/dropsync"
+	"repro/internal/baseline/nfs"
+	"repro/internal/baseline/seafile"
+	"repro/internal/cdc"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/server"
+	"repro/internal/trace"
+	"repro/internal/vfs"
+)
+
+// System identifies a sync solution under test.
+type System string
+
+// The evaluated systems.
+const (
+	SysDropbox  System = "Dropbox"
+	SysSeafile  System = "Seafile"
+	SysNFS      System = "NFSv4"
+	SysDeltaCFS System = "DeltaCFS"
+	SysDropsync System = "Dropsync"
+)
+
+// PCSystems is the system set of the paper's PC experiments.
+var PCSystems = []System{SysDropbox, SysSeafile, SysNFS, SysDeltaCFS}
+
+// MobileSystems is the system set of the paper's mobile experiments.
+var MobileSystems = []System{SysDropsync, SysDeltaCFS}
+
+// Result is the measurement of one (system, trace, platform) run.
+type Result struct {
+	System   System
+	Trace    string
+	Platform metrics.Platform
+
+	ClientTicks int64
+	ServerTicks int64
+	UploadMB    float64
+	DownloadMB  float64
+	TUE         float64
+
+	UpdateBytes int64
+	WriteBytes  int64
+	Wall        time.Duration
+
+	// DeltaTriggers and InPlaceDeltas are DeltaCFS-only counters.
+	DeltaTriggers int
+	InPlaceDeltas int
+
+	ClientBreakdown map[string]int64
+}
+
+// target extends trace.Target with the draining the harness needs.
+type target interface {
+	trace.Target
+	Drain() error
+	LastPushError() error
+}
+
+// RunTrace replays tr through the given system and returns its measurements.
+// The initial state (tr.Setup) is installed on both sides before measuring.
+func RunTrace(sys System, tr *trace.Trace, platform metrics.Platform) (*Result, error) {
+	backing := vfs.NewMemFS()
+	if tr.Setup != nil {
+		if err := tr.Setup(backing); err != nil {
+			return nil, fmt.Errorf("setup: %w", err)
+		}
+	}
+
+	clientMeter := metrics.NewCPUMeter(platform)
+	serverMeter := metrics.NewCPUMeter(metrics.PC) // the cloud stays a PC
+	traffic := &metrics.TrafficMeter{}
+	srv := server.New(serverMeter)
+
+	// Seed the server with the identical pre-sync state.
+	paths, err := backing.List("")
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range paths {
+		content, err := backing.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		srv.SeedFile(p, content)
+	}
+
+	ep := server.NewLoopback(srv, clientMeter, traffic)
+	clk := &clock.Clock{}
+
+	var tgt target
+	var eng *core.Engine
+	switch sys {
+	case SysDeltaCFS:
+		eng, err = core.New(core.Config{
+			Backing: backing, Endpoint: ep, Clock: clk, Meter: clientMeter,
+		})
+		tgt = eng
+	case SysDropbox:
+		var e *dropbox.Engine
+		e, err = dropbox.New(dropbox.Config{Backing: backing, Endpoint: ep, Meter: clientMeter})
+		if err == nil {
+			err = e.Prime(srv.SeedChunk)
+		}
+		tgt = e
+	case SysSeafile:
+		var e *seafile.Engine
+		e, err = seafile.New(seafile.Config{Backing: backing, Endpoint: ep, Meter: clientMeter})
+		if err == nil {
+			err = e.Prime(func(c cdc.Chunk, data []byte) { srv.SeedChunk(c.Hash, data) })
+		}
+		tgt = e
+	case SysNFS:
+		var e *nfs.Engine
+		e, err = nfs.New(nfs.Config{Backing: backing, Endpoint: ep, Meter: clientMeter})
+		if err == nil {
+			err = e.Prime()
+		}
+		tgt = e
+	case SysDropsync:
+		var e *dropsync.Engine
+		e, err = dropsync.New(dropsync.Config{
+			Backing: backing, Endpoint: ep, Meter: clientMeter, Traffic: traffic,
+		})
+		if err == nil {
+			err = e.Prime()
+		}
+		tgt = e
+	default:
+		return nil, fmt.Errorf("unknown system %q", sys)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", sys, err)
+	}
+
+	start := time.Now()
+	if err := trace.Replay(tr, tgt, clk); err != nil {
+		return nil, fmt.Errorf("%s on %s: %w", sys, tr.Name, err)
+	}
+	if err := tgt.Drain(); err != nil {
+		return nil, fmt.Errorf("%s on %s: drain: %w", sys, tr.Name, err)
+	}
+	if err := tgt.LastPushError(); err != nil {
+		return nil, fmt.Errorf("%s on %s: push: %w", sys, tr.Name, err)
+	}
+	wall := time.Since(start)
+
+	res := &Result{
+		System:          sys,
+		Trace:           tr.Name,
+		Platform:        platform,
+		ClientTicks:     clientMeter.Ticks(),
+		ServerTicks:     serverMeter.Ticks(),
+		UploadMB:        float64(traffic.Uploaded()) / (1 << 20),
+		DownloadMB:      float64(traffic.Downloaded()) / (1 << 20),
+		TUE:             metrics.TUE(traffic.Uploaded()+traffic.Downloaded(), tr.UpdateBytes),
+		UpdateBytes:     tr.UpdateBytes,
+		WriteBytes:      tr.WriteBytes,
+		Wall:            wall,
+		ClientBreakdown: clientMeter.Breakdown(),
+	}
+	if eng != nil {
+		st := eng.Stats()
+		res.DeltaTriggers = st.DeltaTriggers
+		res.InPlaceDeltas = st.InPlaceDeltas
+	}
+	return res, nil
+}
+
+// Traces returns the paper's four evaluation traces at the given scale
+// (1.0 = the paper's dimensions).
+func Traces(scale float64) []*trace.Trace {
+	return []*trace.Trace{
+		trace.Append(trace.PaperAppendConfig().Scaled(scale)),
+		trace.Random(trace.PaperRandomConfig().Scaled(scale)),
+		trace.Word(trace.PaperWordConfig().Scaled(scale)),
+		trace.WeChat(trace.PaperWeChatConfig().Scaled(scale)),
+	}
+}

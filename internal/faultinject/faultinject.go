@@ -1,0 +1,31 @@
+// Package faultinject provides the fault primitives for the Table IV
+// reliability experiments, mirroring the paper's methodology: the paper
+// locates a file's physical blocks with debugfs and writes the raw device to
+// corrupt data beneath the file system; here the equivalent is mutating the
+// MemFS backing store beneath the interception layer, so no sync engine sees
+// an operation.
+package faultinject
+
+import "repro/internal/vfs"
+
+// FlipBit flips one bit of path at byte offset off, bypassing interception —
+// silent media corruption.
+func FlipBit(m *vfs.MemFS, path string, off int64) error {
+	return m.FlipBit(path, off)
+}
+
+// TornWrite overwrites a range of path bypassing interception — the
+// signature of ordered-journaling crash inconsistency, where data blocks
+// changed but metadata (and any bookkeeping layered above) did not.
+func TornWrite(m *vfs.MemFS, path string, off int64, data []byte) error {
+	return m.BypassWrite(path, off, data)
+}
+
+// Crasher is anything whose volatile state can be dropped to simulate a
+// power cut (the DeltaCFS engine implements it).
+type Crasher interface {
+	DropVolatileState()
+}
+
+// Crash drops the target's volatile state.
+func Crash(c Crasher) { c.DropVolatileState() }

@@ -1,0 +1,56 @@
+package faultinject
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+func TestFlipBit(t *testing.T) {
+	m := vfs.NewMemFS()
+	m.Create("f")
+	m.WriteAt("f", 0, []byte{0x00, 0xFF})
+	if err := FlipBit(m, "f", 1); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.ReadFile("f")
+	if got[0] != 0x00 || got[1] != 0xFE {
+		t.Fatalf("content = %v", got)
+	}
+	if err := FlipBit(m, "f", 99); err == nil {
+		t.Fatal("FlipBit past EOF succeeded")
+	}
+	if err := FlipBit(m, "missing", 0); err == nil {
+		t.Fatal("FlipBit on missing file succeeded")
+	}
+}
+
+func TestTornWrite(t *testing.T) {
+	m := vfs.NewMemFS()
+	m.Create("f")
+	m.WriteAt("f", 0, []byte("ordered journaling"))
+	if err := TornWrite(m, "f", 8, []byte("XXXX")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.ReadFile("f")
+	if !bytes.Equal(got, []byte("ordered XXXXnaling")) {
+		t.Fatalf("content = %q", got)
+	}
+	// Torn writes never extend the file (they model in-place block damage).
+	if err := TornWrite(m, "f", 15, []byte("too-long")); err == nil {
+		t.Fatal("TornWrite past EOF succeeded")
+	}
+}
+
+type fakeCrasher struct{ dropped bool }
+
+func (f *fakeCrasher) DropVolatileState() { f.dropped = true }
+
+func TestCrash(t *testing.T) {
+	f := &fakeCrasher{}
+	Crash(f)
+	if !f.dropped {
+		t.Fatal("Crash did not drop volatile state")
+	}
+}

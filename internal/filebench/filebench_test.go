@@ -1,0 +1,147 @@
+package filebench
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/vfs"
+)
+
+func runPersonality(t *testing.T, p Personality) *Account {
+	t.Helper()
+	fs := vfs.NewMemFS()
+	rng := rand.New(rand.NewSource(1))
+	if p.Setup != nil {
+		if err := p.Setup(fs, rng); err != nil {
+			t.Fatalf("%s setup: %v", p.Name, err)
+		}
+	}
+	a := &Account{FS: fs, Model: DefaultDiskModel()}
+	if err := p.Run(a, rng); err != nil {
+		t.Fatalf("%s run: %v", p.Name, err)
+	}
+	return a
+}
+
+func TestPersonalitiesRun(t *testing.T) {
+	for _, p := range []Personality{Fileserver(100), Varmail(100), Webserver(100)} {
+		a := runPersonality(t, p)
+		if a.Bytes() == 0 {
+			t.Errorf("%s transferred no bytes", p.Name)
+		}
+		if a.DiskTime() == 0 {
+			t.Errorf("%s accrued no disk time", p.Name)
+		}
+	}
+}
+
+func TestVarmailIsFsyncBound(t *testing.T) {
+	// Varmail's per-byte time must be far worse than fileserver's: small
+	// files plus an fsync each.
+	fsrv := runPersonality(t, Fileserver(200))
+	mail := runPersonality(t, Varmail(200))
+
+	fsrvRate := float64(fsrv.Bytes()) / fsrv.DiskTime().Seconds()
+	mailRate := float64(mail.Bytes()) / mail.DiskTime().Seconds()
+	if mailRate > fsrvRate/3 {
+		t.Errorf("varmail %.0f B/s vs fileserver %.0f B/s: fsync cost missing",
+			mailRate, fsrvRate)
+	}
+}
+
+func TestWebserverReadMostly(t *testing.T) {
+	fs := vfs.NewMemFS()
+	rng := rand.New(rand.NewSource(2))
+	p := Webserver(100)
+	if err := p.Setup(fs, rng); err != nil {
+		t.Fatal(err)
+	}
+	written := 0
+	counting := vfs.NewObserverFS(fs)
+	counting.Subscribe(vfs.ObserverFunc(func(op vfs.Op) {
+		if op.Kind == vfs.OpWrite {
+			written += len(op.Data)
+		}
+	}))
+	a := &Account{FS: counting, Model: DefaultDiskModel()}
+	if err := p.Run(a, rng); err != nil {
+		t.Fatal(err)
+	}
+	if int64(written) > a.Bytes()/10 {
+		t.Errorf("webserver wrote %d of %d bytes; should be read-mostly", written, a.Bytes())
+	}
+}
+
+func TestAccountChargesSeeksOnFileSwitch(t *testing.T) {
+	fs := vfs.NewMemFS()
+	m := DefaultDiskModel()
+	a := &Account{FS: fs, Model: m}
+	a.Create("a")
+	a.Write("a", 0, make([]byte, 10))
+	sameFile := a.DiskTime()
+	a.Write("a", 10, make([]byte, 10)) // no seek: same file
+	if a.DiskTime()-sameFile >= m.SeekTime {
+		t.Fatal("same-file write charged a seek")
+	}
+	before := a.DiskTime()
+	a.Create("b") // file switch: seek
+	if a.DiskTime()-before < m.SeekTime {
+		t.Fatal("file switch did not charge a seek")
+	}
+}
+
+func TestOnOpHookObservesElapsedTime(t *testing.T) {
+	fs := vfs.NewMemFS()
+	var calls int
+	var last time.Duration
+	a := &Account{FS: fs, Model: DefaultDiskModel(), OnOp: func(e time.Duration) {
+		calls++
+		if e < last {
+			t.Fatal("elapsed time went backwards")
+		}
+		last = e
+	}}
+	a.Create("f")
+	a.Write("f", 0, make([]byte, 1000))
+	a.Fsync("f")
+	a.Close("f")
+	if calls != 4 {
+		t.Fatalf("OnOp called %d times, want 4", calls)
+	}
+}
+
+func TestMeasureAddsCPUTime(t *testing.T) {
+	fs := vfs.NewMemFS()
+	a := &Account{FS: fs, Model: DefaultDiskModel()}
+	a.Create("f")
+	a.Write("f", 0, make([]byte, 1<<20))
+
+	p := Personality{Name: "X"}
+	noCPU := Measure(p, "native", a, 0)
+	withCPU := Measure(p, "engine", a, int64(a.Model.CPURate)) // 1 s of CPU
+	if withCPU.SimTime-noCPU.SimTime < time.Second {
+		t.Fatalf("CPU time not added: %v vs %v", withCPU.SimTime, noCPU.SimTime)
+	}
+	if noCPU.MBps <= withCPU.MBps {
+		t.Fatal("more CPU should mean lower throughput")
+	}
+}
+
+func TestDefaultModelCalibration(t *testing.T) {
+	// The native numbers must land in the paper's order of magnitude:
+	// fileserver ~100 MB/s, varmail single digits, webserver tens.
+	get := func(p Personality) float64 {
+		a := runPersonality(t, p)
+		return Measure(p, "native", a, 0).MBps
+	}
+	if mbps := get(Fileserver(1000)); mbps < 40 || mbps > 250 {
+		t.Errorf("fileserver native = %.1f MB/s, want ~100", mbps)
+	}
+	if mbps := get(Varmail(1000)); mbps < 1 || mbps > 20 {
+		t.Errorf("varmail native = %.1f MB/s, want single digits", mbps)
+	}
+	if mbps := get(Webserver(1000)); mbps < 5 || mbps > 60 {
+		t.Errorf("webserver native = %.1f MB/s, want tens", mbps)
+	}
+}

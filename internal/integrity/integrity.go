@@ -1,0 +1,255 @@
+// Package integrity implements DeltaCFS's Checksum Store (§III-E): per-file
+// 4 KB-block checksums persisted in a key-value store, used to detect data
+// corruption and (best-effort) crash inconsistency above the file system.
+//
+// The block checksum reuses the rsync rolling checksum — the paper's trick
+// for sharing computation between delta encoding and integrity — so updating
+// checksums after a write costs one cheap rolling pass over the touched
+// blocks. Verification recomputes block checksums and reports mismatches;
+// after a crash, the engine verifies every recently-modified file and pulls
+// clean copies from the cloud for any that fail.
+package integrity
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/block"
+	"repro/internal/kvstore"
+	"repro/internal/metrics"
+)
+
+// BlockSize is the checksum granularity (the paper's 4 KB).
+const BlockSize = block.DefaultBlockSize
+
+// Store maintains block checksums for a set of files.
+type Store struct {
+	kv    *kvstore.Store
+	meter *metrics.CPUMeter
+}
+
+// New returns a store persisting into kv and charging CPU work to meter
+// (either may be shared with other subsystems; meter may be nil).
+func New(kv *kvstore.Store, meter *metrics.CPUMeter) *Store {
+	return &Store{kv: kv, meter: meter}
+}
+
+func key(path string, blockIdx int64) []byte {
+	k := make([]byte, 0, len(path)+12)
+	k = append(k, "cs/"...)
+	k = append(k, path...)
+	k = append(k, 0) // NUL separator: paths cannot contain NUL, so no
+	// file's key space is a prefix of another's
+	k = binary.BigEndian.AppendUint64(k, uint64(blockIdx))
+	return k
+}
+
+func pathPrefix(path string) []byte {
+	return append(append([]byte("cs/"), path...), 0)
+}
+
+// UpdateRange recomputes checksums for the blocks of path covered by
+// [off, off+n). readBlock must return the current (post-write) content of
+// the given block, clipped to the file size — an empty slice for a block
+// wholly beyond EOF.
+func (s *Store) UpdateRange(path string, off, n int64, readBlock func(blockIdx int64) ([]byte, error)) error {
+	if n <= 0 {
+		return nil
+	}
+	first := off / BlockSize
+	last := (off + n - 1) / BlockSize
+	for b := first; b <= last; b++ {
+		data, err := readBlock(b)
+		if err != nil {
+			return fmt.Errorf("integrity: read block %d of %s: %w", b, path, err)
+		}
+		if len(data) == 0 {
+			if err := s.kv.Delete(key(path, b)); err != nil {
+				return err
+			}
+			continue
+		}
+		s.meter.RollingHash(int64(len(data)))
+		sum := block.WeakSum(data)
+		var v [4]byte
+		binary.BigEndian.PutUint32(v[:], sum)
+		if err := s.kv.Put(key(path, b), v[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetFile replaces all checksums of path from its full content.
+func (s *Store) SetFile(path string, content []byte) error {
+	if err := s.Remove(path); err != nil {
+		return err
+	}
+	for off := int64(0); off < int64(len(content)); off += BlockSize {
+		end := off + BlockSize
+		if end > int64(len(content)) {
+			end = int64(len(content))
+		}
+		s.meter.RollingHash(end - off)
+		var v [4]byte
+		binary.BigEndian.PutUint32(v[:], block.WeakSum(content[off:end]))
+		if err := s.kv.Put(key(path, off/BlockSize), v[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Truncate drops checksums for blocks at or beyond size and recomputes the
+// (possibly shortened) boundary block via readBlock.
+func (s *Store) Truncate(path string, size int64, readBlock func(blockIdx int64) ([]byte, error)) error {
+	// Remove whole blocks beyond the new end.
+	firstGone := (size + BlockSize - 1) / BlockSize
+	var stale [][]byte
+	err := s.kv.Range(pathPrefix(path), func(k, v []byte) bool {
+		idx := int64(binary.BigEndian.Uint64(k[len(k)-8:]))
+		if idx >= firstGone {
+			stale = append(stale, append([]byte(nil), k...))
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	for _, k := range stale {
+		if err := s.kv.Delete(k); err != nil {
+			return err
+		}
+	}
+	if size%BlockSize != 0 {
+		return s.UpdateRange(path, size-1, 1, readBlock)
+	}
+	return nil
+}
+
+// Rename moves all checksums from oldPath to newPath (replacing newPath's).
+func (s *Store) Rename(oldPath, newPath string) error {
+	if err := s.Remove(newPath); err != nil {
+		return err
+	}
+	type kv struct {
+		idx int64
+		val []byte
+	}
+	var moved []kv
+	err := s.kv.Range(pathPrefix(oldPath), func(k, v []byte) bool {
+		moved = append(moved, kv{
+			idx: int64(binary.BigEndian.Uint64(k[len(k)-8:])),
+			val: append([]byte(nil), v...),
+		})
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	for _, m := range moved {
+		if err := s.kv.Delete(key(oldPath, m.idx)); err != nil {
+			return err
+		}
+		if err := s.kv.Put(key(newPath, m.idx), m.val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Remove drops all checksums for path.
+func (s *Store) Remove(path string) error {
+	var stale [][]byte
+	err := s.kv.Range(pathPrefix(path), func(k, v []byte) bool {
+		stale = append(stale, append([]byte(nil), k...))
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	for _, k := range stale {
+		if err := s.kv.Delete(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Verify checks content against path's stored checksums and returns the
+// indexes of corrupted blocks: blocks whose checksum mismatches, plus blocks
+// present in content but missing from the store and vice versa (data changed
+// without the interception layer seeing it — the crash-inconsistency
+// signature).
+func (s *Store) Verify(path string, content []byte) ([]int64, error) {
+	stored := make(map[int64]uint32)
+	err := s.kv.Range(pathPrefix(path), func(k, v []byte) bool {
+		idx := int64(binary.BigEndian.Uint64(k[len(k)-8:]))
+		stored[idx] = binary.BigEndian.Uint32(v)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	var bad []int64
+	nBlocks := (int64(len(content)) + BlockSize - 1) / BlockSize
+	for b := int64(0); b < nBlocks; b++ {
+		lo := b * BlockSize
+		hi := lo + BlockSize
+		if hi > int64(len(content)) {
+			hi = int64(len(content))
+		}
+		s.meter.RollingHash(hi - lo)
+		want, ok := stored[b]
+		if !ok || block.WeakSum(content[lo:hi]) != want {
+			bad = append(bad, b)
+		}
+		delete(stored, b)
+	}
+	// Checksums for blocks the content no longer has: length changed
+	// behind our back.
+	for b := range stored {
+		bad = append(bad, b)
+	}
+	return bad, nil
+}
+
+// VerifyRange checks only the blocks covered by [off, off+n) against stored
+// checksums, reading current content via readBlock. Blocks with no stored
+// checksum are not reported (the file may predate checksum tracking).
+func (s *Store) VerifyRange(path string, off, n int64, readBlock func(blockIdx int64) ([]byte, error)) ([]int64, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	first := off / BlockSize
+	last := (off + n - 1) / BlockSize
+	var bad []int64
+	for b := first; b <= last; b++ {
+		v, ok, err := s.kv.Get(key(path, b))
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		data, err := readBlock(b)
+		if err != nil {
+			return nil, err
+		}
+		s.meter.RollingHash(int64(len(data)))
+		if block.WeakSum(data) != binary.BigEndian.Uint32(v) {
+			bad = append(bad, b)
+		}
+	}
+	return bad, nil
+}
+
+// Has reports whether any checksums exist for path.
+func (s *Store) Has(path string) (bool, error) {
+	found := false
+	err := s.kv.Range(pathPrefix(path), func(k, v []byte) bool {
+		found = true
+		return false
+	})
+	return found, err
+}

@@ -1,0 +1,297 @@
+package integrity
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/kvstore"
+	"repro/internal/metrics"
+)
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	kv, err := kvstore.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { kv.Close() })
+	return New(kv, nil)
+}
+
+func blockReader(content *[]byte) func(blockIdx int64) ([]byte, error) {
+	return func(b int64) ([]byte, error) {
+		lo := b * BlockSize
+		hi := lo + BlockSize
+		c := *content
+		if lo >= int64(len(c)) {
+			return nil, nil
+		}
+		if hi > int64(len(c)) {
+			hi = int64(len(c))
+		}
+		return c[lo:hi], nil
+	}
+}
+
+func randBytes(seed int64, n int) []byte {
+	p := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(p)
+	return p
+}
+
+func TestSetFileAndVerifyClean(t *testing.T) {
+	s := newStore(t)
+	content := randBytes(1, 3*BlockSize+100)
+	if err := s.SetFile("f", content); err != nil {
+		t.Fatal(err)
+	}
+	bad, err := s.Verify("f", content)
+	if err != nil || len(bad) != 0 {
+		t.Fatalf("Verify clean = %v, %v", bad, err)
+	}
+}
+
+func TestVerifyDetectsBitFlip(t *testing.T) {
+	s := newStore(t)
+	content := randBytes(2, 4*BlockSize)
+	if err := s.SetFile("f", content); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit in block 2, as the paper's debugfs experiment does.
+	corrupted := append([]byte(nil), content...)
+	corrupted[2*BlockSize+17] ^= 0x01
+	bad, err := s.Verify("f", corrupted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 1 || bad[0] != 2 {
+		t.Fatalf("bad blocks = %v, want [2]", bad)
+	}
+}
+
+func TestVerifyDetectsLengthChange(t *testing.T) {
+	s := newStore(t)
+	content := randBytes(3, 2*BlockSize)
+	s.SetFile("f", content)
+	// Data appended behind the interception layer's back.
+	grown := append(append([]byte(nil), content...), randBytes(4, BlockSize)...)
+	bad, _ := s.Verify("f", grown)
+	if len(bad) == 0 {
+		t.Fatal("silent growth not detected")
+	}
+	// Data truncated behind our back.
+	bad, _ = s.Verify("f", content[:BlockSize])
+	if len(bad) == 0 {
+		t.Fatal("silent truncation not detected")
+	}
+}
+
+func TestUpdateRangeTracksWrites(t *testing.T) {
+	s := newStore(t)
+	content := randBytes(5, 4*BlockSize)
+	s.SetFile("f", content)
+
+	// Overwrite a span crossing a block boundary, then update checksums
+	// for exactly that range.
+	copy(content[BlockSize-10:BlockSize+20], randBytes(6, 30))
+	if err := s.UpdateRange("f", BlockSize-10, 30, blockReader(&content)); err != nil {
+		t.Fatal(err)
+	}
+	bad, err := s.Verify("f", content)
+	if err != nil || len(bad) != 0 {
+		t.Fatalf("Verify after UpdateRange = %v, %v", bad, err)
+	}
+}
+
+func TestUpdateRangeGrowsFile(t *testing.T) {
+	s := newStore(t)
+	content := randBytes(7, BlockSize)
+	s.SetFile("f", content)
+	content = append(content, randBytes(8, 2*BlockSize+5)...)
+	if err := s.UpdateRange("f", BlockSize, 2*BlockSize+5, blockReader(&content)); err != nil {
+		t.Fatal(err)
+	}
+	bad, _ := s.Verify("f", content)
+	if len(bad) != 0 {
+		t.Fatalf("bad blocks after growth = %v", bad)
+	}
+}
+
+func TestTruncateDropsChecksums(t *testing.T) {
+	s := newStore(t)
+	content := randBytes(9, 4*BlockSize)
+	s.SetFile("f", content)
+
+	newSize := int64(BlockSize + 100)
+	content = content[:newSize]
+	if err := s.Truncate("f", newSize, blockReader(&content)); err != nil {
+		t.Fatal(err)
+	}
+	bad, _ := s.Verify("f", content)
+	if len(bad) != 0 {
+		t.Fatalf("bad blocks after truncate = %v", bad)
+	}
+}
+
+func TestTruncateToZero(t *testing.T) {
+	s := newStore(t)
+	content := randBytes(10, 2*BlockSize)
+	s.SetFile("f", content)
+	empty := []byte{}
+	if err := s.Truncate("f", 0, blockReader(&empty)); err != nil {
+		t.Fatal(err)
+	}
+	bad, _ := s.Verify("f", nil)
+	if len(bad) != 0 {
+		t.Fatalf("bad blocks for empty file = %v", bad)
+	}
+	has, _ := s.Has("f")
+	if has {
+		t.Fatal("checksums remain after truncate to zero")
+	}
+}
+
+func TestRenameMovesChecksums(t *testing.T) {
+	s := newStore(t)
+	content := randBytes(11, 3*BlockSize)
+	s.SetFile("a", content)
+	other := randBytes(12, BlockSize)
+	s.SetFile("b", other)
+
+	if err := s.Rename("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	bad, _ := s.Verify("b", content)
+	if len(bad) != 0 {
+		t.Fatalf("bad blocks after rename = %v", bad)
+	}
+	has, _ := s.Has("a")
+	if has {
+		t.Fatal("source checksums remain after rename")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	s := newStore(t)
+	s.SetFile("f", randBytes(13, BlockSize))
+	if err := s.Remove("f"); err != nil {
+		t.Fatal(err)
+	}
+	has, _ := s.Has("f")
+	if has {
+		t.Fatal("checksums remain after Remove")
+	}
+}
+
+func TestPathPrefixNoCollision(t *testing.T) {
+	// "a" must not see checksums belonging to "a/b" or "ab".
+	s := newStore(t)
+	s.SetFile("a", randBytes(14, BlockSize))
+	s.SetFile("a/b", randBytes(15, 2*BlockSize))
+	s.SetFile("ab", randBytes(16, 3*BlockSize))
+
+	bad, _ := s.Verify("a", randBytes(14, BlockSize))
+	if len(bad) != 0 {
+		t.Fatalf("cross-path contamination: %v", bad)
+	}
+	s.Remove("a")
+	for p, n := range map[string]int{"a/b": 2, "ab": 3} {
+		content := map[string][]byte{
+			"a/b": randBytes(15, 2*BlockSize),
+			"ab":  randBytes(16, 3*BlockSize),
+		}[p]
+		bad, _ := s.Verify(p, content)
+		if len(bad) != 0 {
+			t.Fatalf("Remove(a) damaged %s (%d blocks): %v", p, n, bad)
+		}
+	}
+}
+
+func TestVerifyChargesMeter(t *testing.T) {
+	kv, _ := kvstore.Open("")
+	defer kv.Close()
+	m := metrics.NewCPUMeter(metrics.PC)
+	s := New(kv, m)
+	content := randBytes(17, 2*BlockSize)
+	s.SetFile("f", content)
+	before := m.Breakdown()["rolling_bytes"]
+	s.Verify("f", content)
+	after := m.Breakdown()["rolling_bytes"]
+	if after-before != int64(len(content)) {
+		t.Fatalf("Verify charged %d rolling bytes, want %d", after-before, len(content))
+	}
+}
+
+func TestChecksumsSurviveReopen(t *testing.T) {
+	dir := t.TempDir()
+	kv, err := kvstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := randBytes(18, 3*BlockSize)
+	if err := New(kv, nil).SetFile("f", content); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	kv2, err := kvstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv2.Close()
+	bad, err := New(kv2, nil).Verify("f", content)
+	if err != nil || len(bad) != 0 {
+		t.Fatalf("Verify after reopen = %v, %v", bad, err)
+	}
+	// The crash-inconsistency scenario: data changed while the store was
+	// down (ordered-journaling torn write). Must be detected.
+	content[BlockSize+5] ^= 0xff
+	bad, _ = New(kv2, nil).Verify("f", content)
+	if len(bad) != 1 {
+		t.Fatalf("crash inconsistency not detected: %v", bad)
+	}
+}
+
+func TestEmptyFileCleanVerify(t *testing.T) {
+	s := newStore(t)
+	if err := s.SetFile("f", nil); err != nil {
+		t.Fatal(err)
+	}
+	bad, err := s.Verify("f", nil)
+	if err != nil || len(bad) != 0 {
+		t.Fatalf("empty file verify = %v, %v", bad, err)
+	}
+}
+
+func BenchmarkUpdateRange(b *testing.B) {
+	kv, _ := kvstore.Open("")
+	defer kv.Close()
+	s := New(kv, nil)
+	content := randBytes(99, 1<<20)
+	s.SetFile("f", content)
+	rd := blockReader(&content)
+	b.SetBytes(64 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.UpdateRange("f", 100_000, 64<<10, rd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerify1MB(b *testing.B) {
+	kv, _ := kvstore.Open("")
+	defer kv.Close()
+	s := New(kv, nil)
+	content := randBytes(98, 1<<20)
+	s.SetFile("f", content)
+	b.SetBytes(int64(len(content)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Verify("f", content); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,389 @@
+// Package kvstore is a small embedded, crash-safe key-value store — the
+// stand-in for LevelDB, which the paper uses to persist DeltaCFS's block
+// checksums (§III-E). It keeps the full map in memory and persists through a
+// CRC-protected write-ahead log plus an atomically-replaced snapshot:
+//
+//	put/delete  →  append WAL record  →  apply to memtable
+//	Compact()   →  write snapshot.tmp →  rename over snapshot → truncate WAL
+//	Open()      →  load snapshot, replay WAL (stopping at the first torn record)
+//
+// That recovery rule — ignore a trailing torn record instead of failing — is
+// what makes the store safe across the power-cut experiments in Table IV.
+package kvstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+const (
+	walName      = "wal.log"
+	snapshotName = "snapshot.db"
+
+	opPut    = byte(1)
+	opDelete = byte(2)
+
+	// autoCompactWAL is the WAL size beyond which a mutation triggers a
+	// snapshot + truncate, bounding recovery time and disk usage for
+	// long-running clients.
+	autoCompactWAL = 64 << 20
+)
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("kvstore: store is closed")
+
+// Store is an embedded key-value store. All methods are safe for concurrent
+// use. A Store opened with an empty directory is memory-only (no
+// persistence), which the tests and some benchmarks use.
+type Store struct {
+	mu     sync.RWMutex
+	table  map[string][]byte
+	dir    string
+	wal    *os.File
+	walBuf *bufio.Writer
+	walLen int64
+	closed bool
+}
+
+// Open opens (or creates) a store in dir. If dir is empty, the store is
+// memory-only.
+func Open(dir string) (*Store, error) {
+	s := &Store{table: make(map[string][]byte), dir: dir}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("kvstore: create dir: %w", err)
+	}
+	if err := s.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := s.replayWAL(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: open wal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("kvstore: stat wal: %w", err)
+	}
+	s.wal = f
+	s.walBuf = bufio.NewWriter(f)
+	s.walLen = st.Size()
+	return s, nil
+}
+
+func (s *Store) loadSnapshot() error {
+	f, err := os.Open(filepath.Join(s.dir, snapshotName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("kvstore: open snapshot: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	for {
+		rec, err := readRecord(r)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("kvstore: corrupt snapshot: %w", err)
+		}
+		if rec.op != opPut {
+			return fmt.Errorf("kvstore: snapshot contains op %d", rec.op)
+		}
+		s.table[string(rec.key)] = rec.val
+	}
+}
+
+func (s *Store) replayWAL() error {
+	f, err := os.Open(filepath.Join(s.dir, walName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("kvstore: open wal: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	for {
+		rec, err := readRecord(r)
+		if err != nil {
+			// EOF or a torn/corrupt trailing record: recovery keeps
+			// everything up to this point and discards the rest.
+			return nil
+		}
+		switch rec.op {
+		case opPut:
+			s.table[string(rec.key)] = rec.val
+		case opDelete:
+			delete(s.table, string(rec.key))
+		}
+	}
+}
+
+type record struct {
+	op  byte
+	key []byte
+	val []byte
+}
+
+// record layout: crc32(4) op(1) klen(4) vlen(4) key val
+func writeRecord(w io.Writer, rec record) error {
+	hdr := make([]byte, 13)
+	hdr[4] = rec.op
+	binary.BigEndian.PutUint32(hdr[5:9], uint32(len(rec.key)))
+	binary.BigEndian.PutUint32(hdr[9:13], uint32(len(rec.val)))
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[4:])
+	crc.Write(rec.key)
+	crc.Write(rec.val)
+	binary.BigEndian.PutUint32(hdr[:4], crc.Sum32())
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := w.Write(rec.key); err != nil {
+		return err
+	}
+	_, err := w.Write(rec.val)
+	return err
+}
+
+const maxRecordSide = 64 << 20 // sanity bound on key/value length
+
+func readRecord(r io.Reader) (record, error) {
+	hdr := make([]byte, 13)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return record{}, io.ErrUnexpectedEOF
+		}
+		return record{}, io.EOF
+	}
+	klen := binary.BigEndian.Uint32(hdr[5:9])
+	vlen := binary.BigEndian.Uint32(hdr[9:13])
+	if klen > maxRecordSide || vlen > maxRecordSide {
+		return record{}, errors.New("kvstore: implausible record length")
+	}
+	body := make([]byte, int(klen)+int(vlen))
+	if _, err := io.ReadFull(r, body); err != nil {
+		return record{}, io.ErrUnexpectedEOF
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[4:])
+	crc.Write(body)
+	if crc.Sum32() != binary.BigEndian.Uint32(hdr[:4]) {
+		return record{}, errors.New("kvstore: record CRC mismatch")
+	}
+	return record{op: hdr[4], key: body[:klen:klen], val: body[klen:]}, nil
+}
+
+// Get returns the value stored under key. The returned slice must not be
+// modified by the caller.
+func (s *Store) Get(key []byte) ([]byte, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, false, ErrClosed
+	}
+	v, ok := s.table[string(key)]
+	return v, ok, nil
+}
+
+// Put stores val under key, appending to the WAL first when persistent.
+func (s *Store) Put(key, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	valCopy := append([]byte(nil), val...)
+	if s.walBuf != nil {
+		if err := writeRecord(s.walBuf, record{op: opPut, key: key, val: valCopy}); err != nil {
+			return fmt.Errorf("kvstore: wal append: %w", err)
+		}
+		s.walLen += int64(13 + len(key) + len(valCopy))
+	}
+	s.table[string(key)] = valCopy
+	return s.maybeCompactLocked()
+}
+
+// Delete removes key. Deleting an absent key is not an error.
+func (s *Store) Delete(key []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.walBuf != nil {
+		if err := writeRecord(s.walBuf, record{op: opDelete, key: key}); err != nil {
+			return fmt.Errorf("kvstore: wal append: %w", err)
+		}
+		s.walLen += int64(13 + len(key))
+	}
+	delete(s.table, string(key))
+	return s.maybeCompactLocked()
+}
+
+// Sync flushes the WAL to the operating system and fsyncs it.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.syncLocked()
+}
+
+func (s *Store) syncLocked() error {
+	if s.walBuf == nil {
+		return nil
+	}
+	if err := s.walBuf.Flush(); err != nil {
+		return err
+	}
+	return s.wal.Sync()
+}
+
+// Len returns the number of keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.table)
+}
+
+// WALSize returns the current WAL length in bytes (0 for memory-only).
+func (s *Store) WALSize() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.walLen
+}
+
+// Range calls fn for every key with the given prefix, in sorted key order.
+// Iteration stops if fn returns false. The key and value slices must not be
+// retained or modified.
+func (s *Store) Range(prefix []byte, fn func(key, val []byte) bool) error {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	keys := make([]string, 0, len(s.table))
+	for k := range s.table {
+		if strings.HasPrefix(k, string(prefix)) {
+			keys = append(keys, k)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		s.mu.RLock()
+		v, ok := s.table[k]
+		s.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		if !fn([]byte(k), v) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// maybeCompactLocked compacts when the WAL has outgrown its budget.
+func (s *Store) maybeCompactLocked() error {
+	if s.walLen < autoCompactWAL {
+		return nil
+	}
+	return s.compactLocked()
+}
+
+// Compact writes the full table to a fresh snapshot (atomically replacing
+// the old one) and truncates the WAL.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	if s.dir == "" {
+		return nil
+	}
+	if err := s.syncLocked(); err != nil {
+		return err
+	}
+	tmp := filepath.Join(s.dir, snapshotName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("kvstore: create snapshot: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	for k, v := range s.table {
+		if err := writeRecord(w, record{op: opPut, key: []byte(k), val: v}); err != nil {
+			f.Close()
+			return fmt.Errorf("kvstore: write snapshot: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotName)); err != nil {
+		return fmt.Errorf("kvstore: install snapshot: %w", err)
+	}
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("kvstore: truncate wal: %w", err)
+	}
+	if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	s.walBuf.Reset(s.wal)
+	s.walLen = 0
+	return nil
+}
+
+// Close flushes and closes the store. Further operations return ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.walBuf.Flush(); err != nil {
+		s.wal.Close()
+		return err
+	}
+	if err := s.wal.Sync(); err != nil {
+		s.wal.Close()
+		return err
+	}
+	return s.wal.Close()
+}

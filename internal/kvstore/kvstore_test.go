@@ -1,0 +1,419 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func openTemp(t *testing.T) (*Store, string) {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s, dir
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+
+	if _, ok, _ := s.Get([]byte("k")); ok {
+		t.Fatal("Get on empty store found a key")
+	}
+	if err := s.Put([]byte("k"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := s.Get([]byte("k"))
+	if err != nil || !ok || !bytes.Equal(v, []byte("v1")) {
+		t.Fatalf("Get = %q, %v, %v", v, ok, err)
+	}
+	if err := s.Put([]byte("k"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	v, _, _ = s.Get([]byte("k"))
+	if !bytes.Equal(v, []byte("v2")) {
+		t.Fatalf("overwrite: Get = %q, want v2", v)
+	}
+	if err := s.Delete([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get([]byte("k")); ok {
+		t.Fatal("key survived Delete")
+	}
+	if err := s.Delete([]byte("absent")); err != nil {
+		t.Fatalf("Delete of absent key: %v", err)
+	}
+}
+
+func TestValueIsolation(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	val := []byte("mutate-me")
+	if err := s.Put([]byte("k"), val); err != nil {
+		t.Fatal(err)
+	}
+	val[0] = 'X' // caller mutates its buffer after Put
+	got, _, _ := s.Get([]byte("k"))
+	if !bytes.Equal(got, []byte("mutate-me")) {
+		t.Fatalf("stored value aliased caller buffer: %q", got)
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	s, dir := openTemp(t)
+	for i := 0; i < 100; i++ {
+		k := []byte(fmt.Sprintf("key-%03d", i))
+		if err := s.Put(k, []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Delete([]byte("key-050")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 99 {
+		t.Fatalf("reopened Len = %d, want 99", s2.Len())
+	}
+	v, ok, _ := s2.Get([]byte("key-042"))
+	if !ok || !bytes.Equal(v, []byte("val-42")) {
+		t.Fatalf("key-042 = %q, %v after reopen", v, ok)
+	}
+	if _, ok, _ := s2.Get([]byte("key-050")); ok {
+		t.Fatal("deleted key resurrected after reopen")
+	}
+}
+
+func TestCompactAndReopen(t *testing.T) {
+	s, dir := openTemp(t)
+	for i := 0; i < 50; i++ {
+		k := []byte(fmt.Sprintf("k%d", i))
+		if err := s.Put(k, bytes.Repeat([]byte{byte(i)}, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.WALSize() == 0 {
+		t.Fatal("WAL empty before compact")
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if s.WALSize() != 0 {
+		t.Fatalf("WAL size %d after compact, want 0", s.WALSize())
+	}
+	// Writes after compaction land in the (fresh) WAL.
+	if err := s.Put([]byte("post"), []byte("compact")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 51 {
+		t.Fatalf("Len after compact+reopen = %d, want 51", s2.Len())
+	}
+	v, ok, _ := s2.Get([]byte("post"))
+	if !ok || !bytes.Equal(v, []byte("compact")) {
+		t.Fatal("post-compact write lost")
+	}
+}
+
+func TestTornWALRecordDiscarded(t *testing.T) {
+	s, dir := openTemp(t)
+	if err := s.Put([]byte("good"), []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Simulate a torn write: append half a record to the WAL.
+	walPath := filepath.Join(dir, walName)
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open after torn write: %v", err)
+	}
+	defer s2.Close()
+	v, ok, _ := s2.Get([]byte("good"))
+	if !ok || !bytes.Equal(v, []byte("value")) {
+		t.Fatal("intact record lost during torn-record recovery")
+	}
+}
+
+func TestCorruptWALRecordStopsReplay(t *testing.T) {
+	s, dir := openTemp(t)
+	if err := s.Put([]byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put([]byte("b"), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Flip a byte inside the second record's payload region.
+	walPath := filepath.Join(dir, walName)
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(walPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok, _ := s2.Get([]byte("a")); !ok {
+		t.Fatal("first record lost")
+	}
+	if _, ok, _ := s2.Get([]byte("b")); ok {
+		t.Fatal("corrupted record was applied")
+	}
+}
+
+func TestRangePrefix(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	for _, k := range []string{"cs/f1/0", "cs/f1/1", "cs/f2/0", "other"} {
+		if err := s.Put([]byte(k), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	err := s.Range([]byte("cs/f1/"), func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"cs/f1/0", "cs/f1/1"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Range = %v, want %v", got, want)
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		s.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	n := 0
+	s.Range(nil, func(k, v []byte) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("Range visited %d keys after early stop, want 3", n)
+	}
+}
+
+func TestMemoryOnlyMode(t *testing.T) {
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ := s.Get([]byte("k"))
+	if !ok || !bytes.Equal(v, []byte("v")) {
+		t.Fatal("memory-only store lost data")
+	}
+	if s.WALSize() != 0 {
+		t.Fatal("memory-only store has WAL bytes")
+	}
+}
+
+func TestClosedStoreErrors(t *testing.T) {
+	s, _ := openTemp(t)
+	s.Close()
+	if err := s.Put([]byte("k"), []byte("v")); err != ErrClosed {
+		t.Fatalf("Put after close = %v, want ErrClosed", err)
+	}
+	if _, _, err := s.Get([]byte("k")); err != ErrClosed {
+		t.Fatalf("Get after close = %v, want ErrClosed", err)
+	}
+	if err := s.Delete([]byte("k")); err != ErrClosed {
+		t.Fatalf("Delete after close = %v, want ErrClosed", err)
+	}
+	if err := s.Compact(); err != ErrClosed {
+		t.Fatalf("Compact after close = %v, want ErrClosed", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double Close = %v, want nil", err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := []byte(fmt.Sprintf("g%d-k%d", g, i))
+				if err := s.Put(k, []byte("v")); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, ok, err := s.Get(k); err != nil || !ok {
+					t.Errorf("Get(%s) = %v, %v", k, ok, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 8*200 {
+		t.Fatalf("Len = %d, want %d", s.Len(), 8*200)
+	}
+}
+
+// Property: any sequence of puts and deletes, after close+reopen, matches an
+// in-memory model.
+func TestPersistenceProperty(t *testing.T) {
+	type op struct {
+		Key    uint8
+		Val    []byte
+		Delete bool
+	}
+	f := func(ops []op) bool {
+		dir := t.TempDir()
+		s, err := Open(dir)
+		if err != nil {
+			return false
+		}
+		model := map[string][]byte{}
+		for _, o := range ops {
+			k := []byte{o.Key}
+			if o.Delete {
+				if s.Delete(k) != nil {
+					return false
+				}
+				delete(model, string(k))
+			} else {
+				if s.Put(k, o.Val) != nil {
+					return false
+				}
+				model[string(k)] = append([]byte(nil), o.Val...)
+			}
+		}
+		if s.Close() != nil {
+			return false
+		}
+		s2, err := Open(dir)
+		if err != nil {
+			return false
+		}
+		defer s2.Close()
+		if s2.Len() != len(model) {
+			return false
+		}
+		for k, want := range model {
+			got, ok, err := s2.Get([]byte(k))
+			if err != nil || !ok || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	dir := b.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	val := bytes.Repeat([]byte{7}, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i%10000))
+		if err := s.Put(k, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	s, err := Open("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 10000; i++ {
+		s.Put([]byte(fmt.Sprintf("key-%d", i)), []byte("v"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get([]byte(fmt.Sprintf("key-%d", i%10000)))
+	}
+}
+
+func TestAutoCompaction(t *testing.T) {
+	s, dir := openTemp(t)
+	defer s.Close()
+	// Overwrite one key until the WAL crosses its budget; auto-compaction
+	// must shrink it back.
+	val := bytes.Repeat([]byte{9}, 1<<20)
+	for i := 0; i < 70; i++ {
+		if err := s.Put([]byte("hot"), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.WALSize() > 65<<20 {
+		t.Fatalf("WAL never auto-compacted: %d bytes", s.WALSize())
+	}
+	s.Close()
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, ok, _ := s2.Get([]byte("hot"))
+	if !ok || !bytes.Equal(got, val) {
+		t.Fatal("data lost across auto-compaction")
+	}
+}

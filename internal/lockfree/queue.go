@@ -1,0 +1,85 @@
+// Package lockfree provides a Michael–Scott lock-free FIFO queue built on
+// atomic compare-and-swap, the technique the paper cites ([35] Valois) for
+// implementing DeltaCFS's Sync Queue without blocking the intercepted file
+// operations behind the uploader.
+package lockfree
+
+import "sync/atomic"
+
+type node[T any] struct {
+	value T
+	next  atomic.Pointer[node[T]]
+}
+
+// Queue is an unbounded multi-producer multi-consumer FIFO queue. The zero
+// value is not usable; call New.
+type Queue[T any] struct {
+	head atomic.Pointer[node[T]] // sentinel; head.next is the first element
+	tail atomic.Pointer[node[T]]
+	size atomic.Int64
+}
+
+// New returns an empty queue.
+func New[T any]() *Queue[T] {
+	q := &Queue[T]{}
+	sentinel := &node[T]{}
+	q.head.Store(sentinel)
+	q.tail.Store(sentinel)
+	return q
+}
+
+// Enqueue appends v to the queue.
+func (q *Queue[T]) Enqueue(v T) {
+	n := &node[T]{value: v}
+	for {
+		tail := q.tail.Load()
+		next := tail.next.Load()
+		if tail != q.tail.Load() {
+			continue // tail moved under us; retry
+		}
+		if next != nil {
+			// Tail is lagging; help advance it.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, n) {
+			q.tail.CompareAndSwap(tail, n)
+			q.size.Add(1)
+			return
+		}
+	}
+}
+
+// Dequeue removes and returns the oldest element. ok is false if the queue
+// was observed empty.
+func (q *Queue[T]) Dequeue() (v T, ok bool) {
+	for {
+		head := q.head.Load()
+		tail := q.tail.Load()
+		next := head.next.Load()
+		if head != q.head.Load() {
+			continue
+		}
+		if next == nil {
+			return v, false // empty
+		}
+		if head == tail {
+			// Tail lagging behind a concurrent enqueue; help it.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if q.head.CompareAndSwap(head, next) {
+			q.size.Add(-1)
+			val := next.value
+			var zero T
+			next.value = zero // drop reference for GC
+			return val, true
+		}
+	}
+}
+
+// Len returns the approximate number of elements (exact when quiescent).
+func (q *Queue[T]) Len() int { return int(q.size.Load()) }
+
+// Empty reports whether the queue was observed empty.
+func (q *Queue[T]) Empty() bool { return q.head.Load().next.Load() == nil }

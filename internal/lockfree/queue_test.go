@@ -1,0 +1,158 @@
+package lockfree
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	q := New[int]()
+	for i := 0; i < 100; i++ {
+		q.Enqueue(i)
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("Dequeue #%d = %d, %v", i, v, ok)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("Dequeue on drained queue returned ok")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	q := New[string]()
+	if !q.Empty() || q.Len() != 0 {
+		t.Fatal("new queue not empty")
+	}
+	q.Enqueue("x")
+	if q.Empty() || q.Len() != 1 {
+		t.Fatal("queue with one element reported empty")
+	}
+	q.Dequeue()
+	if !q.Empty() || q.Len() != 0 {
+		t.Fatal("drained queue not empty")
+	}
+}
+
+func TestInterleaved(t *testing.T) {
+	q := New[int]()
+	q.Enqueue(1)
+	q.Enqueue(2)
+	if v, _ := q.Dequeue(); v != 1 {
+		t.Fatal("wrong order")
+	}
+	q.Enqueue(3)
+	if v, _ := q.Dequeue(); v != 2 {
+		t.Fatal("wrong order")
+	}
+	if v, _ := q.Dequeue(); v != 3 {
+		t.Fatal("wrong order")
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	const producers = 4
+	const consumers = 4
+	const perProducer = 5000
+
+	q := New[int]()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Enqueue(p*perProducer + i)
+			}
+		}(p)
+	}
+
+	var mu sync.Mutex
+	seen := make(map[int]bool, producers*perProducer)
+	var cwg sync.WaitGroup
+	done := make(chan struct{})
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				v, ok := q.Dequeue()
+				if !ok {
+					select {
+					case <-done:
+						// Producers finished; drain whatever remains.
+						for {
+							v, ok := q.Dequeue()
+							if !ok {
+								return
+							}
+							mu.Lock()
+							seen[v] = true
+							mu.Unlock()
+						}
+					default:
+						continue
+					}
+				}
+				mu.Lock()
+				seen[v] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	cwg.Wait()
+
+	if len(seen) != producers*perProducer {
+		t.Fatalf("consumed %d distinct values, want %d", len(seen), producers*perProducer)
+	}
+}
+
+func TestPerProducerOrderPreserved(t *testing.T) {
+	// With one consumer, each producer's elements must appear in its own
+	// enqueue order (FIFO per producer), even with concurrent producers.
+	const producers = 3
+	const perProducer = 2000
+	q := New[[2]int]() // [producer, seq]
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Enqueue([2]int{p, i})
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	last := map[int]int{0: -1, 1: -1, 2: -1}
+	for {
+		v, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		if v[1] != last[v[0]]+1 {
+			t.Fatalf("producer %d: got seq %d after %d", v[0], v[1], last[v[0]])
+		}
+		last[v[0]] = v[1]
+	}
+	for p := 0; p < producers; p++ {
+		if last[p] != perProducer-1 {
+			t.Fatalf("producer %d: only %d elements drained", p, last[p]+1)
+		}
+	}
+}
+
+func BenchmarkEnqueueDequeue(b *testing.B) {
+	q := New[int]()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			q.Enqueue(1)
+			q.Dequeue()
+		}
+	})
+}

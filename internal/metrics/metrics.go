@@ -1,0 +1,266 @@
+// Package metrics provides deterministic CPU-work and network-traffic
+// accounting for the DeltaCFS reproduction.
+//
+// The paper reports client/server CPU consumption in "CPU ticks" measured on
+// EC2 instances and a Galaxy Note3. A wall-clock measurement is not
+// reproducible across machines, so every algorithm in this repository charges
+// a CPUMeter for the work it actually performs (bytes rolled, bytes strong-
+// hashed, bytes compared, bytes compressed, bytes copied, operations
+// dispatched, messages exchanged). The cost constants live in costs.go;
+// wall-clock numbers are additionally available from the testing.B benchmarks.
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Platform selects the CPU cost scale.
+type Platform int
+
+const (
+	// PC models the paper's EC2 m4.xlarge client/server.
+	PC Platform = iota
+	// Mobile models the paper's Samsung Galaxy Note3.
+	Mobile
+)
+
+func (p Platform) String() string {
+	switch p {
+	case PC:
+		return "pc"
+	case Mobile:
+		return "mobile"
+	default:
+		return fmt.Sprintf("platform(%d)", int(p))
+	}
+}
+
+// factor returns the cost multiplier for the platform.
+func (p Platform) factor() int64 {
+	if p == Mobile {
+		return MobileFactor
+	}
+	return 1
+}
+
+// CPUMeter accumulates deterministic CPU work in nano-ticks. It is safe for
+// concurrent use. The zero value is a usable PC-platform meter.
+type CPUMeter struct {
+	nanoTicks atomic.Int64
+	platform  Platform
+
+	// Per-category breakdown, for ablation reporting.
+	copyN     atomic.Int64
+	compareN  atomic.Int64
+	gearN     atomic.Int64
+	rollingN  atomic.Int64
+	strongN   atomic.Int64
+	compressN atomic.Int64
+	diskN     atomic.Int64
+	netN      atomic.Int64
+	fsOps     atomic.Int64
+	rpcs      atomic.Int64
+}
+
+// NewCPUMeter returns a meter for the given platform.
+func NewCPUMeter(p Platform) *CPUMeter {
+	return &CPUMeter{platform: p}
+}
+
+// Platform reports the platform this meter models.
+func (m *CPUMeter) Platform() Platform { return m.platform }
+
+func (m *CPUMeter) charge(counter *atomic.Int64, n, perUnit int64) {
+	if n <= 0 {
+		return
+	}
+	counter.Add(n)
+	m.nanoTicks.Add(n * perUnit * m.platform.factor())
+}
+
+// Copy charges for n bytes of plain byte copying or buffering.
+func (m *CPUMeter) Copy(n int64) {
+	if m == nil {
+		return
+	}
+	m.charge(&m.copyN, n, CostCopy)
+}
+
+// Compare charges for n bytes of bitwise comparison.
+func (m *CPUMeter) Compare(n int64) {
+	if m == nil {
+		return
+	}
+	m.charge(&m.compareN, n, CostCompare)
+}
+
+// GearHash charges for n bytes scanned by the CDC chunker.
+func (m *CPUMeter) GearHash(n int64) {
+	if m == nil {
+		return
+	}
+	m.charge(&m.gearN, n, CostGearHash)
+}
+
+// RollingHash charges for n bytes covered by the rsync rolling checksum.
+func (m *CPUMeter) RollingHash(n int64) {
+	if m == nil {
+		return
+	}
+	m.charge(&m.rollingN, n, CostRollingHash)
+}
+
+// StrongHash charges for n bytes fed to the strong (MD5) checksum.
+func (m *CPUMeter) StrongHash(n int64) {
+	if m == nil {
+		return
+	}
+	m.charge(&m.strongN, n, CostStrongHash)
+}
+
+// Compress charges for n bytes run through network compression.
+func (m *CPUMeter) Compress(n int64) {
+	if m == nil {
+		return
+	}
+	m.charge(&m.compressN, n, CostCompress)
+}
+
+// DiskIO charges for n bytes read from or written to the backing store by a
+// sync engine (full-file rescans, undo-log writes, ...).
+func (m *CPUMeter) DiskIO(n int64) {
+	if m == nil {
+		return
+	}
+	m.charge(&m.diskN, n, CostDiskIO)
+}
+
+// Net charges for n bytes serialized onto or parsed off the wire.
+func (m *CPUMeter) Net(n int64) {
+	if m == nil {
+		return
+	}
+	m.charge(&m.netN, n, CostNet)
+}
+
+// FSOp charges per-operation VFS dispatch overhead for n operations.
+func (m *CPUMeter) FSOp(n int64) {
+	if m == nil {
+		return
+	}
+	m.charge(&m.fsOps, n, CostFSOp)
+}
+
+// RPC charges per-message protocol overhead for n messages.
+func (m *CPUMeter) RPC(n int64) {
+	if m == nil {
+		return
+	}
+	m.charge(&m.rpcs, n, CostRPC)
+}
+
+// NanoTicks returns the accumulated work in nano-ticks.
+func (m *CPUMeter) NanoTicks() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.nanoTicks.Load()
+}
+
+// Ticks returns the accumulated work in the paper's CPU-tick unit.
+func (m *CPUMeter) Ticks() int64 { return m.NanoTicks() / NanoTicksPerTick }
+
+// Reset zeroes all counters.
+func (m *CPUMeter) Reset() {
+	m.nanoTicks.Store(0)
+	for _, c := range []*atomic.Int64{
+		&m.copyN, &m.compareN, &m.gearN, &m.rollingN, &m.strongN,
+		&m.compressN, &m.diskN, &m.netN, &m.fsOps, &m.rpcs,
+	} {
+		c.Store(0)
+	}
+}
+
+// Breakdown reports the per-category byte/op counts, keyed by category name.
+func (m *CPUMeter) Breakdown() map[string]int64 {
+	return map[string]int64{
+		"copy_bytes":     m.copyN.Load(),
+		"compare_bytes":  m.compareN.Load(),
+		"gear_bytes":     m.gearN.Load(),
+		"rolling_bytes":  m.rollingN.Load(),
+		"strong_bytes":   m.strongN.Load(),
+		"compress_bytes": m.compressN.Load(),
+		"disk_bytes":     m.diskN.Load(),
+		"net_bytes":      m.netN.Load(),
+		"fs_ops":         m.fsOps.Load(),
+		"rpcs":           m.rpcs.Load(),
+	}
+}
+
+// TrafficMeter accumulates network transfer totals, in bytes, as seen from
+// one endpoint. It is safe for concurrent use. The zero value is ready to use.
+type TrafficMeter struct {
+	uploaded   atomic.Int64
+	downloaded atomic.Int64
+	messages   atomic.Int64
+}
+
+// Upload records n bytes sent.
+func (t *TrafficMeter) Upload(n int64) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.uploaded.Add(n)
+	t.messages.Add(1)
+}
+
+// Download records n bytes received.
+func (t *TrafficMeter) Download(n int64) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.downloaded.Add(n)
+	t.messages.Add(1)
+}
+
+// Uploaded returns total bytes sent.
+func (t *TrafficMeter) Uploaded() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.uploaded.Load()
+}
+
+// Downloaded returns total bytes received.
+func (t *TrafficMeter) Downloaded() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.downloaded.Load()
+}
+
+// Messages returns the number of recorded transfers.
+func (t *TrafficMeter) Messages() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.messages.Load()
+}
+
+// Reset zeroes the meter.
+func (t *TrafficMeter) Reset() {
+	t.uploaded.Store(0)
+	t.downloaded.Store(0)
+	t.messages.Store(0)
+}
+
+// TUE (Traffic Usage Efficiency, from Li et al. [2]) is total sync traffic
+// divided by the size of the actual data update. Values near 1 are efficient;
+// large values indicate traffic overuse. Returns 0 when updateBytes is 0.
+func TUE(trafficBytes, updateBytes int64) float64 {
+	if updateBytes <= 0 {
+		return 0
+	}
+	return float64(trafficBytes) / float64(updateBytes)
+}

@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCPUMeterZeroValue(t *testing.T) {
+	var m CPUMeter
+	if m.Ticks() != 0 {
+		t.Fatalf("zero meter Ticks = %d, want 0", m.Ticks())
+	}
+	if m.Platform() != PC {
+		t.Fatalf("zero meter platform = %v, want PC", m.Platform())
+	}
+	m.Copy(1000)
+	if got := m.NanoTicks(); got != 1000*CostCopy {
+		t.Fatalf("NanoTicks = %d, want %d", got, 1000*CostCopy)
+	}
+}
+
+func TestCPUMeterNilSafe(t *testing.T) {
+	var m *CPUMeter
+	m.Copy(100)
+	m.StrongHash(100)
+	if m.NanoTicks() != 0 {
+		t.Fatal("nil meter should report 0")
+	}
+}
+
+func TestCPUMeterCostOrdering(t *testing.T) {
+	// The relative per-byte costs must preserve the ordering the design
+	// relies on: copy <= compare < rolling <= gear < strong < compress.
+	if !(CostCopy <= CostCompare && CostCompare < CostRollingHash &&
+		CostRollingHash <= CostGearHash && CostGearHash < CostStrongHash &&
+		CostStrongHash < CostCompress) {
+		t.Fatal("cost constants violate the intended ordering")
+	}
+}
+
+func TestCPUMeterMobileFactor(t *testing.T) {
+	pc := NewCPUMeter(PC)
+	mob := NewCPUMeter(Mobile)
+	pc.RollingHash(1 << 20)
+	mob.RollingHash(1 << 20)
+	if mob.NanoTicks() != MobileFactor*pc.NanoTicks() {
+		t.Fatalf("mobile = %d, pc = %d, want factor %d",
+			mob.NanoTicks(), pc.NanoTicks(), MobileFactor)
+	}
+}
+
+func TestCPUMeterTicksConversion(t *testing.T) {
+	m := NewCPUMeter(PC)
+	m.Copy(NanoTicksPerTick) // exactly one tick of copy work
+	if got := m.Ticks(); got != 1 {
+		t.Fatalf("Ticks = %d, want 1", got)
+	}
+}
+
+func TestCPUMeterNegativeIgnored(t *testing.T) {
+	m := NewCPUMeter(PC)
+	m.Copy(-5)
+	m.Net(0)
+	if m.NanoTicks() != 0 {
+		t.Fatalf("negative/zero charges should be ignored, got %d", m.NanoTicks())
+	}
+}
+
+func TestCPUMeterBreakdownAndReset(t *testing.T) {
+	m := NewCPUMeter(PC)
+	m.Copy(10)
+	m.StrongHash(20)
+	m.FSOp(3)
+	b := m.Breakdown()
+	if b["copy_bytes"] != 10 || b["strong_bytes"] != 20 || b["fs_ops"] != 3 {
+		t.Fatalf("unexpected breakdown: %v", b)
+	}
+	m.Reset()
+	if m.NanoTicks() != 0 || m.Breakdown()["copy_bytes"] != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+}
+
+func TestCPUMeterConcurrent(t *testing.T) {
+	m := NewCPUMeter(PC)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Copy(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Breakdown()["copy_bytes"]; got != 8000 {
+		t.Fatalf("concurrent copy bytes = %d, want 8000", got)
+	}
+}
+
+func TestTrafficMeter(t *testing.T) {
+	var tm TrafficMeter
+	tm.Upload(100)
+	tm.Upload(50)
+	tm.Download(30)
+	if tm.Uploaded() != 150 {
+		t.Fatalf("Uploaded = %d, want 150", tm.Uploaded())
+	}
+	if tm.Downloaded() != 30 {
+		t.Fatalf("Downloaded = %d, want 30", tm.Downloaded())
+	}
+	if tm.Messages() != 3 {
+		t.Fatalf("Messages = %d, want 3", tm.Messages())
+	}
+	tm.Reset()
+	if tm.Uploaded() != 0 || tm.Downloaded() != 0 || tm.Messages() != 0 {
+		t.Fatal("Reset did not clear traffic meter")
+	}
+}
+
+func TestTrafficMeterNilSafe(t *testing.T) {
+	var tm *TrafficMeter
+	tm.Upload(10)
+	tm.Download(10)
+	if tm.Uploaded() != 0 || tm.Downloaded() != 0 || tm.Messages() != 0 {
+		t.Fatal("nil traffic meter should report 0")
+	}
+}
+
+func TestTUE(t *testing.T) {
+	if got := TUE(200, 100); got != 2.0 {
+		t.Fatalf("TUE = %v, want 2.0", got)
+	}
+	if got := TUE(100, 0); got != 0 {
+		t.Fatalf("TUE with zero update = %v, want 0", got)
+	}
+}
+
+func TestPlatformString(t *testing.T) {
+	if PC.String() != "pc" || Mobile.String() != "mobile" {
+		t.Fatal("unexpected Platform.String values")
+	}
+	if Platform(99).String() != "platform(99)" {
+		t.Fatalf("unexpected unknown platform string: %s", Platform(99))
+	}
+}

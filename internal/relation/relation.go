@@ -1,0 +1,91 @@
+// Package relation implements the paper's relation table (§III-A, Table I):
+// the mechanism that identifies transactional updates and decides when to
+// trigger delta encoding instead of NFS-like file RPC.
+//
+// Each entry is a tuple src → dst meaning "the file once named src is now
+// preserved under dst" (dst exists, src does not). Entries are created by
+// rename and unlink operations, and removed when they trigger delta encoding
+// or after a short timeout (1–3 s; file updates complete within ~1 s).
+//
+// Delta encoding triggers when a file is created whose name equals an
+// entry's src — the invariant of transactional update: the old version is
+// preserved just before the name is atomically re-created with new content.
+package relation
+
+import (
+	"time"
+)
+
+// DefaultTimeout is the entry expiry the paper suggests (§III-A: "the period
+// can be empirically set in a range of 1 to 3 seconds").
+const DefaultTimeout = 2 * time.Second
+
+// Entry records that the file previously named Src is currently preserved
+// under Dst.
+type Entry struct {
+	Src string
+	Dst string
+	// FromUnlink marks entries created by unlink interception, whose Dst is
+	// a trash-directory name the engine must clean up on expiry.
+	FromUnlink bool
+	// At is the logical creation time.
+	At time.Duration
+}
+
+// Table is the relation table. It is not safe for concurrent use; the engine
+// serializes access (all file operations arrive on the interception path).
+type Table struct {
+	timeout time.Duration
+	entries map[string]Entry // keyed by Src
+}
+
+// New returns a table with the given entry timeout (DefaultTimeout if
+// non-positive).
+func New(timeout time.Duration) *Table {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	return &Table{timeout: timeout, entries: make(map[string]Entry)}
+}
+
+// Add records src → dst at time now, replacing any previous entry for src.
+func (t *Table) Add(src, dst string, fromUnlink bool, now time.Duration) {
+	t.entries[src] = Entry{Src: src, Dst: dst, FromUnlink: fromUnlink, At: now}
+}
+
+// Lookup returns the live entry whose Src is name, if any. Expired entries
+// are not returned (but are left for Expire to collect, since the engine
+// must clean up preserved trash files).
+func (t *Table) Lookup(name string, now time.Duration) (Entry, bool) {
+	e, ok := t.entries[name]
+	if !ok || now-e.At > t.timeout {
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// Remove deletes the entry for src (after it triggered delta encoding).
+// It returns the removed entry, if one existed.
+func (t *Table) Remove(src string) (Entry, bool) {
+	e, ok := t.entries[src]
+	if ok {
+		delete(t.entries, src)
+	}
+	return e, ok
+}
+
+// Expire removes and returns all entries older than the timeout at time now.
+// The engine deletes the preserved trash files of FromUnlink entries.
+func (t *Table) Expire(now time.Duration) []Entry {
+	var out []Entry
+	for src, e := range t.entries {
+		if now-e.At > t.timeout {
+			out = append(out, e)
+			delete(t.entries, src)
+		}
+	}
+	return out
+}
+
+// Len returns the number of live and expired-but-uncollected entries.
+func (t *Table) Len() int { return len(t.entries) }

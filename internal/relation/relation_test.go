@@ -1,0 +1,113 @@
+package relation
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAddLookupRemove(t *testing.T) {
+	tb := New(2 * time.Second)
+	tb.Add("f", "t0", false, 1*time.Second)
+
+	e, ok := tb.Lookup("f", 1500*time.Millisecond)
+	if !ok || e.Dst != "t0" || e.FromUnlink {
+		t.Fatalf("Lookup = %+v, %v", e, ok)
+	}
+	if _, ok := tb.Lookup("other", 1500*time.Millisecond); ok {
+		t.Fatal("Lookup found a nonexistent src")
+	}
+	removed, ok := tb.Remove("f")
+	if !ok || removed.Dst != "t0" {
+		t.Fatalf("Remove = %+v, %v", removed, ok)
+	}
+	if _, ok := tb.Lookup("f", 1500*time.Millisecond); ok {
+		t.Fatal("entry survived Remove")
+	}
+}
+
+func TestLookupHonorsTimeout(t *testing.T) {
+	tb := New(2 * time.Second)
+	tb.Add("f", "t0", false, 0)
+	if _, ok := tb.Lookup("f", 2*time.Second); !ok {
+		t.Fatal("entry expired exactly at timeout boundary")
+	}
+	if _, ok := tb.Lookup("f", 2*time.Second+time.Nanosecond); ok {
+		t.Fatal("expired entry returned by Lookup")
+	}
+	// Expired entries remain until Expire collects them (engine cleanup).
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tb.Len())
+	}
+}
+
+func TestExpireCollects(t *testing.T) {
+	tb := New(time.Second)
+	tb.Add("a", "trash/a", true, 0)
+	tb.Add("b", "t1", false, 500*time.Millisecond)
+	tb.Add("c", "t2", false, 3*time.Second)
+
+	expired := tb.Expire(2 * time.Second)
+	if len(expired) != 2 {
+		t.Fatalf("expired %d entries, want 2", len(expired))
+	}
+	for _, e := range expired {
+		if e.Src == "c" {
+			t.Fatal("live entry expired")
+		}
+		if e.Src == "a" && !e.FromUnlink {
+			t.Fatal("FromUnlink flag lost")
+		}
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len after expire = %d, want 1", tb.Len())
+	}
+}
+
+func TestAddReplacesExisting(t *testing.T) {
+	tb := New(time.Second)
+	tb.Add("f", "t0", false, 0)
+	tb.Add("f", "t1", false, 100*time.Millisecond)
+	e, ok := tb.Lookup("f", 200*time.Millisecond)
+	if !ok || e.Dst != "t1" {
+		t.Fatalf("Lookup after replace = %+v, %v", e, ok)
+	}
+}
+
+func TestDefaultTimeoutApplied(t *testing.T) {
+	tb := New(0)
+	tb.Add("f", "t0", false, 0)
+	if _, ok := tb.Lookup("f", DefaultTimeout-time.Millisecond); !ok {
+		t.Fatal("entry should be live inside default timeout")
+	}
+	if _, ok := tb.Lookup("f", DefaultTimeout+time.Millisecond); ok {
+		t.Fatal("entry should be expired past default timeout")
+	}
+}
+
+func TestWordPattern(t *testing.T) {
+	// Fig 5(b): rename f->t0 creates f->t0; the re-creation of f (rename
+	// t1->f) looks up src "f" and triggers delta against t0.
+	tb := New(2 * time.Second)
+	now := 10 * time.Second
+	tb.Add("f", "t0", false, now) // from: rename f t0
+
+	// ... create t1, write t1 happen here ...
+	now += 300 * time.Millisecond
+
+	// rename t1 -> f: "f" is being created again.
+	e, ok := tb.Lookup("f", now)
+	if !ok || e.Dst != "t0" {
+		t.Fatalf("transactional update not identified: %+v, %v", e, ok)
+	}
+	tb.Remove("f") // triggered
+	if tb.Len() != 0 {
+		t.Fatal("entry not removed after trigger")
+	}
+}
+
+func TestRemoveMissing(t *testing.T) {
+	tb := New(time.Second)
+	if _, ok := tb.Remove("ghost"); ok {
+		t.Fatal("Remove of missing entry reported ok")
+	}
+}

@@ -1,0 +1,122 @@
+// Package rsync implements the rsync delta-encoding algorithm [Tridgell
+// 1996] in the two forms the paper uses:
+//
+//   - the classic remote form (fixed-size blocks, rolling weak checksum, MD5
+//     strong verification), as employed by Dropbox/librsync, and
+//   - the DeltaCFS local form (paper §III-A): when both the old and the new
+//     version of a file are on the same machine, strong checksums are
+//     replaced by direct bitwise comparison, eliminating most of rsync's
+//     per-byte CPU cost.
+//
+// All entry points charge a metrics.CPUMeter for the algorithmic work they
+// perform, so the evaluation harness can report deterministic CPU ticks.
+package rsync
+
+import (
+	"repro/internal/block"
+	"repro/internal/metrics"
+)
+
+// Sig is the signature of a base file: per-block weak (and optionally
+// strong) checksums. It corresponds to what an rsync receiver transmits to
+// the sender; in DeltaCFS's local mode it is computed in place and never
+// crosses the network.
+type Sig struct {
+	BlockSize int
+	FileLen   int64
+	Blocks    []block.Sig
+	// HasStrong reports whether Blocks[i].Strong is populated. The local
+	// (bitwise-comparison) mode skips strong checksums entirely.
+	HasStrong bool
+
+	weakIndex map[uint32][]int
+}
+
+// Signature computes the full (weak + strong) signature of base using the
+// given block size, charging meter for the rolling and MD5 passes. blockSize
+// must be positive; callers normally pass block.DefaultBlockSize.
+func Signature(base []byte, blockSize int, meter *metrics.CPUMeter) *Sig {
+	s := signature(base, blockSize, true)
+	meter.RollingHash(int64(len(base)))
+	meter.StrongHash(int64(len(base)))
+	return s
+}
+
+// WeakSignature computes a weak-only signature of base. This is the
+// signature DeltaCFS's local mode uses: strong checksums are unnecessary
+// because candidate matches are verified by bitwise comparison against the
+// local base bytes.
+func WeakSignature(base []byte, blockSize int, meter *metrics.CPUMeter) *Sig {
+	s := signature(base, blockSize, false)
+	meter.RollingHash(int64(len(base)))
+	return s
+}
+
+func signature(base []byte, blockSize int, withStrong bool) *Sig {
+	if blockSize <= 0 {
+		blockSize = block.DefaultBlockSize
+	}
+	nBlocks := (len(base) + blockSize - 1) / blockSize
+	s := &Sig{
+		BlockSize: blockSize,
+		FileLen:   int64(len(base)),
+		Blocks:    make([]block.Sig, 0, nBlocks),
+		HasStrong: withStrong,
+	}
+	for i := 0; i < nBlocks; i++ {
+		lo := i * blockSize
+		hi := lo + blockSize
+		if hi > len(base) {
+			hi = len(base)
+		}
+		bs := block.Sig{Index: i, Weak: block.WeakSum(base[lo:hi])}
+		if withStrong {
+			bs.Strong = block.StrongSum(base[lo:hi])
+		}
+		s.Blocks = append(s.Blocks, bs)
+	}
+	return s
+}
+
+// index returns the weak-checksum → block-indexes map, building it on first
+// use. Only full-size blocks participate in rolling matches; a short trailing
+// block is matched separately by the delta routines.
+func (s *Sig) index() map[uint32][]int {
+	if s.weakIndex != nil {
+		return s.weakIndex
+	}
+	s.weakIndex = make(map[uint32][]int, len(s.Blocks))
+	for i, b := range s.Blocks {
+		if s.blockLen(i) != s.BlockSize {
+			continue
+		}
+		s.weakIndex[b.Weak] = append(s.weakIndex[b.Weak], i)
+	}
+	return s.weakIndex
+}
+
+// blockLen returns the length in bytes of block i.
+func (s *Sig) blockLen(i int) int {
+	lo := int64(i) * int64(s.BlockSize)
+	if lo >= s.FileLen {
+		return 0
+	}
+	n := s.FileLen - lo
+	if n > int64(s.BlockSize) {
+		n = int64(s.BlockSize)
+	}
+	return int(n)
+}
+
+// tailBlock returns the index of a short trailing block, or -1 if the file
+// length is an exact multiple of the block size (or the file is empty).
+func (s *Sig) tailBlock() int {
+	if len(s.Blocks) == 0 {
+		return -1
+	}
+	last := len(s.Blocks) - 1
+	if s.blockLen(last) == s.BlockSize {
+		return -1
+	}
+	return last
+}

@@ -1,0 +1,383 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/rsync"
+	"repro/internal/version"
+	"repro/internal/wire"
+)
+
+// errConflict signals a base-version mismatch during application.
+var errConflict = errors.New("server: base version mismatch")
+
+// debugConflicts enables conflict tracing (tests only).
+var debugConflicts = false
+
+// txn records compensation data so a partially applied batch can be rolled
+// back. Old content slices are retained by reference (mutating operations
+// copy-on-write), so rollback is cheap and allocation-light.
+type txn struct {
+	s *Server
+	// ops collects applied operations, appended to the server log on
+	// commit only.
+	ops []AppliedOp
+	// prevFiles maps each touched path to its prior content slice (nil
+	// plus absent=true for files that did not exist).
+	prevFiles map[string]prevFile
+	prevVers  map[string]version.ID
+	prevDirs  map[string]bool
+}
+
+type prevFile struct {
+	content []byte
+	existed bool
+}
+
+func newTxn(s *Server) *txn {
+	return &txn{
+		s:         s,
+		prevFiles: make(map[string]prevFile),
+		prevVers:  make(map[string]version.ID),
+		prevDirs:  make(map[string]bool),
+	}
+}
+
+// touch snapshots a path's state once.
+func (t *txn) touch(path string) {
+	if _, ok := t.prevFiles[path]; !ok {
+		c, existed := t.s.files[path]
+		t.prevFiles[path] = prevFile{content: c, existed: existed}
+		t.prevVers[path] = t.s.vers.Get(path)
+	}
+}
+
+func (t *txn) touchDir(path string) {
+	if _, ok := t.prevDirs[path]; !ok {
+		t.prevDirs[path] = t.s.dirs[path]
+	}
+}
+
+func (t *txn) rollback() {
+	for p, pf := range t.prevFiles {
+		if pf.existed {
+			t.s.files[p] = pf.content
+		} else {
+			delete(t.s.files, p)
+		}
+		t.s.vers.Set(p, t.prevVers[p])
+	}
+	for p, existed := range t.prevDirs {
+		if existed {
+			t.s.dirs[p] = true
+		} else {
+			delete(t.s.dirs, p)
+		}
+	}
+}
+
+// commit finalizes the transaction, appending to the server's applied-op
+// log and recording history snapshots for conflict resolution when multiple
+// clients are registered.
+func (t *txn) commit() {
+	t.s.applied = append(t.s.applied, t.ops...)
+	if len(t.s.outboxes) <= 1 {
+		return
+	}
+	for p := range t.prevFiles {
+		c, ok := t.s.files[p]
+		if !ok {
+			continue
+		}
+		snap := append([]byte(nil), c...)
+		t.s.meter.Copy(int64(len(snap)))
+		h := append(t.s.history[p], revision{ver: t.s.vers.Get(p), content: snap})
+		if len(h) > HistoryDepth {
+			h = h[len(h)-HistoryDepth:]
+		}
+		t.s.history[p] = h
+	}
+}
+
+// mutable returns a content buffer for path that is safe to modify in place:
+// the prior slice is preserved in the txn, so the first mutation of a path
+// in a transaction copies it.
+func (t *txn) mutable(path string, minLen int64) []byte {
+	t.touch(path)
+	cur := t.s.files[path]
+	n := int64(len(cur))
+	if minLen > n {
+		n = minLen
+	}
+	fresh := make([]byte, n)
+	copy(fresh, cur)
+	t.s.meter.Copy(int64(len(cur)))
+	return fresh
+}
+
+// checkBase verifies the node's base version against the live map.
+func (t *txn) checkBase(n *wire.Node) error {
+	switch n.Kind {
+	case wire.NMkdir, wire.NRmdir:
+		return nil
+	}
+	if !version.CheckBase(t.s.vers.Get(n.Path), n.Base) {
+		if debugConflicts {
+			fmt.Printf("CONFLICT %s %s: server=%v node.Base=%v node.Ver=%v\n",
+				n.Kind, n.Path, t.s.vers.Get(n.Path), n.Base, n.Ver)
+		}
+		return errConflict
+	}
+	return nil
+}
+
+// applyNode applies one node inside the transaction, including its version
+// check and stamp.
+func (s *Server) applyNode(t *txn, n *wire.Node) error {
+	if err := t.checkBase(n); err != nil {
+		return err
+	}
+	t.ops = append(t.ops, AppliedOp{Kind: n.Kind, Path: n.Path})
+	switch n.Kind {
+	case wire.NCreate:
+		t.touch(n.Path)
+		s.files[n.Path] = nil
+
+	case wire.NWrite:
+		var maxEnd int64
+		for _, e := range n.Extents {
+			if end := e.Off + int64(len(e.Data)); end > maxEnd {
+				maxEnd = end
+			}
+		}
+		buf := t.mutable(n.Path, maxEnd)
+		for _, e := range n.Extents {
+			copy(buf[e.Off:], e.Data)
+			s.meter.Copy(int64(len(e.Data)))
+		}
+		s.files[n.Path] = buf
+
+	case wire.NTruncate:
+		t.touch(n.Path)
+		cur, ok := s.files[n.Path]
+		if !ok {
+			return fmt.Errorf("truncate: %s does not exist", n.Path)
+		}
+		if n.Size <= int64(len(cur)) {
+			// Slicing shares the old array; the txn retains the original
+			// slice header, so rollback still sees the full content.
+			s.files[n.Path] = cur[:n.Size:n.Size]
+		} else {
+			buf := make([]byte, n.Size)
+			copy(buf, cur)
+			s.meter.Copy(int64(len(cur)))
+			s.files[n.Path] = buf
+		}
+
+	case wire.NRename:
+		t.touch(n.Path)
+		t.touch(n.Dst)
+		c, ok := s.files[n.Path]
+		if !ok {
+			return fmt.Errorf("rename: %s does not exist", n.Path)
+		}
+		s.files[n.Dst] = c
+		delete(s.files, n.Path)
+		s.vers.Rename(n.Path, n.Dst)
+
+	case wire.NLink:
+		t.touch(n.Path)
+		t.touch(n.Dst)
+		c, ok := s.files[n.Path]
+		if !ok {
+			return fmt.Errorf("link: %s does not exist", n.Path)
+		}
+		// The server store has no inodes; a link materializes as a copy
+		// that shares the content slice (copied on next write).
+		s.files[n.Dst] = c
+
+	case wire.NUnlink:
+		t.touch(n.Path)
+		if _, ok := s.files[n.Path]; !ok {
+			return fmt.Errorf("unlink: %s does not exist", n.Path)
+		}
+		delete(s.files, n.Path)
+		s.vers.Delete(n.Path)
+
+	case wire.NMkdir:
+		t.touchDir(n.Path)
+		s.dirs[n.Path] = true
+		return nil
+
+	case wire.NRmdir:
+		t.touchDir(n.Path)
+		delete(s.dirs, n.Path)
+		return nil
+
+	case wire.NDelta:
+		basePath := n.BasePath
+		if basePath == "" {
+			basePath = n.Path
+		}
+		base := s.files[basePath]
+		out, err := rsync.Patch(base, n.Delta, s.meter)
+		if err != nil {
+			return fmt.Errorf("delta on %s (base %s): %w", n.Path, basePath, err)
+		}
+		t.touch(n.Path)
+		s.files[n.Path] = out
+
+	case wire.NFull:
+		t.touch(n.Path)
+		buf := append([]byte(nil), n.Full...)
+		s.meter.Copy(int64(len(buf)))
+		s.files[n.Path] = buf
+
+	case wire.NCDC:
+		t.touch(n.Path)
+		var total int64
+		for _, c := range n.Chunks {
+			total += c.Len
+		}
+		// Resolve every reference before storing any carried chunk: the
+		// client built its references against the store's state at push
+		// time, and inserting new chunks first could evict a chunk a later
+		// reference in this very node still needs.
+		resolved := make([][]byte, len(n.Chunks))
+		for i, c := range n.Chunks {
+			data := c.Data
+			if data == nil {
+				stored, ok := s.chunks[c.Hash]
+				if !ok {
+					return fmt.Errorf("cdc: %s references unknown chunk %x", n.Path, c.Hash[:4])
+				}
+				data = stored
+			}
+			if int64(len(data)) != c.Len {
+				return fmt.Errorf("cdc: chunk %x length %d != %d", c.Hash[:4], len(data), c.Len)
+			}
+			resolved[i] = data
+		}
+		buf := make([]byte, 0, total)
+		for i, c := range n.Chunks {
+			if c.Data != nil {
+				s.storeChunk(c.Hash, append([]byte(nil), c.Data...))
+			}
+			buf = append(buf, resolved[i]...)
+			s.meter.Copy(int64(len(resolved[i])))
+		}
+		s.files[n.Path] = buf
+
+	default:
+		return fmt.Errorf("unknown node kind %d", n.Kind)
+	}
+
+	switch n.Kind {
+	case wire.NUnlink, wire.NMkdir, wire.NRmdir:
+		// No version to stamp: the path is gone or is a directory.
+	case wire.NRename:
+		if !n.Ver.IsZero() {
+			s.vers.Delete(n.Path)
+			s.vers.Set(n.Dst, n.Ver)
+		}
+	case wire.NLink:
+		if !n.Ver.IsZero() {
+			s.vers.Set(n.Dst, n.Ver) // the new name gets the version; the source keeps its own
+		}
+	default:
+		if !n.Ver.IsZero() {
+			s.vers.Set(n.Path, n.Ver)
+		}
+	}
+	return nil
+}
+
+// materializeConflict implements first-write-wins reconciliation: the
+// server's current content stays the latest version; the losing update is
+// applied to the base version it was made against (from history) and stored
+// under a conflict name. Returns the conflict paths created.
+func (s *Server) materializeConflict(from uint32, nodes []*wire.Node) []string {
+	var out []string
+	for _, n := range nodes {
+		switch n.Kind {
+		case wire.NMkdir, wire.NRmdir, wire.NUnlink, wire.NRename, wire.NLink, wire.NCreate:
+			continue
+		}
+		base, ok := s.historyContent(n.Path, n.Base)
+		if !ok {
+			// No retrievable base: fall back to an empty conflict marker
+			// file so the user still learns about the lost update.
+			base = nil
+		}
+		content, err := s.applyToContent(base, n)
+		if err != nil {
+			continue
+		}
+		name := fmt.Sprintf("%s.conflict-%d-%d", n.Path, from, n.Ver.Count)
+		s.files[name] = content
+		out = append(out, name)
+	}
+	return out
+}
+
+// historyContent finds the retained snapshot of path at version v. A zero
+// version resolves to empty content.
+func (s *Server) historyContent(path string, v version.ID) ([]byte, bool) {
+	if v.IsZero() {
+		return nil, true
+	}
+	for _, rev := range s.history[path] {
+		if rev.ver == v {
+			return rev.content, true
+		}
+	}
+	return nil, false
+}
+
+// applyToContent applies a single content-bearing node to a standalone
+// buffer (conflict materialization).
+func (s *Server) applyToContent(base []byte, n *wire.Node) ([]byte, error) {
+	switch n.Kind {
+	case wire.NWrite:
+		buf := append([]byte(nil), base...)
+		for _, e := range n.Extents {
+			if end := e.Off + int64(len(e.Data)); end > int64(len(buf)) {
+				grown := make([]byte, end)
+				copy(grown, buf)
+				buf = grown
+			}
+			copy(buf[e.Off:], e.Data)
+		}
+		return buf, nil
+	case wire.NTruncate:
+		if n.Size <= int64(len(base)) {
+			return append([]byte(nil), base[:n.Size]...), nil
+		}
+		buf := make([]byte, n.Size)
+		copy(buf, base)
+		return buf, nil
+	case wire.NDelta:
+		return rsync.Patch(base, n.Delta, s.meter)
+	case wire.NFull:
+		return append([]byte(nil), n.Full...), nil
+	case wire.NCDC:
+		var buf []byte
+		for _, c := range n.Chunks {
+			data := c.Data
+			if data == nil {
+				stored, ok := s.chunks[c.Hash]
+				if !ok {
+					return nil, fmt.Errorf("cdc conflict: unknown chunk")
+				}
+				data = stored
+			}
+			buf = append(buf, data...)
+		}
+		return buf, nil
+	}
+	return nil, fmt.Errorf("node kind %v carries no content", n.Kind)
+}
+
+// EnableConflictDebug toggles conflict tracing (tests only).
+func EnableConflictDebug(on bool) { debugConflicts = on }

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/block"
+	"repro/internal/version"
+)
+
+// The paper leaves the server-side system design to future work (§VI),
+// envisioning wimpy machines fronting large disks. This file provides the
+// piece a deployable server minimally needs: durable state. Save serializes
+// the full server state (files, versions, the bounded chunk store) and Load
+// restores it, so cmd/deltacfs-server can persist across restarts with a
+// snapshot-on-shutdown (plus periodic) policy. Client outboxes are volatile
+// by design: a reconnecting client re-syncs via Head metadata.
+
+// snapshotState is the serialized form of the server's durable state.
+type snapshotState struct {
+	Version int
+	Files   map[string][]byte
+	Dirs    map[string]bool
+	Vers    map[string]version.ID
+	Chunks  map[block.Strong][]byte
+	// ChunkFIFO preserves eviction order across restarts so clients that
+	// also persisted their trackers stay in lockstep.
+	ChunkFIFO []block.Strong
+	Applied   []AppliedOp
+}
+
+const snapshotVersion = 1
+
+// Save writes the server's durable state to w.
+func (s *Server) Save(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	state := snapshotState{
+		Version:   snapshotVersion,
+		Files:     s.files,
+		Dirs:      s.dirs,
+		Vers:      make(map[string]version.ID, len(s.files)),
+		Chunks:    s.chunks,
+		ChunkFIFO: s.chunkFIFO,
+		Applied:   s.applied,
+	}
+	for p := range s.files {
+		if v := s.vers.Get(p); !v.IsZero() {
+			state.Vers[p] = v
+		}
+	}
+	if err := gob.NewEncoder(w).Encode(&state); err != nil {
+		return fmt.Errorf("server: save: %w", err)
+	}
+	return nil
+}
+
+// Load restores state saved by Save into a fresh server. It must be called
+// before any client registers.
+func (s *Server) Load(r io.Reader) error {
+	var state snapshotState
+	if err := gob.NewDecoder(r).Decode(&state); err != nil {
+		return fmt.Errorf("server: load: %w", err)
+	}
+	if state.Version != snapshotVersion {
+		return fmt.Errorf("server: load: unsupported snapshot version %d", state.Version)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.nextClient != 0 {
+		return fmt.Errorf("server: load: clients already registered")
+	}
+	s.files = state.Files
+	if state.Dirs != nil {
+		s.dirs = state.Dirs
+	}
+	s.vers = version.NewMap()
+	for p, v := range state.Vers {
+		s.vers.Set(p, v)
+	}
+	s.chunks = state.Chunks
+	if s.chunks == nil {
+		s.chunks = make(map[block.Strong][]byte)
+	}
+	s.chunkFIFO = state.ChunkFIFO
+	s.chunkBytes = 0
+	for _, d := range s.chunks {
+		s.chunkBytes += int64(len(d))
+	}
+	s.applied = state.Applied
+	return nil
+}
+
+// SaveFile writes the state to path atomically (write temp, fsync, rename).
+func (s *Server) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("server: save file: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	if err := s.Save(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile restores state from path. A missing file is not an error (fresh
+// server); the second return value reports whether state was loaded.
+func (s *Server) LoadFile(path string) (bool, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("server: load file: %w", err)
+	}
+	defer f.Close()
+	if err := s.Load(bufio.NewReader(f)); err != nil {
+		return false, err
+	}
+	return true, nil
+}

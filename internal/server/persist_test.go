@@ -1,0 +1,110 @@
+package server
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := New(nil)
+	cli := s.Register()
+	content := randBytes(60, 30000)
+	mustOK(t, push(t, s, cli, &wire.Node{Kind: wire.NFull, Path: "doc", Full: content, Ver: v(cli, 1)}))
+	mustOK(t, push(t, s, cli, &wire.Node{Kind: wire.NMkdir, Path: "dir"}))
+	mustOK(t, push(t, s, cli, &wire.Node{Kind: wire.NCDC, Path: "chunked",
+		Chunks: []wire.ChunkRef{{Hash: [16]byte{7}, Len: 5, Data: []byte("hello")}}, Ver: v(cli, 2)}))
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := New(nil)
+	if err := s2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.FileContent("doc")
+	if !ok || !bytes.Equal(got, content) {
+		t.Fatal("file content lost across save/load")
+	}
+	if s2.Version("doc") != v(cli, 1) {
+		t.Fatalf("version = %v", s2.Version("doc"))
+	}
+	// The chunk store survives: a reference-only upload resolves.
+	cli2 := s2.Register()
+	mustOK(t, push(t, s2, cli2, &wire.Node{Kind: wire.NCDC, Path: "copy",
+		Chunks: []wire.ChunkRef{{Hash: [16]byte{7}, Len: 5}}, Base: s2.Version("copy"), Ver: v(cli2, 1)}))
+	cp, _ := s2.FileContent("copy")
+	if !bytes.Equal(cp, []byte("hello")) {
+		t.Fatal("chunk store lost across save/load")
+	}
+	// A reconnecting client continues the version chain.
+	mustOK(t, push(t, s2, cli2, &wire.Node{Kind: wire.NWrite, Path: "doc",
+		Base: v(cli, 1), Ver: v(cli2, 2),
+		Extents: []wire.Extent{{Off: 0, Data: []byte("updated")}}}))
+}
+
+func TestLoadRefusesAfterRegister(t *testing.T) {
+	s := New(nil)
+	var buf bytes.Buffer
+	if err := New(nil).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s.Register()
+	if err := s.Load(&buf); err == nil {
+		t.Fatal("Load succeeded after a client registered")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	s := New(nil)
+	if err := s.Load(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("Load accepted garbage")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.db")
+
+	s := New(nil)
+	cli := s.Register()
+	mustOK(t, push(t, s, cli, &wire.Node{Kind: wire.NFull, Path: "f",
+		Full: []byte("persisted"), Ver: v(cli, 1)}))
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := New(nil)
+	loaded, err := s2.LoadFile(path)
+	if err != nil || !loaded {
+		t.Fatalf("LoadFile = %v, %v", loaded, err)
+	}
+	got, _ := s2.FileContent("f")
+	if !bytes.Equal(got, []byte("persisted")) {
+		t.Fatal("content lost across file round trip")
+	}
+
+	// Missing file: fresh server, no error.
+	s3 := New(nil)
+	loaded, err = s3.LoadFile(filepath.Join(t.TempDir(), "absent.db"))
+	if err != nil || loaded {
+		t.Fatalf("LoadFile(absent) = %v, %v", loaded, err)
+	}
+}
+
+func TestAppliedLogSurvivesReload(t *testing.T) {
+	s := New(nil)
+	cli := s.Register()
+	mustOK(t, push(t, s, cli, &wire.Node{Kind: wire.NCreate, Path: "a", Ver: v(cli, 1)}))
+	var buf bytes.Buffer
+	s.Save(&buf)
+	s2 := New(nil)
+	s2.Load(&buf)
+	log := s2.AppliedLog()
+	if len(log) != 1 || log[0].Path != "a" {
+		t.Fatalf("AppliedLog = %+v", log)
+	}
+}

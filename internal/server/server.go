@@ -1,0 +1,310 @@
+// Package server implements the cloud side of the sync protocol. Per the
+// paper's design goal, it is deliberately thin: it stores files, applies the
+// incremental data clients generate (write extents, rsync deltas, CDC chunk
+// lists, whole files), enforces client-assigned version control with
+// first-write-wins conflict reconciliation (§III-C), applies DeltaCFS's
+// backindex batches transactionally (§III-E), and forwards applied updates
+// to other clients sharing the files (§III-D).
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/block"
+	"repro/internal/metrics"
+	"repro/internal/version"
+	"repro/internal/wire"
+)
+
+// HistoryDepth is how many recent versions of each file the server retains
+// for conflict resolution ("servers keep recent versions of files, the
+// incremental data can still be applied to the proper file to generate the
+// conflict version"). History is only recorded while more than one client is
+// registered — a single writer can never conflict with itself.
+const HistoryDepth = 3
+
+// revision is one retained file version.
+type revision struct {
+	ver     version.ID
+	content []byte
+}
+
+// Server is the cloud store. All methods are safe for concurrent use.
+type Server struct {
+	mu sync.Mutex
+
+	files map[string][]byte
+	dirs  map[string]bool
+	vers  *version.Map
+	// history holds recent content snapshots per path, newest last.
+	history map[string][]revision
+	// chunks is the server-wide content-addressed chunk store
+	// (Seafile/Dropbox dedup), bounded to wire.ChunkStoreBudget bytes with
+	// FIFO eviction; clients mirror the policy (baseline.ChunkTracker).
+	chunks     map[block.Strong][]byte
+	chunkFIFO  []block.Strong
+	chunkBytes int64
+
+	outboxes   map[uint32][]*wire.Batch
+	nextClient uint32
+
+	// applied records the order in which content-bearing nodes were
+	// committed, for the upload-ordering experiment (Table IV).
+	applied []AppliedOp
+
+	meter *metrics.CPUMeter
+}
+
+// AppliedOp is one committed operation in server order.
+type AppliedOp struct {
+	Kind wire.NodeKind
+	Path string
+}
+
+// New returns an empty server charging CPU work to meter (may be nil).
+func New(meter *metrics.CPUMeter) *Server {
+	return &Server{
+		files:    make(map[string][]byte),
+		dirs:     map[string]bool{".": true},
+		vers:     version.NewMap(),
+		history:  make(map[string][]revision),
+		chunks:   make(map[block.Strong][]byte),
+		outboxes: make(map[uint32][]*wire.Batch),
+		meter:    meter,
+	}
+}
+
+// Meter returns the server's CPU meter.
+func (s *Server) Meter() *metrics.CPUMeter { return s.meter }
+
+// Register assigns a new client ID and creates its forwarding outbox.
+func (s *Server) Register() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextClient++
+	id := s.nextClient
+	s.outboxes[id] = nil
+	return id
+}
+
+// SeedFile installs initial content outside the measured run (both sides of
+// an experiment start from identical state). No version is assigned: the
+// file starts at the zero version, matching clients that seed the same way.
+func (s *Server) SeedFile(path string, content []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.files[path] = append([]byte(nil), content...)
+}
+
+// SeedChunk installs a content-addressed chunk in the server's chunk store
+// outside the measured run (matching a client primed to treat the chunk as
+// server-known).
+func (s *Server) SeedChunk(h block.Strong, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.storeChunk(h, append([]byte(nil), data...))
+}
+
+// storeChunk inserts a chunk, evicting FIFO past the budget. Re-inserting a
+// resident chunk is a no-op (matching the client-side tracker).
+func (s *Server) storeChunk(h block.Strong, data []byte) {
+	if _, ok := s.chunks[h]; ok {
+		return
+	}
+	s.chunks[h] = data
+	s.chunkFIFO = append(s.chunkFIFO, h)
+	s.chunkBytes += int64(len(data))
+	for s.chunkBytes > wire.ChunkStoreBudget && len(s.chunkFIFO) > 0 {
+		old := s.chunkFIFO[0]
+		s.chunkFIFO = s.chunkFIFO[1:]
+		if d, ok := s.chunks[old]; ok {
+			s.chunkBytes -= int64(len(d))
+			delete(s.chunks, old)
+		}
+	}
+}
+
+// FileContent returns a copy of the file's current content.
+func (s *Server) FileContent(path string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.files[path]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), c...), true
+}
+
+// Files returns the stored paths (unordered).
+func (s *Server) Files() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.files))
+	for p := range s.files {
+		out = append(out, p)
+	}
+	return out
+}
+
+// AppliedLog returns the order in which operations were committed.
+func (s *Server) AppliedLog() []AppliedOp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]AppliedOp(nil), s.applied...)
+}
+
+// Head returns path's current version and existence — the metadata lookup
+// clients use to (re)synchronize their version maps after a restart.
+func (s *Server) Head(path string) (version.ID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.files[path]
+	return s.vers.Get(path), ok
+}
+
+// Version returns the current version of path.
+func (s *Server) Version(path string) version.ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.vers.Get(path)
+}
+
+// Fetch returns a file's content and version.
+func (s *Server) Fetch(path string) *wire.FetchReply {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.meter.RPC(1)
+	c, ok := s.files[path]
+	if !ok {
+		return &wire.FetchReply{}
+	}
+	out := append([]byte(nil), c...)
+	s.meter.Copy(int64(len(out)))
+	s.meter.Net(int64(len(out)))
+	return &wire.FetchReply{Content: out, Ver: s.vers.Get(path), Exists: true}
+}
+
+// FetchRange returns part of a file (clipped at EOF).
+func (s *Server) FetchRange(path string, off, n int64) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.meter.RPC(1)
+	c, ok := s.files[path]
+	if !ok {
+		return nil, fmt.Errorf("server: fetch range: %s does not exist", path)
+	}
+	if off < 0 || n < 0 {
+		return nil, fmt.Errorf("server: fetch range: negative range")
+	}
+	if off >= int64(len(c)) {
+		return nil, nil
+	}
+	end := off + n
+	if end > int64(len(c)) {
+		end = int64(len(c))
+	}
+	out := append([]byte(nil), c[off:end]...)
+	s.meter.Copy(int64(len(out)))
+	s.meter.Net(int64(len(out)))
+	return out, nil
+}
+
+// Poll drains the forwarding outbox of the given client.
+func (s *Server) Poll(client uint32) []*wire.Batch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.outboxes[client]
+	s.outboxes[client] = nil
+	for _, b := range out {
+		s.meter.Net(b.WireSize())
+	}
+	return out
+}
+
+// Push applies a batch from the given client. Atomic batches are applied
+// all-or-nothing. On a version conflict, first-write-wins: the server's
+// current content stays the latest version and the incoming update is
+// materialized as a conflict file (for every file the batch touches, per
+// §III-E's atomic-group conflict rule).
+func (s *Server) Push(from uint32, b *wire.Batch) *wire.PushReply {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	s.meter.RPC(1)
+	s.meter.Net(b.WireSize())
+
+	reply := &wire.PushReply{Statuses: make([]wire.ApplyStatus, len(b.Nodes))}
+
+	if b.Atomic {
+		s.pushAtomic(from, b, reply)
+	} else {
+		for i, n := range b.Nodes {
+			s.applyOne(from, n, i, reply)
+		}
+	}
+
+	// Forward the batch to every other registered client (§III-D: "when
+	// the cloud receives data from a client, besides storing the data it
+	// also forwards the data to other shared clients").
+	if len(s.outboxes) > 1 {
+		for id := range s.outboxes {
+			if id != from {
+				s.outboxes[id] = append(s.outboxes[id], b)
+			}
+		}
+	}
+	return reply
+}
+
+// applyOne applies a single (non-atomic) node.
+func (s *Server) applyOne(from uint32, n *wire.Node, i int, reply *wire.PushReply) {
+	tx := newTxn(s)
+	err := s.applyNode(tx, n)
+	switch {
+	case errors.Is(err, errConflict):
+		tx.rollback()
+		reply.Statuses[i] = wire.StatusConflict
+		reply.Conflicts = append(reply.Conflicts, s.materializeConflict(from, []*wire.Node{n})...)
+	case err != nil:
+		tx.rollback()
+		reply.Statuses[i] = wire.StatusError
+		reply.Err = err.Error()
+	default:
+		tx.commit()
+		reply.Statuses[i] = wire.StatusOK
+	}
+}
+
+// pushAtomic applies all nodes or none. If any node conflicts, the whole
+// group becomes a conflict (§III-E): none of it is applied to the live tree
+// and every content-bearing file in the group gets a conflict copy. Version
+// checks run during application, so bases chaining within the batch (node
+// k's base is node k-1's version) resolve correctly.
+func (s *Server) pushAtomic(from uint32, b *wire.Batch, reply *wire.PushReply) {
+	tx := newTxn(s)
+	for i, n := range b.Nodes {
+		err := s.applyNode(tx, n)
+		if err == nil {
+			continue
+		}
+		tx.rollback()
+		if errors.Is(err, errConflict) {
+			for j := range b.Nodes {
+				reply.Statuses[j] = wire.StatusConflict
+			}
+			reply.Conflicts = append(reply.Conflicts, s.materializeConflict(from, b.Nodes)...)
+			return
+		}
+		for j := range b.Nodes {
+			reply.Statuses[j] = wire.StatusError
+		}
+		reply.Err = fmt.Sprintf("node %d (%s %s): %v", i, n.Kind, n.Path, err)
+		return
+	}
+	tx.commit()
+	for j := range b.Nodes {
+		reply.Statuses[j] = wire.StatusOK
+	}
+}

@@ -1,0 +1,507 @@
+package syncqueue
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/rsync"
+)
+
+const delay = 3 * time.Second
+
+func popAll(q *Queue, now time.Duration) []*Node {
+	var nodes []*Node
+	for _, b := range q.PopReady(now) {
+		nodes = append(nodes, b.Nodes...)
+	}
+	return nodes
+}
+
+func TestWriteBatchingSameFile(t *testing.T) {
+	q := New(delay)
+	n1 := q.Write("f", 0, []byte("aa"), 0)
+	n2 := q.Write("f", 2, []byte("bb"), time.Second)
+	if n1 != n2 {
+		t.Fatal("writes to same file did not share a write node")
+	}
+	// Contiguous writes coalesce into one extent.
+	if len(n1.Extents) != 1 || !bytes.Equal(n1.Extents[0].Data, []byte("aabb")) {
+		t.Fatalf("extents = %+v", n1.Extents)
+	}
+	n3 := q.Write("f", 100, []byte("cc"), time.Second)
+	if n3 != n1 || len(n1.Extents) != 2 {
+		t.Fatalf("non-contiguous write handling: %+v", n1.Extents)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", q.Len())
+	}
+}
+
+func TestWriteDataIsCopied(t *testing.T) {
+	q := New(delay)
+	buf := []byte("mutate")
+	n := q.Write("f", 0, buf, 0)
+	buf[0] = 'X'
+	if !bytes.Equal(n.Extents[0].Data, []byte("mutate")) {
+		t.Fatal("write node aliased the caller's buffer")
+	}
+}
+
+func TestPackStopsBatching(t *testing.T) {
+	q := New(delay)
+	n1 := q.Write("f", 0, []byte("a"), 0)
+	q.Pack("f")
+	n2 := q.Write("f", 1, []byte("b"), 0)
+	if n1 == n2 {
+		t.Fatal("write attached to packed node")
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+}
+
+func TestAppendPacksAffectedPaths(t *testing.T) {
+	q := New(delay)
+	w := q.Write("f", 0, []byte("a"), 0)
+	q.Append(&Node{Kind: KindRename, Path: "f", Dst: "g", At: 0})
+	w2 := q.Write("f", 0, []byte("b"), 0)
+	if w == w2 {
+		t.Fatal("rename did not pack the write node")
+	}
+	// Dst pack too: a rename onto a path with an open node packs it.
+	w3 := q.Write("h", 0, []byte("c"), 0)
+	q.Append(&Node{Kind: KindRename, Path: "x", Dst: "h", At: 0})
+	w4 := q.Write("h", 0, []byte("d"), 0)
+	if w3 == w4 {
+		t.Fatal("rename destination did not pack the write node")
+	}
+}
+
+func TestDelayGatesUpload(t *testing.T) {
+	q := New(delay)
+	q.Write("f", 0, []byte("x"), 10*time.Second)
+	if got := popAll(q, 10*time.Second+delay-time.Millisecond); len(got) != 0 {
+		t.Fatalf("popped %d nodes before delay", len(got))
+	}
+	got := popAll(q, 10*time.Second+delay)
+	if len(got) != 1 || got[0].Kind != KindWrite {
+		t.Fatalf("popped %+v", got)
+	}
+	if q.Len() != 0 || q.BufferedBytes() != 0 {
+		t.Fatalf("queue not drained: len=%d buffered=%d", q.Len(), q.BufferedBytes())
+	}
+}
+
+func TestFIFOAcrossFiles(t *testing.T) {
+	q := New(delay)
+	q.Append(&Node{Kind: KindCreate, Path: "a", At: 0})
+	q.Append(&Node{Kind: KindCreate, Path: "b", At: time.Second})
+	q.Write("a", 0, []byte("1"), 2*time.Second)
+	got := popAll(q, time.Minute)
+	if len(got) != 3 {
+		t.Fatalf("popped %d nodes", len(got))
+	}
+	if got[0].Path != "a" || got[1].Path != "b" || got[2].Kind != KindWrite {
+		t.Fatalf("order: %v %v %v", got[0], got[1], got[2])
+	}
+}
+
+func TestTruncateSupersedesBufferedData(t *testing.T) {
+	// The journal pattern: create, write, truncate-to-0 before upload.
+	// The buffered journal bytes must be dropped.
+	q := New(delay)
+	q.Append(&Node{Kind: KindCreate, Path: "j", At: 0})
+	q.Write("j", 0, bytes.Repeat([]byte{1}, 4096), 0)
+	if q.BufferedBytes() != 4096 {
+		t.Fatalf("buffered = %d", q.BufferedBytes())
+	}
+	q.Truncate("j", 0, time.Second)
+	if q.BufferedBytes() != 0 {
+		t.Fatalf("buffered after truncate = %d, want 0", q.BufferedBytes())
+	}
+	got := popAll(q, time.Minute)
+	// create, (empty) write node, truncate
+	var payload int64
+	for _, n := range got {
+		payload += n.PayloadBytes()
+	}
+	if payload != 0 {
+		t.Fatalf("superseded journal data still uploaded: %d bytes", payload)
+	}
+}
+
+func TestTruncatePartialTrim(t *testing.T) {
+	q := New(delay)
+	q.Write("f", 0, []byte("0123456789"), 0)
+	q.Truncate("f", 4, 0)
+	if q.BufferedBytes() != 4 {
+		t.Fatalf("buffered = %d, want 4", q.BufferedBytes())
+	}
+	got := popAll(q, time.Minute)
+	var w *Node
+	for _, n := range got {
+		if n.Kind == KindWrite {
+			w = n
+		}
+	}
+	if w == nil || !bytes.Equal(w.Extents[0].Data, []byte("0123")) {
+		t.Fatalf("trimmed extents: %+v", w)
+	}
+}
+
+func TestReplaceWithDelta(t *testing.T) {
+	// The Word pattern (Fig 6): writes to t1 packed, then replaced by a
+	// delta node; surrounding nodes keep their positions; the covered
+	// range becomes atomic.
+	q := New(delay)
+	q.Append(&Node{Kind: KindRename, Path: "f", Dst: "t0", At: 0})
+	q.Append(&Node{Kind: KindCreate, Path: "t1", At: 0})
+	q.Write("t1", 0, bytes.Repeat([]byte{9}, 1000), 0)
+	q.Pack("t1") // close
+	q.Append(&Node{Kind: KindRename, Path: "t1", Dst: "f", At: time.Millisecond})
+
+	d := &Node{
+		Path:     "t1",
+		BasePath: "t0",
+		Delta:    &rsync.Delta{TargetLen: 1000, Ops: []rsync.Op{{Kind: rsync.OpData, Data: []byte("small")}}},
+		At:       time.Millisecond,
+	}
+	if !q.ReplaceWithDelta("t1", d) {
+		t.Fatal("ReplaceWithDelta found no write node")
+	}
+	q.Append(&Node{Kind: KindUnlink, Path: "t0", At: 2 * time.Millisecond})
+
+	if q.BufferedBytes() != 5 {
+		t.Fatalf("buffered = %d, want 5 (delta literal)", q.BufferedBytes())
+	}
+
+	// FIFO before the backindex group: rename f->t0 and create t1 ship as
+	// their own batches; the replaced position through the tail at
+	// replacement time ([delta, rename t1->f]) ships atomically; the
+	// unlink (enqueued after the replacement) follows on its own.
+	batches := q.PopReady(time.Minute)
+	if len(batches) != 4 {
+		t.Fatalf("batches = %d, want 4", len(batches))
+	}
+	if batches[0].Atomic || batches[0].Nodes[0].Kind != KindRename {
+		t.Fatalf("batch 0 = %+v", batches[0])
+	}
+	if batches[1].Atomic || batches[1].Nodes[0].Kind != KindCreate {
+		t.Fatalf("batch 1 = %+v", batches[1])
+	}
+	if !batches[2].Atomic || len(batches[2].Nodes) != 2 ||
+		batches[2].Nodes[0].Kind != KindDelta || batches[2].Nodes[1].Kind != KindRename {
+		t.Fatalf("batch 2 = %+v", batches[2])
+	}
+	if batches[2].Nodes[0].BasePath != "t0" {
+		t.Fatal("delta node lost its base path")
+	}
+	if batches[3].Atomic || batches[3].Nodes[0].Kind != KindUnlink {
+		t.Fatalf("batch 3 = %+v", batches[3])
+	}
+}
+
+func TestReplaceWithDeltaNoWriteNode(t *testing.T) {
+	q := New(delay)
+	q.Append(&Node{Kind: KindCreate, Path: "f", At: 0})
+	if q.ReplaceWithDelta("f", &Node{Path: "f"}) {
+		t.Fatal("ReplaceWithDelta succeeded without a write node")
+	}
+}
+
+func TestDropPendingCreateDelete(t *testing.T) {
+	// create a, create b, create c, delete a — the paper's causality
+	// example. a's nodes are removed; b and c must ship atomically.
+	q := New(delay)
+	q.Append(&Node{Kind: KindCreate, Path: "a", At: 0})
+	q.Write("a", 0, []byte("data-a"), 0)
+	q.Append(&Node{Kind: KindCreate, Path: "b", At: 0})
+	q.Append(&Node{Kind: KindCreate, Path: "c", At: 0})
+
+	if !q.DropPending("a") {
+		t.Fatal("DropPending failed for in-queue lifetime")
+	}
+	batches := q.PopReady(time.Minute)
+	if len(batches) != 1 || !batches[0].Atomic {
+		t.Fatalf("batches = %+v, want one atomic group", batches)
+	}
+	if len(batches[0].Nodes) != 2 ||
+		batches[0].Nodes[0].Path != "b" || batches[0].Nodes[1].Path != "c" {
+		t.Fatalf("group = %+v", batches[0].Nodes)
+	}
+}
+
+func TestDropPendingRefusesSyncedFile(t *testing.T) {
+	// File existed before (no create node in queue): must not drop.
+	q := New(delay)
+	q.Write("f", 0, []byte("x"), 0)
+	if q.DropPending("f") {
+		t.Fatal("DropPending dropped a file with no queued create")
+	}
+}
+
+func TestDropPendingRefusesRenamedAway(t *testing.T) {
+	q := New(delay)
+	q.Append(&Node{Kind: KindCreate, Path: "a", At: 0})
+	q.Append(&Node{Kind: KindRename, Path: "a", Dst: "b", At: 0})
+	if q.DropPending("a") {
+		t.Fatal("DropPending dropped a file that was renamed away")
+	}
+}
+
+func TestDropPendingRefusesRenameTarget(t *testing.T) {
+	q := New(delay)
+	q.Append(&Node{Kind: KindCreate, Path: "t", At: 0})
+	q.Append(&Node{Kind: KindRename, Path: "t", Dst: "f", At: 0})
+	if q.DropPending("f") {
+		t.Fatal("DropPending dropped a rename-produced name")
+	}
+}
+
+func TestGroupsMergeOnInterleaving(t *testing.T) {
+	q := New(delay)
+	q.Append(&Node{Kind: KindCreate, Path: "a", At: 0})
+	q.Write("a", 0, []byte("1"), 0)
+	q.Append(&Node{Kind: KindCreate, Path: "b", At: 0})
+	q.Write("b", 0, []byte("2"), 0)
+	q.Append(&Node{Kind: KindCreate, Path: "c", At: 0})
+
+	// Late writes to both earlier write nodes create two interleaving
+	// groups; they must merge into one atomic range.
+	q.Write("a", 1, []byte("3"), time.Second)
+	q.Write("b", 1, []byte("4"), time.Second)
+
+	// create a precedes both groups and ships alone; the two interleaving
+	// groups [write a .. tail] and [write b .. tail] merge into one atomic
+	// range of the remaining 4 nodes.
+	batches := q.PopReady(time.Minute)
+	if len(batches) != 2 {
+		t.Fatalf("batches = %d, want 2", len(batches))
+	}
+	if batches[0].Atomic || batches[0].Nodes[0].Path != "a" {
+		t.Fatalf("batch 0 = %+v", batches[0])
+	}
+	if !batches[1].Atomic || len(batches[1].Nodes) != 4 {
+		t.Fatalf("merged group = %+v", batches[1])
+	}
+}
+
+func TestLateWriteToHeadNodeShipsEarlyNodes(t *testing.T) {
+	// A write attaches to a non-tail node; when the head becomes ready the
+	// whole covered range ships, including younger nodes (upload-early
+	// instead of stalling the group).
+	q := New(delay)
+	q.Write("f", 0, []byte("1"), 0)
+	q.Append(&Node{Kind: KindCreate, Path: "g", At: 90 * time.Second})
+	q.Write("f", 1, []byte("2"), 100*time.Second) // groups [f..create g..tail]
+
+	batches := q.PopReady(101 * time.Second) // g's delay not yet elapsed
+	if len(batches) != 1 || !batches[0].Atomic || len(batches[0].Nodes) != 2 {
+		t.Fatalf("batches = %+v", batches)
+	}
+}
+
+func TestPopPacksOpenNodes(t *testing.T) {
+	q := New(delay)
+	q.Write("f", 0, []byte("1"), 0)
+	got := popAll(q, time.Minute)
+	if len(got) != 1 {
+		t.Fatalf("popped %d", len(got))
+	}
+	// After upload, new writes start a fresh node.
+	n := q.Write("f", 1, []byte("2"), time.Minute)
+	if n == got[0] {
+		t.Fatal("write attached to an uploaded node")
+	}
+}
+
+func TestDrain(t *testing.T) {
+	q := New(delay)
+	q.Write("f", 0, []byte("x"), 0)
+	q.Append(&Node{Kind: KindCreate, Path: "g", At: time.Hour})
+	got := 0
+	for _, b := range q.Drain() {
+		got += len(b.Nodes)
+	}
+	if got != 2 {
+		t.Fatalf("Drain released %d nodes, want 2", got)
+	}
+}
+
+func TestSeqStableAcrossCompaction(t *testing.T) {
+	q := New(delay)
+	for i := 0; i < 100; i++ {
+		q.Append(&Node{Kind: KindCreate, Path: "f", At: time.Duration(i) * time.Second})
+		popAll(q, time.Duration(i)*time.Second+delay)
+	}
+	n := q.Write("f", 0, []byte("x"), 200*time.Second)
+	if n.Seq != 101 {
+		t.Fatalf("Seq = %d, want 101 (monotonic across compaction)", n.Seq)
+	}
+}
+
+func TestPayloadBytes(t *testing.T) {
+	n := &Node{Kind: KindWrite, Extents: []Extent{{Data: []byte("abc")}, {Data: []byte("de")}}}
+	if n.PayloadBytes() != 5 {
+		t.Fatalf("PayloadBytes = %d", n.PayloadBytes())
+	}
+	d := &Node{Kind: KindDelta, Delta: &rsync.Delta{Ops: []rsync.Op{{Kind: rsync.OpData, Data: []byte("xy")}}}}
+	if d.PayloadBytes() != 2 {
+		t.Fatalf("delta PayloadBytes = %d", d.PayloadBytes())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindDelta.String() != "delta" || KindWrite.String() != "write" {
+		t.Fatal("Kind.String broken")
+	}
+	if Kind(100).String() != "kind(?)" {
+		t.Fatal("unknown kind string")
+	}
+}
+
+func TestPendingKinds(t *testing.T) {
+	q := New(delay)
+	q.Append(&Node{Kind: KindUnlink, Path: "f", At: 0})
+	q.Append(&Node{Kind: KindCreate, Path: "f", At: 0})
+	q.Write("f", 0, []byte("x"), 0)
+	q.Append(&Node{Kind: KindRename, Path: "g", Dst: "f", At: 0})
+	kinds := q.PendingKinds("f")
+	want := []Kind{KindUnlink, KindCreate, KindWrite, KindRename}
+	if len(kinds) != len(want) {
+		t.Fatalf("PendingKinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("PendingKinds = %v, want %v", kinds, want)
+		}
+	}
+	if got := q.PendingKinds("unrelated"); len(got) != 0 {
+		t.Fatalf("PendingKinds(unrelated) = %v", got)
+	}
+}
+
+func TestReplaceWithDeltaIfBaseStable(t *testing.T) {
+	// Base modified after the write node: refuse.
+	q := New(delay)
+	q.Write("tmp", 0, []byte("new"), 0)
+	q.Append(&Node{Kind: KindRename, Path: "doc", Dst: "base", At: 0})
+	d := &Node{Path: "tmp", Delta: &rsync.Delta{}, At: 0}
+	if q.ReplaceWithDeltaIfBaseStable("tmp", "base", d) {
+		t.Fatal("replacement allowed despite pending base modification")
+	}
+
+	// Target modified after the write node: refuse.
+	q2 := New(delay)
+	q2.Write("tmp", 0, []byte("new"), 0)
+	q2.Pack("tmp")
+	q2.Append(&Node{Kind: KindRename, Path: "x", Dst: "tmp", At: 0})
+	if q2.ReplaceWithDeltaIfBaseStable("tmp", "base", d) {
+		t.Fatal("replacement allowed despite pending target modification")
+	}
+
+	// Clean case: allow. A read-only mention of the base (link source)
+	// does not block.
+	q3 := New(delay)
+	q3.Append(&Node{Kind: KindRename, Path: "f", Dst: "base", At: 0}) // before: fine
+	q3.Write("tmp", 0, []byte("new"), 0)
+	q3.Append(&Node{Kind: KindLink, Path: "base", Dst: "backup", At: 0})
+	if !q3.ReplaceWithDeltaIfBaseStable("tmp", "base", &Node{Path: "tmp", Delta: &rsync.Delta{}}) {
+		t.Fatal("replacement refused in the clean case")
+	}
+
+	// No write node at all: refuse.
+	q4 := New(delay)
+	if q4.ReplaceWithDeltaIfBaseStable("tmp", "base", d) {
+		t.Fatal("replacement without a write node")
+	}
+}
+
+func TestRemoveRecentTargetsNewest(t *testing.T) {
+	q := New(delay)
+	q.Append(&Node{Kind: KindCreate, Path: "f", At: 0})
+	q.Append(&Node{Kind: KindCreate, Path: "f", At: time.Second})
+	if !q.RemoveRecent("f", KindCreate) {
+		t.Fatal("RemoveRecent failed")
+	}
+	// The older create must remain.
+	kinds := q.PendingKinds("f")
+	if len(kinds) != 1 || kinds[0] != KindCreate {
+		t.Fatalf("kinds after removal = %v", kinds)
+	}
+	if q.RemoveRecent("f", KindUnlink) {
+		t.Fatal("RemoveRecent removed a kind that does not exist")
+	}
+}
+
+func TestBufferedBytesTracksReplace(t *testing.T) {
+	q := New(delay)
+	q.Write("f", 0, bytes.Repeat([]byte{1}, 1000), 0)
+	if q.BufferedBytes() != 1000 {
+		t.Fatalf("buffered = %d", q.BufferedBytes())
+	}
+	d := &Node{Path: "f", Delta: &rsync.Delta{Ops: []rsync.Op{{Kind: rsync.OpData, Data: []byte("xy")}}}}
+	if !q.ReplaceWithDelta("f", d) {
+		t.Fatal("replace failed")
+	}
+	if q.BufferedBytes() != 2 {
+		t.Fatalf("buffered after replace = %d, want 2", q.BufferedBytes())
+	}
+}
+
+func TestHasOpenAndPendingWrite(t *testing.T) {
+	q := New(delay)
+	if q.HasOpen("f") || q.HasPendingWrite("f") {
+		t.Fatal("empty queue reports pending state")
+	}
+	q.Write("f", 0, []byte("x"), 0)
+	if !q.HasOpen("f") || !q.HasPendingWrite("f") {
+		t.Fatal("open write node not reported")
+	}
+	q.Pack("f")
+	if q.HasOpen("f") {
+		t.Fatal("packed node still open")
+	}
+	if !q.HasPendingWrite("f") {
+		t.Fatal("packed pending write not reported")
+	}
+	popAll(q, time.Minute)
+	if q.HasPendingWrite("f") {
+		t.Fatal("uploaded write still pending")
+	}
+}
+
+func TestOpenReady(t *testing.T) {
+	q := New(delay)
+	q.Write("old", 0, []byte("x"), 0)
+	q.Write("new", 0, []byte("y"), 10*time.Second)
+	ready := q.OpenReady(delay) // only "old" has aged
+	if len(ready) != 1 || ready[0] != "old" {
+		t.Fatalf("OpenReady = %v", ready)
+	}
+}
+
+func BenchmarkWriteAttach(b *testing.B) {
+	q := New(delay)
+	data := bytes.Repeat([]byte{7}, 4096)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		q.Write("f", int64(i)*4096, data, 0)
+		if i%1024 == 1023 {
+			q.Drain() // keep memory bounded
+		}
+	}
+}
+
+func BenchmarkPopReady(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		q := New(delay)
+		for j := 0; j < 1000; j++ {
+			q.Append(&Node{Kind: KindCreate, Path: "f", At: 0})
+		}
+		b.StartTimer()
+		q.Drain()
+	}
+}

@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/vfs"
+)
+
+// writeChunk is the largest single write emitted when an application
+// rewrites a whole file (applications write through bounded buffers).
+const writeChunk = 1 << 20
+
+// scaleInt scales n by s, keeping at least 1.
+func scaleInt(n int, s float64) int {
+	v := int(float64(n) * s)
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// fill writes pseudo-random bytes from rng into p.
+func fill(rng *rand.Rand, p []byte) {
+	rng.Read(p)
+}
+
+// emitFullWrite streams data to path as a sequence of bounded writes.
+func emitFullWrite(emit Emit, path string, data []byte, at time.Duration) error {
+	for off := 0; off < len(data); off += writeChunk {
+		end := off + writeChunk
+		if end > len(data) {
+			end = len(data)
+		}
+		if err := emit(vfs.Op{Kind: vfs.OpWrite, Path: path, Off: int64(off), Data: data[off:end]}, at); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AppendConfig parameterizes the append-write artificial trace.
+type AppendConfig struct {
+	Path      string
+	Writes    int           // number of append operations
+	WriteSize int           // bytes per append
+	Interval  time.Duration // logical time between appends
+	Seed      int64
+}
+
+// PaperAppendConfig is the paper's append trace: 40 appends of ~800 KB, 15 s
+// apart, final size 32 MB.
+func PaperAppendConfig() AppendConfig {
+	return AppendConfig{
+		Path:      "append.dat",
+		Writes:    40,
+		WriteSize: 800 << 10,
+		Interval:  15 * time.Second,
+		Seed:      101,
+	}
+}
+
+// Scaled returns the config with sizes and counts scaled by s.
+func (c AppendConfig) Scaled(s float64) AppendConfig {
+	c.Writes = scaleInt(c.Writes, s)
+	c.WriteSize = scaleInt(c.WriteSize, s)
+	return c
+}
+
+// Append builds the append-write trace.
+func Append(c AppendConfig) *Trace {
+	total := int64(c.Writes) * int64(c.WriteSize)
+	return &Trace{
+		Name:        "append",
+		Desc:        fmt.Sprintf("%d appends x %d B", c.Writes, c.WriteSize),
+		UpdateBytes: total,
+		WriteBytes:  total,
+		Setup: func(fs vfs.FS) error {
+			return fs.Create(c.Path)
+		},
+		Run: func(emit Emit) error {
+			rng := rand.New(rand.NewSource(c.Seed))
+			buf := make([]byte, c.WriteSize)
+			var off int64
+			at := time.Duration(0)
+			for i := 0; i < c.Writes; i++ {
+				at += c.Interval
+				fill(rng, buf)
+				if err := emit(vfs.Op{Kind: vfs.OpWrite, Path: c.Path, Off: off, Data: buf}, at); err != nil {
+					return err
+				}
+				off += int64(len(buf))
+				if err := emit(vfs.Op{Kind: vfs.OpClose, Path: c.Path}, at); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// RandomConfig parameterizes the random-write artificial trace.
+type RandomConfig struct {
+	Path      string
+	FileSize  int // pre-existing file size
+	Writes    int
+	WriteSize int
+	Interval  time.Duration
+	Seed      int64
+}
+
+// PaperRandomConfig is the paper's random-write trace: 40 writes of 1010
+// bytes into a 20 MB file, 15 s apart.
+func PaperRandomConfig() RandomConfig {
+	return RandomConfig{
+		Path:      "random.dat",
+		FileSize:  20 << 20,
+		Writes:    40,
+		WriteSize: 1010,
+		Interval:  15 * time.Second,
+		Seed:      102,
+	}
+}
+
+// Scaled returns the config with sizes and counts scaled by s.
+func (c RandomConfig) Scaled(s float64) RandomConfig {
+	c.FileSize = scaleInt(c.FileSize, s)
+	c.Writes = scaleInt(c.Writes, s)
+	return c
+}
+
+// Random builds the random-write trace.
+func Random(c RandomConfig) *Trace {
+	total := int64(c.Writes) * int64(c.WriteSize)
+	return &Trace{
+		Name:        "random",
+		Desc:        fmt.Sprintf("%d writes x %d B into %d MB file", c.Writes, c.WriteSize, c.FileSize>>20),
+		UpdateBytes: total,
+		WriteBytes:  total,
+		Setup: func(fs vfs.FS) error {
+			rng := rand.New(rand.NewSource(c.Seed))
+			if err := fs.Create(c.Path); err != nil {
+				return err
+			}
+			return writeAll(fs, c.Path, rng, c.FileSize)
+		},
+		Run: func(emit Emit) error {
+			// Offsets use a distinct stream so Setup and Run stay aligned
+			// with the same seed.
+			rng := rand.New(rand.NewSource(c.Seed + 1))
+			buf := make([]byte, c.WriteSize)
+			at := time.Duration(0)
+			for i := 0; i < c.Writes; i++ {
+				at += c.Interval
+				fill(rng, buf)
+				maxOff := c.FileSize - c.WriteSize
+				if maxOff < 0 {
+					maxOff = 0
+				}
+				off := int64(rng.Intn(maxOff + 1))
+				if err := emit(vfs.Op{Kind: vfs.OpWrite, Path: c.Path, Off: off, Data: buf}, at); err != nil {
+					return err
+				}
+				if err := emit(vfs.Op{Kind: vfs.OpClose, Path: c.Path}, at); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// writeAll fills path with size pseudo-random bytes in bounded chunks.
+func writeAll(fs vfs.FS, path string, rng *rand.Rand, size int) error {
+	buf := make([]byte, writeChunk)
+	for off := 0; off < size; off += writeChunk {
+		n := size - off
+		if n > writeChunk {
+			n = writeChunk
+		}
+		fill(rng, buf[:n])
+		if err := fs.WriteAt(path, int64(off), buf[:n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/vfs"
+)
+
+// fileHeader opens a serialized trace: identity, sizes, then a stream of
+// records. Setup state is stored as explicit ops so a loaded trace is fully
+// self-contained.
+type fileHeader struct {
+	Version     int
+	Name        string
+	Desc        string
+	UpdateBytes int64
+	WriteBytes  int64
+}
+
+// record is one serialized element: either a setup op (At < 0) or a timed
+// trace op.
+type record struct {
+	Op vfs.Op
+	At time.Duration
+}
+
+const fileVersion = 1
+
+// setupMarker distinguishes setup records from trace records in the stream.
+const setupMarker = time.Duration(-1)
+
+// Save serializes the trace — including its setup state — to w. The trace's
+// Setup and Run are executed once to produce the stream.
+func Save(tr *Trace, w io.Writer) error {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(fileHeader{
+		Version:     fileVersion,
+		Name:        tr.Name,
+		Desc:        tr.Desc,
+		UpdateBytes: tr.UpdateBytes,
+		WriteBytes:  tr.WriteBytes,
+	}); err != nil {
+		return fmt.Errorf("trace: save header: %w", err)
+	}
+	if tr.Setup != nil {
+		rec := &recordingFS{}
+		if err := tr.Setup(rec); err != nil {
+			return fmt.Errorf("trace: record setup: %w", err)
+		}
+		for _, op := range rec.ops {
+			if err := enc.Encode(record{Op: op, At: setupMarker}); err != nil {
+				return fmt.Errorf("trace: save setup op: %w", err)
+			}
+		}
+	}
+	return tr.Run(func(op vfs.Op, at time.Duration) error {
+		if at < 0 {
+			return errors.New("trace: negative timestamp")
+		}
+		return enc.Encode(record{Op: op, At: at})
+	})
+}
+
+// Load reads a trace serialized by Save. The returned trace's Run streams
+// records from the decoded payload held in memory.
+func Load(r io.Reader) (*Trace, error) {
+	dec := gob.NewDecoder(r)
+	var hdr fileHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("trace: load header: %w", err)
+	}
+	if hdr.Version != fileVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", hdr.Version)
+	}
+	var setup []vfs.Op
+	var ops []record
+	for {
+		var rec record
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("trace: load record: %w", err)
+		}
+		if rec.At == setupMarker {
+			setup = append(setup, rec.Op)
+		} else {
+			ops = append(ops, rec)
+		}
+	}
+	return &Trace{
+		Name:        hdr.Name,
+		Desc:        hdr.Desc,
+		UpdateBytes: hdr.UpdateBytes,
+		WriteBytes:  hdr.WriteBytes,
+		Setup: func(fs vfs.FS) error {
+			for _, op := range setup {
+				if err := vfs.Apply(fs, op); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Run: func(emit Emit) error {
+			for _, rec := range ops {
+				if err := emit(rec.Op, rec.At); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}, nil
+}
+
+// recordingFS captures the op sequence a Setup function issues, so Save can
+// serialize setup state without duplicating generator logic.
+type recordingFS struct {
+	ops []vfs.Op
+}
+
+func (r *recordingFS) add(op vfs.Op) error {
+	cp := op
+	cp.Data = append([]byte(nil), op.Data...)
+	r.ops = append(r.ops, cp)
+	return nil
+}
+
+func (r *recordingFS) Create(p string) error { return r.add(vfs.Op{Kind: vfs.OpCreate, Path: p}) }
+func (r *recordingFS) WriteAt(p string, off int64, data []byte) error {
+	return r.add(vfs.Op{Kind: vfs.OpWrite, Path: p, Off: off, Data: data})
+}
+func (r *recordingFS) ReadAt(p string, off, n int64) ([]byte, error) {
+	return nil, errors.New("trace: setup must not read")
+}
+func (r *recordingFS) ReadFile(p string) ([]byte, error) {
+	return nil, errors.New("trace: setup must not read")
+}
+func (r *recordingFS) Truncate(p string, size int64) error {
+	return r.add(vfs.Op{Kind: vfs.OpTruncate, Path: p, Size: size})
+}
+func (r *recordingFS) Rename(oldPath, newPath string) error {
+	return r.add(vfs.Op{Kind: vfs.OpRename, Path: oldPath, Dst: newPath})
+}
+func (r *recordingFS) Link(oldPath, newPath string) error {
+	return r.add(vfs.Op{Kind: vfs.OpLink, Path: oldPath, Dst: newPath})
+}
+func (r *recordingFS) Unlink(p string) error { return r.add(vfs.Op{Kind: vfs.OpUnlink, Path: p}) }
+func (r *recordingFS) Mkdir(p string) error  { return r.add(vfs.Op{Kind: vfs.OpMkdir, Path: p}) }
+func (r *recordingFS) Rmdir(p string) error  { return r.add(vfs.Op{Kind: vfs.OpRmdir, Path: p}) }
+func (r *recordingFS) Close(p string) error  { return r.add(vfs.Op{Kind: vfs.OpClose, Path: p}) }
+func (r *recordingFS) Fsync(p string) error  { return r.add(vfs.Op{Kind: vfs.OpFsync, Path: p}) }
+func (r *recordingFS) Stat(p string) (vfs.FileInfo, error) {
+	return vfs.FileInfo{}, errors.New("trace: setup must not stat")
+}
+func (r *recordingFS) List(prefix string) ([]string, error) {
+	return nil, errors.New("trace: setup must not list")
+}
+
+var _ vfs.FS = (*recordingFS)(nil)

@@ -1,0 +1,313 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/vfs"
+)
+
+// testScale keeps unit tests fast; generators are exercised at full scale by
+// the benchmark harness.
+const testScale = 0.02
+
+// applyTrace runs Setup and Run directly against a fresh MemFS, returning
+// the final fs.
+func applyTrace(t *testing.T, tr *Trace) *vfs.MemFS {
+	t.Helper()
+	fs := vfs.NewMemFS()
+	if tr.Setup != nil {
+		if err := tr.Setup(fs); err != nil {
+			t.Fatalf("Setup: %v", err)
+		}
+	}
+	var last time.Duration
+	err := tr.Run(func(op vfs.Op, at time.Duration) error {
+		if at < last {
+			t.Fatalf("timestamps not monotonic: %v after %v", at, last)
+		}
+		last = at
+		return vfs.Apply(fs, op)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return fs
+}
+
+func TestAppendTrace(t *testing.T) {
+	cfg := PaperAppendConfig().Scaled(testScale)
+	tr := Append(cfg)
+	fs := applyTrace(t, tr)
+	st, err := fs.Stat(cfg.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(cfg.Writes) * int64(cfg.WriteSize)
+	if st.Size != want {
+		t.Fatalf("final size = %d, want %d", st.Size, want)
+	}
+	if tr.UpdateBytes != want || tr.WriteBytes != want {
+		t.Fatalf("UpdateBytes=%d WriteBytes=%d, want %d", tr.UpdateBytes, tr.WriteBytes, want)
+	}
+}
+
+func TestAppendPaperDimensions(t *testing.T) {
+	cfg := PaperAppendConfig()
+	if cfg.Writes != 40 {
+		t.Fatalf("writes = %d, want 40", cfg.Writes)
+	}
+	total := int64(cfg.Writes) * int64(cfg.WriteSize)
+	if total != 32000<<10 { // 40 x 800 KB = 32000 KB
+		t.Fatalf("total = %d, want 32 MB-ish", total)
+	}
+}
+
+func TestRandomTrace(t *testing.T) {
+	cfg := PaperRandomConfig().Scaled(testScale)
+	tr := Random(cfg)
+	fs := applyTrace(t, tr)
+	st, err := fs.Stat(cfg.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random writes land inside the file; size should stay put.
+	if st.Size != int64(cfg.FileSize) {
+		t.Fatalf("final size = %d, want %d", st.Size, cfg.FileSize)
+	}
+	if tr.UpdateBytes != int64(cfg.Writes)*int64(cfg.WriteSize) {
+		t.Fatalf("UpdateBytes = %d", tr.UpdateBytes)
+	}
+}
+
+func TestRandomSetupDeterministic(t *testing.T) {
+	cfg := PaperRandomConfig().Scaled(testScale)
+	mk := func() []byte {
+		fs := vfs.NewMemFS()
+		if err := Random(cfg).Setup(fs); err != nil {
+			t.Fatal(err)
+		}
+		data, _ := fs.ReadFile(cfg.Path)
+		return data
+	}
+	if !bytes.Equal(mk(), mk()) {
+		t.Fatal("Setup not deterministic")
+	}
+}
+
+func TestWordTrace(t *testing.T) {
+	cfg := PaperWordConfig().Scaled(testScale)
+	tr := Word(cfg)
+	fs := applyTrace(t, tr)
+
+	st, err := fs.Stat(cfg.Path)
+	if err != nil {
+		t.Fatalf("document missing after saves: %v", err)
+	}
+	wantSize := int64(cfg.InitialSize) + int64(cfg.Saves)*int64(cfg.Growth)
+	if st.Size != wantSize {
+		t.Fatalf("final size = %d, want %d", st.Size, wantSize)
+	}
+	// Temp files must all be gone (renamed away or unlinked).
+	files, _ := fs.List("")
+	if len(files) != 1 || files[0] != cfg.Path {
+		t.Fatalf("leftover files after saves: %v", files)
+	}
+	if tr.UpdateBytes != int64(cfg.Saves)*int64(cfg.Growth+cfg.Edits*cfg.EditSize) {
+		t.Fatalf("UpdateBytes = %d", tr.UpdateBytes)
+	}
+	if tr.WriteBytes <= int64(cfg.Saves)*int64(cfg.InitialSize) {
+		t.Fatalf("WriteBytes = %d, should exceed saves x initial size", tr.WriteBytes)
+	}
+}
+
+func TestWordRunMatchesSetupInitialContent(t *testing.T) {
+	// The Run stream's in-memory document must start from exactly the
+	// Setup content (same seed), or deltas computed against the seeded
+	// base would be garbage.
+	cfg := PaperWordConfig().Scaled(testScale)
+	cfg.Saves = 1
+	cfg.Edits = 0
+	cfg.Growth = 1 // nearly pure rewrite of the same content
+
+	setupFS := vfs.NewMemFS()
+	if err := Word(cfg).Setup(setupFS); err != nil {
+		t.Fatal(err)
+	}
+	initial, _ := setupFS.ReadFile(cfg.Path)
+
+	final := applyTrace(t, Word(cfg))
+	got, _ := final.ReadFile(cfg.Path)
+	if len(got) != len(initial)+1 {
+		t.Fatalf("got %d bytes, want %d", len(got), len(initial)+1)
+	}
+	// With zero edits and a 1-byte insert, all but one byte must be the
+	// initial content (split at the insertion point).
+	diff := 0
+	for i := 0; i < len(initial); i++ {
+		if got[i] != initial[i] {
+			diff = i
+			break
+		}
+	}
+	if !bytes.Equal(got[diff+1:], initial[diff:]) {
+		t.Fatal("content after insertion point does not match initial content")
+	}
+}
+
+func TestWeChatTrace(t *testing.T) {
+	cfg := PaperWeChatConfig().Scaled(testScale)
+	tr := WeChat(cfg)
+	fs := applyTrace(t, tr)
+
+	st, err := fs.Stat(cfg.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSize := int64(cfg.pages())*PageSize + int64(cfg.Rounds)*int64(cfg.AppendPages)*PageSize
+	if st.Size != wantSize {
+		t.Fatalf("db size = %d, want %d", st.Size, wantSize)
+	}
+	// Journal exists but is truncated to zero after the last commit.
+	jst, err := fs.Stat(cfg.JournalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jst.Size != 0 {
+		t.Fatalf("journal size = %d after commit, want 0", jst.Size)
+	}
+	if tr.UpdateBytes <= 0 || tr.WriteBytes <= tr.UpdateBytes {
+		t.Fatalf("UpdateBytes=%d WriteBytes=%d: journal bytes missing", tr.UpdateBytes, tr.WriteBytes)
+	}
+}
+
+func TestWeChatUpdateBytesExact(t *testing.T) {
+	cfg := PaperWeChatConfig().Scaled(testScale)
+	tr := WeChat(cfg)
+	var dbWrites int64
+	err := tr.Run(func(op vfs.Op, at time.Duration) error {
+		if op.Kind == vfs.OpWrite && op.Path == cfg.Path {
+			dbWrites += int64(len(op.Data))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dbWrites != tr.UpdateBytes {
+		t.Fatalf("measured db writes %d != UpdateBytes %d", dbWrites, tr.UpdateBytes)
+	}
+}
+
+func TestFig1Configs(t *testing.T) {
+	w := Fig1WordConfig()
+	if w.Saves != 23 || w.InitialSize != 12<<20 {
+		t.Fatalf("Fig1 word config: %+v", w)
+	}
+	c := Fig1WeChatConfig()
+	tr := WeChat(c)
+	// Paper: ~688 KB changed in total across 85 writes.
+	if tr.UpdateBytes < 600<<10 || tr.UpdateBytes > 800<<10 {
+		t.Fatalf("Fig1 wechat UpdateBytes = %d, want ~688 KB", tr.UpdateBytes)
+	}
+}
+
+func TestTraceRunsAreReplayable(t *testing.T) {
+	// Two runs of the same trace must produce identical op streams.
+	cfg := PaperWordConfig().Scaled(testScale)
+	ops1, ats1, err := Collect(Word(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops2, ats2, err := Collect(Word(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops1) != len(ops2) {
+		t.Fatalf("op counts differ: %d vs %d", len(ops1), len(ops2))
+	}
+	for i := range ops1 {
+		if ops1[i].Kind != ops2[i].Kind || ops1[i].Path != ops2[i].Path ||
+			ops1[i].Off != ops2[i].Off || !bytes.Equal(ops1[i].Data, ops2[i].Data) ||
+			ats1[i] != ats2[i] {
+			t.Fatalf("op %d differs between runs", i)
+		}
+	}
+}
+
+// tickRecorder is a minimal Target for Replay tests.
+type tickRecorder struct {
+	fs    vfs.FS
+	ticks []time.Duration
+}
+
+func (r *tickRecorder) FS() vfs.FS             { return r.fs }
+func (r *tickRecorder) Tick(now time.Duration) { r.ticks = append(r.ticks, now) }
+
+func TestReplayAdvancesClockAndDrains(t *testing.T) {
+	cfg := PaperAppendConfig().Scaled(testScale)
+	tr := Append(cfg)
+	tgt := &tickRecorder{fs: vfs.NewMemFS()}
+	if err := tr.Setup(tgt.fs); err != nil {
+		t.Fatal(err)
+	}
+	var clk clock.Clock
+	if err := Replay(tr, tgt, &clk); err != nil {
+		t.Fatal(err)
+	}
+	if len(tgt.ticks) == 0 {
+		t.Fatal("no ticks delivered")
+	}
+	lastOpAt := time.Duration(cfg.Writes) * cfg.Interval
+	if got := tgt.ticks[len(tgt.ticks)-1]; got != lastOpAt+DrainGrace {
+		t.Fatalf("final tick at %v, want %v", got, lastOpAt+DrainGrace)
+	}
+	for i := 1; i < len(tgt.ticks); i++ {
+		if tgt.ticks[i] < tgt.ticks[i-1] {
+			t.Fatal("ticks not monotonic")
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	cfg := PaperWeChatConfig().Scaled(testScale)
+	orig := WeChat(cfg)
+
+	var buf bytes.Buffer
+	if err := Save(orig, &buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if loaded.Name != orig.Name || loaded.UpdateBytes != orig.UpdateBytes ||
+		loaded.WriteBytes != orig.WriteBytes {
+		t.Fatalf("header mismatch: %+v", loaded)
+	}
+
+	// Applying the loaded trace must give the same final state as the
+	// original.
+	want := applyTrace(t, orig)
+	got := applyTrace(t, loaded)
+	wantData, _ := want.ReadFile(cfg.Path)
+	gotData, _ := got.ReadFile(cfg.Path)
+	if !bytes.Equal(wantData, gotData) {
+		t.Fatal("loaded trace produced different final content")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a trace"))); err == nil {
+		t.Fatal("Load accepted garbage")
+	}
+}
+
+func TestScaledMinimums(t *testing.T) {
+	c := PaperAppendConfig().Scaled(0.000001)
+	if c.Writes < 1 || c.WriteSize < 1 {
+		t.Fatalf("Scaled produced zero dimensions: %+v", c)
+	}
+}

@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/vfs"
+)
+
+// PageSize is the SQLite page size used by the WeChat trace.
+const PageSize = 4096
+
+// journalHeader is the rollback-journal header size.
+const journalHeader = 512
+
+// WeChatConfig parameterizes the SQLite in-place-update trace. Each update
+// round follows the Fig 3 WeChat pattern:
+//
+//	1-2 create-write f_journal, 3 write f, 4 truncate f_journal 0
+//
+// where the writes to f are a mix of small non-aligned row updates inside
+// existing pages, a 100-byte header update, and whole appended pages (chat
+// history growth).
+type WeChatConfig struct {
+	Path        string
+	JournalPath string
+	InitialSize int // initial database size (rounded up to whole pages)
+	Rounds      int // update rounds ("the file is modified N times")
+	SmallWrites int // sub-page in-place writes per round
+	SmallMax    int // max bytes per small write (min is SmallMax/8)
+	AppendPages int // whole pages appended per round
+	Interval    time.Duration
+	Seed        int64
+}
+
+// PaperWeChatConfig is the paper's WeChat trace: the chat-history SQLite
+// file is modified 373 times and grows from 131 MB to 137 MB.
+func PaperWeChatConfig() WeChatConfig {
+	return WeChatConfig{
+		Path:        "EnMicroMsg.db",
+		JournalPath: "EnMicroMsg.db-journal",
+		InitialSize: 131 << 20,
+		Rounds:      373,
+		SmallWrites: 4,
+		SmallMax:    1500,
+		AppendPages: 4, // ~16 KB growth per round -> ~6 MB total
+		Interval:    2 * time.Second,
+		Seed:        104,
+	}
+}
+
+// Fig1WeChatConfig is the Fig 1 variant: a 130 MB database, 4 modifications
+// composed of 85 writes, ~688 KB changed in total.
+func Fig1WeChatConfig() WeChatConfig {
+	return WeChatConfig{
+		Path:        "EnMicroMsg.db",
+		JournalPath: "EnMicroMsg.db-journal",
+		InitialSize: 130 << 20,
+		Rounds:      4,
+		SmallWrites: 16,
+		SmallMax:    1500,
+		AppendPages: 40, // ~160 KB per round -> ~690 KB total with small writes
+		Interval:    30 * time.Second,
+		Seed:        105,
+	}
+}
+
+// Scaled returns the config with sizes and counts scaled by s.
+func (c WeChatConfig) Scaled(s float64) WeChatConfig {
+	c.InitialSize = scaleInt(c.InitialSize, s)
+	c.Rounds = scaleInt(c.Rounds, s)
+	return c
+}
+
+// pages returns the initial page count (size rounded up to whole pages).
+func (c WeChatConfig) pages() int {
+	return (c.InitialSize + PageSize - 1) / PageSize
+}
+
+// smallWriteSize returns the (deterministic) size of small write w in round
+// r, spread across [SmallMax/8, SmallMax]. Keeping sizes a pure function of
+// (r, w) lets UpdateBytes be computed exactly up front.
+func (c WeChatConfig) smallWriteSize(r, w int) int {
+	lo := c.SmallMax / 8
+	span := c.SmallMax - lo + 1
+	return lo + (r*31+w*17)%span
+}
+
+// WeChat builds the SQLite in-place-update trace.
+func WeChat(c WeChatConfig) *Trace {
+	var update int64
+	for r := 0; r < c.Rounds; r++ {
+		for w := 0; w < c.SmallWrites; w++ {
+			update += int64(c.smallWriteSize(r, w))
+		}
+		update += int64(c.AppendPages*PageSize + 100)
+	}
+	journalPerRound := int64(journalHeader + (c.SmallWrites+1)*PageSize) // +1: header page image
+	writeBytes := update + int64(c.Rounds)*journalPerRound
+
+	return &Trace{
+		Name:        "wechat",
+		Desc:        fmt.Sprintf("%d SQLite update rounds on %d MB db", c.Rounds, c.InitialSize>>20),
+		UpdateBytes: update,
+		WriteBytes:  writeBytes,
+		Setup: func(fs vfs.FS) error {
+			rng := rand.New(rand.NewSource(c.Seed))
+			if err := fs.Create(c.Path); err != nil {
+				return err
+			}
+			return writeAll(fs, c.Path, rng, c.pages()*PageSize)
+		},
+		Run: func(emit Emit) error {
+			rng := rand.New(rand.NewSource(c.Seed + 1))
+			nPages := c.pages()
+			small := make([]byte, c.SmallMax)
+			page := make([]byte, PageSize)
+			header := make([]byte, 100)
+			jimage := make([]byte, journalHeader+(c.SmallWrites+1)*PageSize)
+
+			at := time.Duration(0)
+			for r := 0; r < c.Rounds; r++ {
+				at += c.Interval
+
+				// 1-2: create and write the rollback journal (old images of
+				// the pages about to change; content does not matter to the
+				// sync engines, only its size and lifetime).
+				fill(rng, jimage)
+				ops := []vfs.Op{
+					{Kind: vfs.OpCreate, Path: c.JournalPath},
+					{Kind: vfs.OpWrite, Path: c.JournalPath, Off: 0, Data: jimage},
+				}
+				for _, op := range ops {
+					if err := emit(op, at); err != nil {
+						return err
+					}
+				}
+
+				// 3: write f — header update, small in-place row updates,
+				// appended pages.
+				fill(rng, header)
+				if err := emit(vfs.Op{Kind: vfs.OpWrite, Path: c.Path, Off: 24, Data: header}, at); err != nil {
+					return err
+				}
+				for w := 0; w < c.SmallWrites; w++ {
+					n := c.smallWriteSize(r, w)
+					fill(rng, small[:n])
+					pg := rng.Intn(nPages)
+					inPage := rng.Intn(PageSize - n + 1)
+					off := int64(pg)*PageSize + int64(inPage)
+					if err := emit(vfs.Op{Kind: vfs.OpWrite, Path: c.Path, Off: off, Data: small[:n]}, at); err != nil {
+						return err
+					}
+				}
+				for p := 0; p < c.AppendPages; p++ {
+					fill(rng, page)
+					off := int64(nPages) * PageSize
+					if err := emit(vfs.Op{Kind: vfs.OpWrite, Path: c.Path, Off: off, Data: page}, at); err != nil {
+						return err
+					}
+					nPages++
+				}
+
+				// 4: commit — truncate the journal to zero.
+				if err := emit(vfs.Op{Kind: vfs.OpTruncate, Path: c.JournalPath, Size: 0},
+					at+time.Millisecond); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}

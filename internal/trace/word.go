@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/vfs"
+)
+
+// WordConfig parameterizes the Microsoft-Word transactional-update trace.
+// Each save follows the Fig 3 pattern:
+//
+//	1 rename f t0, 2-3 create-write t1, 4 rename t1 f, 5 delete t0
+//
+// and mutates the document by editing a few regions in place and inserting
+// Growth bytes at a random offset — the insertion shifts all following
+// content, which is what defeats Dropbox's 4 MB-aligned deduplication in the
+// paper's analysis ("file content usually shifts for a certain offset").
+type WordConfig struct {
+	Path        string
+	InitialSize int
+	Saves       int
+	Growth      int // bytes inserted per save
+	Edits       int // in-place edited regions per save
+	EditSize    int // bytes per edited region
+	Interval    time.Duration
+	Seed        int64
+}
+
+// PaperWordConfig is the paper's Word trace: 61 saves growing the document
+// from 12.1 MB to 16.7 MB (~77 KB inserted per save).
+func PaperWordConfig() WordConfig {
+	return WordConfig{
+		Path:        "report.docx",
+		InitialSize: 12691456, // 12.1 MB
+		Saves:       61,
+		Growth:      77 << 10,
+		Edits:       8,
+		EditSize:    200,
+		Interval:    10 * time.Second,
+		Seed:        103,
+	}
+}
+
+// Fig1WordConfig is the Fig 1 variant: a 12 MB document saved 23 times.
+func Fig1WordConfig() WordConfig {
+	c := PaperWordConfig()
+	c.InitialSize = 12 << 20
+	c.Saves = 23
+	return c
+}
+
+// Scaled returns the config with sizes and counts scaled by s.
+func (c WordConfig) Scaled(s float64) WordConfig {
+	c.InitialSize = scaleInt(c.InitialSize, s)
+	c.Saves = scaleInt(c.Saves, s)
+	c.Growth = scaleInt(c.Growth, s)
+	return c
+}
+
+// Word builds the transactional-update trace.
+func Word(c WordConfig) *Trace {
+	update := int64(c.Saves) * int64(c.Growth+c.Edits*c.EditSize)
+	// Every save rewrites the whole (growing) document into the temp file.
+	var writeBytes int64
+	size := int64(c.InitialSize)
+	for i := 0; i < c.Saves; i++ {
+		size += int64(c.Growth)
+		writeBytes += size
+	}
+	return &Trace{
+		Name:        "word",
+		Desc:        fmt.Sprintf("%d transactional saves, %d->%d MB", c.Saves, c.InitialSize>>20, int(size)>>20),
+		UpdateBytes: update,
+		WriteBytes:  writeBytes,
+		Setup: func(fs vfs.FS) error {
+			rng := rand.New(rand.NewSource(c.Seed))
+			if err := fs.Create(c.Path); err != nil {
+				return err
+			}
+			return writeAll(fs, c.Path, rng, c.InitialSize)
+		},
+		Run: func(emit Emit) error {
+			rng := rand.New(rand.NewSource(c.Seed))
+			content := make([]byte, c.InitialSize)
+			fill(rng, content) // identical stream to Setup
+
+			edits := rand.New(rand.NewSource(c.Seed + 1))
+			at := time.Duration(0)
+			for i := 0; i < c.Saves; i++ {
+				at += c.Interval
+				content = mutateDocument(content, c, edits)
+
+				tmpOld := fmt.Sprintf("~WRL%04d.tmp", i)
+				tmpNew := fmt.Sprintf("~WRD%04d.tmp", i)
+				steps := []vfs.Op{
+					{Kind: vfs.OpRename, Path: c.Path, Dst: tmpOld},
+					{Kind: vfs.OpCreate, Path: tmpNew},
+				}
+				for _, op := range steps {
+					if err := emit(op, at); err != nil {
+						return err
+					}
+				}
+				if err := emitFullWrite(emit, tmpNew, content, at); err != nil {
+					return err
+				}
+				tail := []vfs.Op{
+					{Kind: vfs.OpClose, Path: tmpNew},
+					{Kind: vfs.OpRename, Path: tmpNew, Dst: c.Path},
+					{Kind: vfs.OpUnlink, Path: tmpOld},
+				}
+				// The whole save completes quickly (well under the
+				// relation-table timeout), so all steps share one
+				// timestamp plus a small epsilon per step.
+				for j, op := range tail {
+					if err := emit(op, at+time.Duration(j+1)*time.Millisecond); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// mutateDocument applies one save's worth of changes: Edits in-place region
+// rewrites plus a Growth-byte insertion at a random offset.
+func mutateDocument(content []byte, c WordConfig, rng *rand.Rand) []byte {
+	for e := 0; e < c.Edits; e++ {
+		if len(content) <= c.EditSize {
+			break
+		}
+		off := rng.Intn(len(content) - c.EditSize)
+		fill(rng, content[off:off+c.EditSize])
+	}
+	insert := make([]byte, c.Growth)
+	fill(rng, insert)
+	pos := rng.Intn(len(content) + 1)
+	grown := make([]byte, 0, len(content)+len(insert))
+	grown = append(grown, content[:pos]...)
+	grown = append(grown, insert...)
+	grown = append(grown, content[pos:]...)
+	return grown
+}

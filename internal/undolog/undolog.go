@@ -1,0 +1,193 @@
+// Package undolog implements the paper's physical undo logging (§III-A):
+// before an in-place write overwrites existing data, the old bytes are
+// copied out, so the file's previous synced version can be reconstructed
+// locally. DeltaCFS uses this when an in-place update ends up changing a
+// large portion of a file (e.g. more than half), in which case running delta
+// encoding over the reconstructed old version compresses the update better
+// than shipping the raw intercepted writes.
+//
+// The log is in-memory: the paper notes the copied data are "usually already
+// cached in memory, no disk IO is required". A log is kept per file between
+// sync points and reset once the file's pending update has been uploaded.
+package undolog
+
+import (
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// segment is a run of preserved old bytes.
+type segment struct {
+	off  int64
+	data []byte
+}
+
+func (s segment) end() int64 { return s.off + int64(len(s.data)) }
+
+// FileLog preserves the pre-update image of one file.
+type FileLog struct {
+	// oldSize is the file length at the last sync point.
+	oldSize int64
+	// segments hold old bytes that have since been overwritten (sorted,
+	// non-overlapping).
+	segments []segment
+	// preservedBytes counts logged bytes (for the >50% trigger heuristic).
+	preservedBytes int64
+}
+
+// Log tracks per-file undo state. Not safe for concurrent use; the engine
+// serializes operations.
+type Log struct {
+	files map[string]*FileLog
+	meter *metrics.CPUMeter
+}
+
+// New returns an empty undo log charging CPU work to meter (may be nil).
+func New(meter *metrics.CPUMeter) *Log {
+	return &Log{files: make(map[string]*FileLog), meter: meter}
+}
+
+// Track begins (or returns) the log for path, noting the file's size at the
+// current sync point.
+func (l *Log) Track(path string, size int64) *FileLog {
+	if f, ok := l.files[path]; ok {
+		return f
+	}
+	f := &FileLog{oldSize: size}
+	l.files[path] = f
+	return f
+}
+
+// Tracking reports whether path has an active log.
+func (l *Log) Tracking(path string) bool {
+	_, ok := l.files[path]
+	return ok
+}
+
+// BeforeWrite must be called before a write of n bytes at off is applied.
+// read returns the current content of [off, off+n) clipped to the current
+// file size; it is only invoked for the sub-ranges that still need
+// preserving (not yet logged, and within the old file size).
+func (l *Log) BeforeWrite(path string, off, n int64, read func(off, n int64) ([]byte, error)) error {
+	f, ok := l.files[path]
+	if !ok {
+		return nil
+	}
+	// Clip to the old image: bytes beyond oldSize were not part of the
+	// previous version, so overwriting them needs no preservation.
+	end := off + n
+	if end > f.oldSize {
+		end = f.oldSize
+	}
+	if off >= end {
+		return nil
+	}
+	for _, gap := range f.gaps(off, end) {
+		data, err := read(gap.off, gap.end()-gap.off)
+		if err != nil {
+			return err
+		}
+		cp := append([]byte(nil), data...)
+		l.meter.Copy(int64(len(cp)))
+		f.insert(segment{off: gap.off, data: cp})
+		f.preservedBytes += int64(len(cp))
+	}
+	return nil
+}
+
+// BeforeTruncate must be called before the file is truncated to newSize,
+// preserving the bytes about to be cut off.
+func (l *Log) BeforeTruncate(path string, newSize int64, read func(off, n int64) ([]byte, error)) error {
+	f, ok := l.files[path]
+	if !ok {
+		return nil
+	}
+	if newSize >= f.oldSize {
+		return nil
+	}
+	return l.BeforeWrite(path, newSize, f.oldSize-newSize, read)
+}
+
+// gaps returns the sub-ranges of [off, end) not covered by existing
+// segments; these are exactly the ranges BeforeWrite still needs to
+// preserve. Each returned segment's data length encodes the gap length.
+func (f *FileLog) gaps(off, end int64) []segment {
+	var out []segment
+	cur := off
+	for _, s := range f.segments {
+		if s.end() <= cur || s.off >= end {
+			continue
+		}
+		if s.off > cur {
+			out = append(out, segment{off: cur, data: make([]byte, s.off-cur)})
+		}
+		if s.end() > cur {
+			cur = s.end()
+		}
+	}
+	if cur < end {
+		out = append(out, segment{off: cur, data: make([]byte, end-cur)})
+	}
+	return out
+}
+
+// insert adds a segment known not to overlap existing ones, keeping order.
+func (f *FileLog) insert(s segment) {
+	i := sort.Search(len(f.segments), func(i int) bool {
+		return f.segments[i].off >= s.off
+	})
+	f.segments = append(f.segments, segment{})
+	copy(f.segments[i+1:], f.segments[i:])
+	f.segments[i] = s
+}
+
+// PreservedBytes returns how many old bytes have been logged for path.
+func (l *Log) PreservedBytes(path string) int64 {
+	if f, ok := l.files[path]; ok {
+		return f.preservedBytes
+	}
+	return 0
+}
+
+// OldSize returns the file size recorded at the sync point, and whether the
+// path is tracked.
+func (l *Log) OldSize(path string) (int64, bool) {
+	if f, ok := l.files[path]; ok {
+		return f.oldSize, true
+	}
+	return 0, false
+}
+
+// OldVersion reconstructs the file's previous synced version from its
+// current content plus the preserved segments.
+func (l *Log) OldVersion(path string, current []byte) ([]byte, bool) {
+	f, ok := l.files[path]
+	if !ok {
+		return nil, false
+	}
+	old := make([]byte, f.oldSize)
+	n := copy(old, current)
+	for ; int64(n) < f.oldSize; n++ {
+		old[n] = 0
+	}
+	for _, s := range f.segments {
+		copy(old[s.off:], s.data)
+	}
+	l.meter.Copy(f.oldSize)
+	return old, true
+}
+
+// Reset drops the log for path (after its pending update is uploaded).
+func (l *Log) Reset(path string) { delete(l.files, path) }
+
+// Rename moves the log from oldPath to newPath, dropping any log previously
+// at newPath.
+func (l *Log) Rename(oldPath, newPath string) {
+	if f, ok := l.files[oldPath]; ok {
+		delete(l.files, oldPath)
+		l.files[newPath] = f
+	} else {
+		delete(l.files, newPath)
+	}
+}

@@ -1,0 +1,218 @@
+package undolog
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// memReader adapts a byte slice to the read callback.
+func memReader(content []byte) func(off, n int64) ([]byte, error) {
+	return func(off, n int64) ([]byte, error) {
+		end := off + n
+		if end > int64(len(content)) {
+			end = int64(len(content))
+		}
+		if off >= end {
+			return nil, nil
+		}
+		return content[off:end], nil
+	}
+}
+
+func TestUntrackedIsNoOp(t *testing.T) {
+	l := New(nil)
+	if err := l.BeforeWrite("f", 0, 10, memReader([]byte("0123456789"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l.OldVersion("f", nil); ok {
+		t.Fatal("OldVersion returned data for untracked file")
+	}
+	if l.PreservedBytes("f") != 0 {
+		t.Fatal("untracked file preserved bytes")
+	}
+}
+
+func TestReconstructAfterOverwrites(t *testing.T) {
+	old := []byte("the quick brown fox jumps over the lazy dog")
+	cur := append([]byte(nil), old...)
+
+	l := New(nil)
+	l.Track("f", int64(len(old)))
+
+	apply := func(off int64, data []byte) {
+		if err := l.BeforeWrite("f", off, int64(len(data)), memReader(cur)); err != nil {
+			t.Fatal(err)
+		}
+		copy(cur[off:], data)
+	}
+	apply(4, []byte("QUICK"))
+	apply(16, []byte("FOX"))
+	apply(4, []byte("SLICK")) // second write to same range: old bytes already logged
+
+	got, ok := l.OldVersion("f", cur)
+	if !ok || !bytes.Equal(got, old) {
+		t.Fatalf("OldVersion = %q, want %q", got, old)
+	}
+	// Preserved bytes must count each old byte once (5 + 3, not 13).
+	if l.PreservedBytes("f") != 8 {
+		t.Fatalf("PreservedBytes = %d, want 8", l.PreservedBytes("f"))
+	}
+}
+
+func TestOverlappingWritesPreserveOnce(t *testing.T) {
+	old := []byte("abcdefghij")
+	cur := append([]byte(nil), old...)
+	l := New(nil)
+	l.Track("f", int64(len(old)))
+
+	apply := func(off int64, data []byte) {
+		if err := l.BeforeWrite("f", off, int64(len(data)), memReader(cur)); err != nil {
+			t.Fatal(err)
+		}
+		copy(cur[off:], data)
+	}
+	apply(2, []byte("XXX"))    // logs [2,5)
+	apply(0, []byte("YYYYYY")) // logs [0,2) and [5,6) — gap-aware
+	got, ok := l.OldVersion("f", cur)
+	if !ok || !bytes.Equal(got, old) {
+		t.Fatalf("OldVersion = %q, want %q", got, old)
+	}
+	if l.PreservedBytes("f") != 6 {
+		t.Fatalf("PreservedBytes = %d, want 6", l.PreservedBytes("f"))
+	}
+}
+
+func TestAppendsNeedNoPreservation(t *testing.T) {
+	old := []byte("base")
+	cur := append([]byte(nil), old...)
+	l := New(nil)
+	l.Track("f", int64(len(old)))
+
+	// Write entirely beyond the old size.
+	if err := l.BeforeWrite("f", 4, 6, memReader(cur)); err != nil {
+		t.Fatal(err)
+	}
+	cur = append(cur, []byte("append")...)
+	if l.PreservedBytes("f") != 0 {
+		t.Fatalf("append preserved %d bytes, want 0", l.PreservedBytes("f"))
+	}
+	got, ok := l.OldVersion("f", cur)
+	if !ok || !bytes.Equal(got, old) {
+		t.Fatalf("OldVersion = %q, want %q", got, old)
+	}
+}
+
+func TestShrinkingFileReconstructs(t *testing.T) {
+	old := []byte("0123456789")
+	cur := append([]byte(nil), old...)
+	l := New(nil)
+	l.Track("f", int64(len(old)))
+
+	if err := l.BeforeTruncate("f", 4, memReader(cur)); err != nil {
+		t.Fatal(err)
+	}
+	cur = cur[:4]
+	got, ok := l.OldVersion("f", cur)
+	if !ok || !bytes.Equal(got, old) {
+		t.Fatalf("OldVersion after truncate = %q, want %q", got, old)
+	}
+}
+
+func TestTruncateGrowNeedsNothing(t *testing.T) {
+	l := New(nil)
+	l.Track("f", 4)
+	if err := l.BeforeTruncate("f", 100, memReader([]byte("abcd"))); err != nil {
+		t.Fatal(err)
+	}
+	if l.PreservedBytes("f") != 0 {
+		t.Fatal("growing truncate preserved bytes")
+	}
+}
+
+func TestResetAndRename(t *testing.T) {
+	l := New(nil)
+	l.Track("a", 3)
+	l.BeforeWrite("a", 0, 3, memReader([]byte("old")))
+	l.Rename("a", "b")
+	if l.Tracking("a") || !l.Tracking("b") {
+		t.Fatal("Rename did not move the log")
+	}
+	got, ok := l.OldVersion("b", []byte("new"))
+	if !ok || !bytes.Equal(got, []byte("old")) {
+		t.Fatalf("OldVersion after rename = %q", got)
+	}
+	l.Reset("b")
+	if l.Tracking("b") {
+		t.Fatal("Reset did not drop the log")
+	}
+}
+
+func TestRenameOverTracked(t *testing.T) {
+	l := New(nil)
+	l.Track("a", 1)
+	l.Track("b", 2)
+	l.Rename("a", "b")
+	if size, _ := l.OldSize("b"); size != 1 {
+		t.Fatalf("OldSize(b) = %d, want 1 (a's log)", size)
+	}
+	// Renaming an untracked name over a tracked one clears the target.
+	l.Rename("ghost", "b")
+	if l.Tracking("b") {
+		t.Fatal("stale log survived rename from untracked source")
+	}
+}
+
+// Property: for any sequence of writes and truncates against a tracked file,
+// OldVersion always reconstructs the original content exactly.
+func TestReconstructionProperty(t *testing.T) {
+	type wr struct {
+		Off   uint16
+		Len   uint8
+		Trunc bool
+	}
+	f := func(seed int64, origLen uint16, ops []wr) bool {
+		rng := rand.New(rand.NewSource(seed))
+		old := make([]byte, int(origLen))
+		rng.Read(old)
+		cur := append([]byte(nil), old...)
+
+		l := New(nil)
+		l.Track("f", int64(len(old)))
+		for _, o := range ops {
+			if o.Trunc {
+				newSize := int64(o.Off) % (int64(len(cur)) + 64)
+				if err := l.BeforeTruncate("f", newSize, memReader(cur)); err != nil {
+					return false
+				}
+				if newSize <= int64(len(cur)) {
+					cur = cur[:newSize]
+				} else {
+					grown := make([]byte, newSize)
+					copy(grown, cur)
+					cur = grown
+				}
+				continue
+			}
+			off := int64(o.Off) % (int64(len(cur)) + 32)
+			n := int64(o.Len)
+			if err := l.BeforeWrite("f", off, n, memReader(cur)); err != nil {
+				return false
+			}
+			data := make([]byte, n)
+			rng.Read(data)
+			if off+n > int64(len(cur)) {
+				grown := make([]byte, off+n)
+				copy(grown, cur)
+				cur = grown
+			}
+			copy(cur[off:], data)
+		}
+		got, ok := l.OldVersion("f", cur)
+		return ok && bytes.Equal(got, old)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

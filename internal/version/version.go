@@ -1,0 +1,94 @@
+// Package version implements DeltaCFS's client-assigned version control
+// (§III-C). Instead of round-tripping to the server for version numbers,
+// each client stamps file versions from its own monotonic counter, prefixed
+// with its client ID: <CliID, VerCnt>. Partial order is sufficient for cloud
+// sync: the server only needs to check whether an incoming update's base
+// version equals the file's current version, and reconcile with
+// first-write-wins when it does not.
+package version
+
+import "fmt"
+
+// ID is a version number <CliID, VerCnt>. The zero ID means "no version"
+// (file does not exist yet / empty base).
+type ID struct {
+	Client uint32
+	Count  uint64
+}
+
+// IsZero reports whether the ID is the "no version" value.
+func (id ID) IsZero() bool { return id == ID{} }
+
+func (id ID) String() string {
+	if id.IsZero() {
+		return "<none>"
+	}
+	return fmt.Sprintf("<%d,%d>", id.Client, id.Count)
+}
+
+// Counter issues monotonically increasing version IDs for one client.
+type Counter struct {
+	client uint32
+	count  uint64
+}
+
+// NewCounter returns a counter for the given client ID. Client IDs must be
+// distinct across clients of one cloud (assigned by the server at
+// registration in the full system; by the harness in tests).
+func NewCounter(client uint32) *Counter {
+	return &Counter{client: client}
+}
+
+// Client returns the client ID the counter stamps.
+func (c *Counter) Client() uint32 { return c.client }
+
+// Next returns the next version ID.
+func (c *Counter) Next() ID {
+	c.count++
+	return ID{Client: c.client, Count: c.count}
+}
+
+// Map tracks the current version of each path as known by one party
+// (client or cloud).
+type Map struct {
+	current map[string]ID
+}
+
+// NewMap returns an empty version map.
+func NewMap() *Map {
+	return &Map{current: make(map[string]ID)}
+}
+
+// Get returns the current version of path (zero if unknown).
+func (m *Map) Get(path string) ID { return m.current[path] }
+
+// Set records the current version of path.
+func (m *Map) Set(path string, id ID) {
+	if id.IsZero() {
+		delete(m.current, path)
+		return
+	}
+	m.current[path] = id
+}
+
+// Rename moves the version from oldPath to newPath (replacing newPath's).
+func (m *Map) Rename(oldPath, newPath string) {
+	if v, ok := m.current[oldPath]; ok {
+		m.current[newPath] = v
+		delete(m.current, oldPath)
+	} else {
+		delete(m.current, newPath)
+	}
+}
+
+// Delete forgets path.
+func (m *Map) Delete(path string) { delete(m.current, path) }
+
+// Len returns the number of tracked paths.
+func (m *Map) Len() int { return len(m.current) }
+
+// CheckBase reports whether an update whose base is base can be applied to a
+// file currently at cur. A zero base matches a zero cur (file creation) and
+// also matches any cur for idempotent full-content operations the caller
+// chooses to allow; the strict rule used by the server is equality.
+func CheckBase(cur, base ID) bool { return cur == base }

@@ -1,0 +1,104 @@
+package version
+
+import "testing"
+
+func TestIDZero(t *testing.T) {
+	var id ID
+	if !id.IsZero() {
+		t.Fatal("zero ID not IsZero")
+	}
+	if id.String() != "<none>" {
+		t.Fatalf("zero String = %q", id.String())
+	}
+	id2 := ID{Client: 1, Count: 1}
+	if id2.IsZero() {
+		t.Fatal("non-zero ID IsZero")
+	}
+	if id2.String() != "<1,1>" {
+		t.Fatalf("String = %q", id2.String())
+	}
+}
+
+func TestCounterMonotonic(t *testing.T) {
+	c := NewCounter(7)
+	if c.Client() != 7 {
+		t.Fatalf("Client = %d", c.Client())
+	}
+	prev := uint64(0)
+	for i := 0; i < 100; i++ {
+		id := c.Next()
+		if id.Client != 7 || id.Count <= prev {
+			t.Fatalf("Next = %v after count %d", id, prev)
+		}
+		prev = id.Count
+	}
+}
+
+func TestCountersFromDifferentClientsDistinct(t *testing.T) {
+	a := NewCounter(1)
+	b := NewCounter(2)
+	seen := make(map[ID]bool)
+	for i := 0; i < 50; i++ {
+		for _, id := range []ID{a.Next(), b.Next()} {
+			if seen[id] {
+				t.Fatalf("duplicate version ID %v", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestMapBasics(t *testing.T) {
+	m := NewMap()
+	if !m.Get("f").IsZero() {
+		t.Fatal("empty map returned a version")
+	}
+	v1 := ID{Client: 1, Count: 1}
+	m.Set("f", v1)
+	if m.Get("f") != v1 {
+		t.Fatalf("Get = %v", m.Get("f"))
+	}
+	m.Delete("f")
+	if !m.Get("f").IsZero() {
+		t.Fatal("Delete did not clear version")
+	}
+	m.Set("g", v1)
+	m.Set("g", ID{}) // setting zero deletes
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", m.Len())
+	}
+}
+
+func TestMapRename(t *testing.T) {
+	m := NewMap()
+	va := ID{Client: 1, Count: 5}
+	vb := ID{Client: 2, Count: 9}
+	m.Set("a", va)
+	m.Set("b", vb)
+	m.Rename("a", "b")
+	if m.Get("b") != va || !m.Get("a").IsZero() {
+		t.Fatalf("after rename: a=%v b=%v", m.Get("a"), m.Get("b"))
+	}
+	// Renaming an untracked path over a tracked one clears the target.
+	m.Rename("ghost", "b")
+	if !m.Get("b").IsZero() {
+		t.Fatal("rename from untracked source left stale version")
+	}
+}
+
+func TestCheckBase(t *testing.T) {
+	v1 := ID{Client: 1, Count: 1}
+	v2 := ID{Client: 1, Count: 2}
+	if !CheckBase(v1, v1) {
+		t.Fatal("matching base rejected")
+	}
+	if CheckBase(v1, v2) {
+		t.Fatal("stale base accepted")
+	}
+	if !CheckBase(ID{}, ID{}) {
+		t.Fatal("creation (zero/zero) rejected")
+	}
+	if CheckBase(v1, ID{}) {
+		t.Fatal("zero base accepted against existing version")
+	}
+}

@@ -1,0 +1,148 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// DirFS is an FS backed by a real directory on the host file system. It is
+// used by the command-line client to sync a real folder; tests and
+// benchmarks prefer MemFS. Hard-link counting in Stat is approximated as 1
+// (sufficient for the sync engines, which only use Size).
+type DirFS struct {
+	root string
+}
+
+// NewDirFS returns an FS rooted at dir, creating it if necessary.
+func NewDirFS(dir string) (*DirFS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("vfs: dirfs root: %w", err)
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &DirFS{root: abs}, nil
+}
+
+// Root returns the absolute root directory.
+func (d *DirFS) Root() string { return d.root }
+
+func (d *DirFS) abs(p string) string {
+	return filepath.Join(d.root, filepath.FromSlash(clean(p)))
+}
+
+// Create implements FS.
+func (d *DirFS) Create(p string) error {
+	f, err := os.Create(d.abs(p))
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// WriteAt implements FS.
+func (d *DirFS) WriteAt(p string, off int64, data []byte) error {
+	f, err := os.OpenFile(d.abs(p), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteAt(data, off)
+	return err
+}
+
+// ReadAt implements FS.
+func (d *DirFS) ReadAt(p string, off, n int64) ([]byte, error) {
+	f, err := os.Open(d.abs(p))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, n)
+	m, err := f.ReadAt(buf, off)
+	if err != nil && !errors.Is(err, io.EOF) {
+		return nil, err
+	}
+	return buf[:m], nil
+}
+
+// ReadFile implements FS.
+func (d *DirFS) ReadFile(p string) ([]byte, error) { return os.ReadFile(d.abs(p)) }
+
+// Truncate implements FS.
+func (d *DirFS) Truncate(p string, size int64) error { return os.Truncate(d.abs(p), size) }
+
+// Rename implements FS.
+func (d *DirFS) Rename(oldPath, newPath string) error {
+	return os.Rename(d.abs(oldPath), d.abs(newPath))
+}
+
+// Link implements FS.
+func (d *DirFS) Link(oldPath, newPath string) error {
+	return os.Link(d.abs(oldPath), d.abs(newPath))
+}
+
+// Unlink implements FS.
+func (d *DirFS) Unlink(p string) error { return os.Remove(d.abs(p)) }
+
+// Mkdir implements FS.
+func (d *DirFS) Mkdir(p string) error { return os.Mkdir(d.abs(p), 0o755) }
+
+// Rmdir implements FS.
+func (d *DirFS) Rmdir(p string) error { return os.Remove(d.abs(p)) }
+
+// Close implements FS (no-op: DirFS opens per call).
+func (d *DirFS) Close(p string) error { return nil }
+
+// Fsync implements FS.
+func (d *DirFS) Fsync(p string) error {
+	f, err := os.OpenFile(d.abs(p), os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// Stat implements FS.
+func (d *DirFS) Stat(p string) (FileInfo, error) {
+	st, err := os.Stat(d.abs(p))
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return FileInfo{Size: st.Size(), IsDir: st.IsDir(), Links: 1}, nil
+}
+
+// List implements FS.
+func (d *DirFS) List(prefix string) ([]string, error) {
+	start := d.root
+	if prefix != "" {
+		start = d.abs(prefix)
+	}
+	var out []string
+	err := filepath.WalkDir(start, func(p string, de fs.DirEntry, err error) error {
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				return nil
+			}
+			return err
+		}
+		if de.Type().IsRegular() {
+			rel, err := filepath.Rel(d.root, p)
+			if err != nil {
+				return err
+			}
+			out = append(out, strings.ReplaceAll(rel, string(filepath.Separator), "/"))
+		}
+		return nil
+	})
+	return out, err
+}
+
+var _ FS = (*DirFS)(nil)

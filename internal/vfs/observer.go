@@ -1,0 +1,162 @@
+package vfs
+
+import "sync"
+
+// Observer receives file-operation events after they have been applied to
+// the backing store. For the DeltaCFS client the observer role is played by
+// the engine itself (it *is* the file system); for the Dropbox/Seafile
+// baselines ObserverFS models inotify: they learn that a file changed, but
+// not what bytes changed — which is precisely why they must re-scan files
+// and why the paper's Table II charges them so much CPU.
+type Observer interface {
+	OnOp(op Op)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(op Op)
+
+// OnOp calls f(op).
+func (f ObserverFunc) OnOp(op Op) { f(op) }
+
+// ObserverFS wraps an FS and notifies registered observers after each
+// successfully applied operation, in application order.
+type ObserverFS struct {
+	backing FS
+
+	mu        sync.RWMutex
+	observers []Observer
+}
+
+// NewObserverFS wraps backing.
+func NewObserverFS(backing FS) *ObserverFS {
+	return &ObserverFS{backing: backing}
+}
+
+// Backing returns the wrapped FS.
+func (o *ObserverFS) Backing() FS { return o.backing }
+
+// Subscribe registers an observer. Observers are invoked synchronously on
+// the mutating goroutine, in subscription order.
+func (o *ObserverFS) Subscribe(obs Observer) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.observers = append(o.observers, obs)
+}
+
+func (o *ObserverFS) notify(op Op) {
+	o.mu.RLock()
+	obs := o.observers
+	o.mu.RUnlock()
+	for _, ob := range obs {
+		ob.OnOp(op)
+	}
+}
+
+// Create implements FS.
+func (o *ObserverFS) Create(p string) error {
+	if err := o.backing.Create(p); err != nil {
+		return err
+	}
+	o.notify(Op{Kind: OpCreate, Path: p})
+	return nil
+}
+
+// WriteAt implements FS.
+func (o *ObserverFS) WriteAt(p string, off int64, data []byte) error {
+	if err := o.backing.WriteAt(p, off, data); err != nil {
+		return err
+	}
+	o.notify(Op{Kind: OpWrite, Path: p, Off: off, Data: data})
+	return nil
+}
+
+// ReadAt implements FS.
+func (o *ObserverFS) ReadAt(p string, off, n int64) ([]byte, error) {
+	return o.backing.ReadAt(p, off, n)
+}
+
+// ReadFile implements FS.
+func (o *ObserverFS) ReadFile(p string) ([]byte, error) {
+	return o.backing.ReadFile(p)
+}
+
+// Truncate implements FS.
+func (o *ObserverFS) Truncate(p string, size int64) error {
+	if err := o.backing.Truncate(p, size); err != nil {
+		return err
+	}
+	o.notify(Op{Kind: OpTruncate, Path: p, Size: size})
+	return nil
+}
+
+// Rename implements FS.
+func (o *ObserverFS) Rename(oldPath, newPath string) error {
+	if err := o.backing.Rename(oldPath, newPath); err != nil {
+		return err
+	}
+	o.notify(Op{Kind: OpRename, Path: oldPath, Dst: newPath})
+	return nil
+}
+
+// Link implements FS.
+func (o *ObserverFS) Link(oldPath, newPath string) error {
+	if err := o.backing.Link(oldPath, newPath); err != nil {
+		return err
+	}
+	o.notify(Op{Kind: OpLink, Path: oldPath, Dst: newPath})
+	return nil
+}
+
+// Unlink implements FS.
+func (o *ObserverFS) Unlink(p string) error {
+	if err := o.backing.Unlink(p); err != nil {
+		return err
+	}
+	o.notify(Op{Kind: OpUnlink, Path: p})
+	return nil
+}
+
+// Mkdir implements FS.
+func (o *ObserverFS) Mkdir(p string) error {
+	if err := o.backing.Mkdir(p); err != nil {
+		return err
+	}
+	o.notify(Op{Kind: OpMkdir, Path: p})
+	return nil
+}
+
+// Rmdir implements FS.
+func (o *ObserverFS) Rmdir(p string) error {
+	if err := o.backing.Rmdir(p); err != nil {
+		return err
+	}
+	o.notify(Op{Kind: OpRmdir, Path: p})
+	return nil
+}
+
+// Close implements FS.
+func (o *ObserverFS) Close(p string) error {
+	if err := o.backing.Close(p); err != nil {
+		return err
+	}
+	o.notify(Op{Kind: OpClose, Path: p})
+	return nil
+}
+
+// Fsync implements FS.
+func (o *ObserverFS) Fsync(p string) error {
+	if err := o.backing.Fsync(p); err != nil {
+		return err
+	}
+	o.notify(Op{Kind: OpFsync, Path: p})
+	return nil
+}
+
+// Stat implements FS.
+func (o *ObserverFS) Stat(p string) (FileInfo, error) { return o.backing.Stat(p) }
+
+// List implements FS.
+func (o *ObserverFS) List(prefix string) ([]string, error) { return o.backing.List(prefix) }
+
+var _ FS = (*ObserverFS)(nil)
+var _ FS = (*MemFS)(nil)

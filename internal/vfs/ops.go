@@ -1,0 +1,135 @@
+// Package vfs is the reproduction's stand-in for FUSE: an in-process
+// virtual-file-system layer that exposes the same file-operation stream a
+// FUSE daemon sees (create, write, truncate, rename, link, unlink, close,
+// ...), with pluggable backing stores (in-memory or a real directory) and an
+// observer mechanism that plays the role of both LibFuse dispatch (for
+// DeltaCFS, which sits *in* the operation path) and inotify (for the
+// Dropbox/Seafile baselines, which watch modification events from outside).
+//
+// Applications in this repository are trace replayers: they issue the
+// paper's workload operation sequences (Fig 3) through a vfs.FS exactly as
+// real applications would issue them through the kernel into FUSE.
+package vfs
+
+import "fmt"
+
+// OpKind identifies a file operation.
+type OpKind uint8
+
+// The file operations DeltaCFS intercepts, mirroring the FUSE callbacks the
+// paper's prototype implements.
+const (
+	OpCreate OpKind = iota + 1
+	OpWrite
+	OpTruncate
+	OpRename
+	OpLink
+	OpUnlink
+	OpMkdir
+	OpRmdir
+	OpClose
+	OpFsync
+)
+
+var opNames = map[OpKind]string{
+	OpCreate:   "create",
+	OpWrite:    "write",
+	OpTruncate: "truncate",
+	OpRename:   "rename",
+	OpLink:     "link",
+	OpUnlink:   "unlink",
+	OpMkdir:    "mkdir",
+	OpRmdir:    "rmdir",
+	OpClose:    "close",
+	OpFsync:    "fsync",
+}
+
+func (k OpKind) String() string {
+	if s, ok := opNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// Op is one file operation, the unit of both trace replay and interception.
+type Op struct {
+	Kind OpKind
+	Path string // primary path
+	Dst  string // rename/link destination
+	Off  int64  // write offset
+	Size int64  // truncate length
+	Data []byte // write payload
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case OpWrite:
+		return fmt.Sprintf("write %s off=%d len=%d", o.Path, o.Off, len(o.Data))
+	case OpTruncate:
+		return fmt.Sprintf("truncate %s %d", o.Path, o.Size)
+	case OpRename, OpLink:
+		return fmt.Sprintf("%s %s %s", o.Kind, o.Path, o.Dst)
+	default:
+		return fmt.Sprintf("%s %s", o.Kind, o.Path)
+	}
+}
+
+// Apply issues op against fs.
+func Apply(fs FS, op Op) error {
+	switch op.Kind {
+	case OpCreate:
+		return fs.Create(op.Path)
+	case OpWrite:
+		return fs.WriteAt(op.Path, op.Off, op.Data)
+	case OpTruncate:
+		return fs.Truncate(op.Path, op.Size)
+	case OpRename:
+		return fs.Rename(op.Path, op.Dst)
+	case OpLink:
+		return fs.Link(op.Path, op.Dst)
+	case OpUnlink:
+		return fs.Unlink(op.Path)
+	case OpMkdir:
+		return fs.Mkdir(op.Path)
+	case OpRmdir:
+		return fs.Rmdir(op.Path)
+	case OpClose:
+		return fs.Close(op.Path)
+	case OpFsync:
+		return fs.Fsync(op.Path)
+	default:
+		return fmt.Errorf("vfs: apply: unknown op kind %d", op.Kind)
+	}
+}
+
+// FileInfo describes a file or directory.
+type FileInfo struct {
+	Size  int64
+	IsDir bool
+	// Links is the hard-link count (in-memory backend only; 1 for DirFS).
+	Links int
+}
+
+// FS is the file-system interface through which all file operations flow.
+// Paths are slash-separated and relative to the FS root; they are cleaned by
+// implementations. Close and Fsync are advisory notifications (FUSE release
+// and fsync callbacks) that implementations may treat as no-ops on the data
+// plane but that interception layers rely on.
+type FS interface {
+	Create(path string) error
+	WriteAt(path string, off int64, data []byte) error
+	ReadAt(path string, off, n int64) ([]byte, error)
+	ReadFile(path string) ([]byte, error)
+	Truncate(path string, size int64) error
+	Rename(oldPath, newPath string) error
+	Link(oldPath, newPath string) error
+	Unlink(path string) error
+	Mkdir(path string) error
+	Rmdir(path string) error
+	Close(path string) error
+	Fsync(path string) error
+	Stat(path string) (FileInfo, error)
+	// List returns the paths of all regular files under prefix (the whole
+	// tree when prefix is empty), in unspecified order.
+	List(prefix string) ([]string, error)
+}

@@ -1,0 +1,277 @@
+package wire
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math/big"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/version"
+)
+
+// Backend is the server-side application the network transport dispatches
+// into (implemented by internal/server.Server). It mirrors Endpoint with an
+// explicit client ID.
+type Backend interface {
+	Register() uint32
+	Push(from uint32, b *Batch) *PushReply
+	Fetch(path string) *FetchReply
+	Head(path string) (version.ID, bool)
+	FetchRange(path string, off, n int64) ([]byte, error)
+	Poll(client uint32) []*Batch
+}
+
+// request is the single on-the-wire request message.
+type request struct {
+	Op   string // "register", "push", "fetch", "fetchrange", "poll"
+	B    *Batch
+	Path string
+	Off  int64
+	N    int64
+}
+
+// response is the single on-the-wire response message.
+type response struct {
+	Err     string
+	Client  uint32
+	Push    *PushReply
+	Fetch   *FetchReply
+	Ver     version.ID
+	Exists  bool
+	Data    []byte
+	Batches []*Batch
+}
+
+// Serve accepts connections on lis and dispatches them into backend until
+// lis is closed. Each connection serves one client sequentially.
+func Serve(lis net.Listener, backend Backend) error {
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go serveConn(conn, backend)
+	}
+}
+
+func serveConn(conn net.Conn, backend Backend) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var client uint32
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return // EOF or broken connection
+		}
+		var resp response
+		switch req.Op {
+		case "register":
+			client = backend.Register()
+			resp.Client = client
+		case "push":
+			req.B.Client = client
+			resp.Push = backend.Push(client, req.B)
+		case "fetch":
+			resp.Fetch = backend.Fetch(req.Path)
+		case "head":
+			resp.Ver, resp.Exists = backend.Head(req.Path)
+		case "fetchrange":
+			data, err := backend.FetchRange(req.Path, req.Off, req.N)
+			if err != nil {
+				resp.Err = err.Error()
+			}
+			resp.Data = data
+		case "poll":
+			resp.Batches = backend.Poll(client)
+		default:
+			resp.Err = fmt.Sprintf("unknown op %q", req.Op)
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// NetClient is a TCP/TLS Endpoint. It is safe for concurrent use (requests
+// are serialized on the single connection).
+type NetClient struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	enc     *gob.Encoder
+	dec     *gob.Decoder
+	id      uint32
+	traffic *metrics.TrafficMeter
+	meter   *metrics.CPUMeter
+}
+
+// Dial connects to a Serve listener. tlsConf may be nil for plaintext.
+// traffic and meter account the client side and may be nil.
+func Dial(addr string, tlsConf *tls.Config, meter *metrics.CPUMeter, traffic *metrics.TrafficMeter) (*NetClient, error) {
+	var conn net.Conn
+	var err error
+	if tlsConf != nil {
+		conn, err = tls.Dial("tcp", addr, tlsConf)
+	} else {
+		conn, err = net.Dial("tcp", addr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	c := &NetClient{
+		conn:    conn,
+		enc:     gob.NewEncoder(conn),
+		dec:     gob.NewDecoder(conn),
+		traffic: traffic,
+		meter:   meter,
+	}
+	resp, err := c.roundTrip(request{Op: "register"}, 0)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.id = resp.Client
+	return c, nil
+}
+
+// roundTrip sends req and waits for the response. wireBytes is the
+// accounted request size (0 → requestSize).
+func (c *NetClient) roundTrip(req request, wireBytes int64) (*response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if wireBytes == 0 {
+		wireBytes = 64
+	}
+	c.meter.RPC(1)
+	c.meter.Net(wireBytes)
+	c.traffic.Upload(wireBytes)
+	if err := c.enc.Encode(&req); err != nil {
+		return nil, fmt.Errorf("wire: send: %w", err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("wire: recv: %w", err)
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return &resp, nil
+}
+
+// Register implements Endpoint.
+func (c *NetClient) Register() (uint32, error) { return c.id, nil }
+
+// Push implements Endpoint.
+func (c *NetClient) Push(b *Batch) (*PushReply, error) {
+	b.Client = c.id
+	resp, err := c.roundTrip(request{Op: "push", B: b}, b.WireSize())
+	if err != nil {
+		return nil, err
+	}
+	c.meter.Net(resp.Push.WireSize())
+	c.traffic.Download(resp.Push.WireSize())
+	return resp.Push, nil
+}
+
+// Fetch implements Endpoint.
+func (c *NetClient) Fetch(path string) (*FetchReply, error) {
+	resp, err := c.roundTrip(request{Op: "fetch", Path: path}, 0)
+	if err != nil {
+		return nil, err
+	}
+	c.meter.Net(resp.Fetch.WireSize())
+	c.traffic.Download(resp.Fetch.WireSize())
+	return resp.Fetch, nil
+}
+
+// Head implements Endpoint.
+func (c *NetClient) Head(path string) (version.ID, bool, error) {
+	resp, err := c.roundTrip(request{Op: "head", Path: path}, 0)
+	if err != nil {
+		return version.ID{}, false, err
+	}
+	c.meter.Net(32)
+	c.traffic.Download(32)
+	return resp.Ver, resp.Exists, nil
+}
+
+// FetchRange implements Endpoint.
+func (c *NetClient) FetchRange(path string, off, n int64) ([]byte, error) {
+	resp, err := c.roundTrip(request{Op: "fetchrange", Path: path, Off: off, N: n}, 0)
+	if err != nil {
+		return nil, err
+	}
+	c.meter.Net(int64(len(resp.Data)) + 32)
+	c.traffic.Download(int64(len(resp.Data)) + 32)
+	return resp.Data, nil
+}
+
+// Poll implements Endpoint.
+func (c *NetClient) Poll() ([]*Batch, error) {
+	resp, err := c.roundTrip(request{Op: "poll"}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var size int64 = 16
+	for _, b := range resp.Batches {
+		size += b.WireSize()
+	}
+	c.meter.Net(size)
+	c.traffic.Download(size)
+	return resp.Batches, nil
+}
+
+// Close implements Endpoint.
+func (c *NetClient) Close() error { return c.conn.Close() }
+
+var _ Endpoint = (*NetClient)(nil)
+
+// SelfSignedTLS generates an in-memory self-signed certificate and returns
+// matching server and client TLS configurations — the stdlib stand-in for
+// the paper's OpenSSL link encryption.
+func SelfSignedTLS() (serverConf, clientConf *tls.Config, err error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, nil, err
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber: big.NewInt(1),
+		Subject:      pkix.Name{CommonName: "deltacfs"},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(24 * time.Hour),
+		KeyUsage:     x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		IsCA:         true,
+		DNSNames:     []string{"localhost"},
+		IPAddresses:  []net.IP{net.IPv4(127, 0, 0, 1), net.IPv6loopback},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, nil, err
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, nil, err
+	}
+	pool := x509.NewCertPool()
+	pool.AddCert(cert)
+	serverConf = &tls.Config{
+		Certificates: []tls.Certificate{{Certificate: [][]byte{der}, PrivateKey: key}},
+		MinVersion:   tls.VersionTLS12,
+	}
+	clientConf = &tls.Config{RootCAs: pool, ServerName: "localhost", MinVersion: tls.VersionTLS12}
+	return serverConf, clientConf, nil
+}

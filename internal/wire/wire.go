@@ -1,0 +1,208 @@
+// Package wire defines the client↔cloud sync protocol shared by DeltaCFS and
+// every baseline engine: the transfer node/batch types, their size
+// accounting, the endpoint interface engines program against, and a real
+// TCP/TLS transport (transport.go). The paper's prototype encrypts all
+// client/server messages with OpenSSL; this reproduction uses crypto/tls
+// with an in-memory self-signed certificate.
+package wire
+
+import (
+	"repro/internal/rsync"
+	"repro/internal/version"
+)
+
+// NodeKind identifies the operation a transfer node carries.
+type NodeKind uint8
+
+// Transfer node kinds. The first block mirrors intercepted operations
+// (NFS-like file RPC); Delta carries an rsync delta (DeltaCFS, Dropbox);
+// Full carries whole-file content (Dropsync); CDC carries a content-defined
+// chunk list with data for chunks the server lacks (Seafile).
+const (
+	NCreate NodeKind = iota + 1
+	NWrite
+	NTruncate
+	NRename
+	NLink
+	NUnlink
+	NMkdir
+	NRmdir
+	NDelta
+	NFull
+	NCDC
+)
+
+var nodeKindNames = [...]string{
+	NCreate: "create", NWrite: "write", NTruncate: "truncate",
+	NRename: "rename", NLink: "link", NUnlink: "unlink",
+	NMkdir: "mkdir", NRmdir: "rmdir", NDelta: "delta", NFull: "full",
+	NCDC: "cdc",
+}
+
+func (k NodeKind) String() string {
+	if int(k) < len(nodeKindNames) && nodeKindNames[k] != "" {
+		return nodeKindNames[k]
+	}
+	return "node(?)"
+}
+
+// Extent is a contiguous run of written bytes.
+type Extent struct {
+	Off  int64
+	Data []byte
+}
+
+// ChunkRef references one content-defined chunk of a file. Data is nil when
+// the server is expected to already hold the chunk (dedup hit).
+type ChunkRef struct {
+	Hash [16]byte
+	Len  int64
+	Data []byte
+}
+
+// Node is one operation shipped to the cloud.
+type Node struct {
+	Kind NodeKind
+	Path string
+	Dst  string // rename/link destination
+
+	Extents []Extent     // NWrite
+	Size    int64        // NTruncate
+	Delta   *rsync.Delta // NDelta
+	// BasePath names the file whose content (at application time, within
+	// the same atomic batch) is the delta base. Empty means Path itself.
+	BasePath string
+	Full     []byte     // NFull
+	Chunks   []ChunkRef // NCDC
+
+	// Base and Ver are the file's version before and after this node.
+	Base, Ver version.ID
+
+	// PayloadWire, when positive, overrides the payload's contribution to
+	// WireSize — set by engines that compress payloads before transfer
+	// (Dropbox's network compression). The uncompressed payload still
+	// travels in the struct so the server can apply it; only the size
+	// accounting reflects compression.
+	PayloadWire int64
+}
+
+// nodeHeaderSize approximates the fixed per-node framing cost: kind, sizes,
+// two version IDs, offsets.
+const nodeHeaderSize = 64
+
+// ChunkStoreBudget bounds the bytes of content-addressed chunks the cloud
+// retains for deduplication, evicted FIFO. Clients track which chunks the
+// server holds with the same budget and the same insertion order, so a
+// chunk a client references is always still resident. (Production services
+// retain chunks indefinitely; a reproduction that replays hundreds of
+// whole-file re-uploads needs the bound to stay within laptop memory.)
+// It is a variable only so tests can exercise eviction cheaply; engines and
+// servers must be created after any override.
+var ChunkStoreBudget int64 = 512 << 20
+
+// PayloadBytes returns the raw (uncompressed) payload size.
+func (n *Node) PayloadBytes() int64 {
+	var total int64
+	for _, e := range n.Extents {
+		total += int64(len(e.Data))
+	}
+	if n.Delta != nil {
+		total += n.Delta.WireSize()
+	}
+	total += int64(len(n.Full))
+	for _, c := range n.Chunks {
+		total += 16 + 8 // hash + length reference
+		total += int64(len(c.Data))
+	}
+	return total
+}
+
+// WireSize returns the node's serialized size for traffic accounting.
+func (n *Node) WireSize() int64 {
+	payload := n.PayloadBytes()
+	if n.PayloadWire > 0 {
+		payload = n.PayloadWire
+	}
+	return nodeHeaderSize + int64(len(n.Path)+len(n.Dst)+len(n.BasePath)) + payload
+}
+
+// Batch is the unit of upload. Atomic batches must be applied
+// transactionally by the server (DeltaCFS backindex groups).
+type Batch struct {
+	Client uint32
+	Atomic bool
+	Nodes  []*Node
+}
+
+// WireSize returns the batch's serialized size.
+func (b *Batch) WireSize() int64 {
+	total := int64(16) // batch framing
+	for _, n := range b.Nodes {
+		total += n.WireSize()
+	}
+	return total
+}
+
+// ApplyStatus reports the outcome of one node's application.
+type ApplyStatus uint8
+
+// Node application outcomes.
+const (
+	StatusOK ApplyStatus = iota
+	// StatusConflict: the node's base version did not match the server's
+	// current version; first-write-wins kept the server version and the
+	// node's content was materialized as a conflict file.
+	StatusConflict
+	// StatusError: the node could not be applied (and, in an atomic batch,
+	// the whole batch was rolled back).
+	StatusError
+)
+
+// PushReply acknowledges a batch.
+type PushReply struct {
+	Statuses []ApplyStatus
+	// Conflicts lists the conflict-file paths created, parallel to the
+	// StatusConflict entries.
+	Conflicts []string
+	Err       string
+}
+
+// WireSize returns the reply's serialized size.
+func (r *PushReply) WireSize() int64 {
+	n := int64(16 + len(r.Statuses) + len(r.Err))
+	for _, c := range r.Conflicts {
+		n += int64(len(c)) + 8
+	}
+	return n
+}
+
+// FetchReply returns a file's content and version.
+type FetchReply struct {
+	Content []byte
+	Ver     version.ID
+	Exists  bool
+}
+
+// WireSize returns the reply's serialized size.
+func (r *FetchReply) WireSize() int64 { return 32 + int64(len(r.Content)) }
+
+// Endpoint is the cloud interface sync engines program against. Local
+// (in-process) and network (TCP/TLS) implementations exist; both account
+// traffic identically via the WireSize methods.
+type Endpoint interface {
+	// Register obtains this client's ID (used in version stamps).
+	Register() (uint32, error)
+	// Push uploads one batch.
+	Push(b *Batch) (*PushReply, error)
+	// Fetch downloads a whole file.
+	Fetch(path string) (*FetchReply, error)
+	// Head returns a file's current version and existence (metadata only).
+	Head(path string) (version.ID, bool, error)
+	// FetchRange downloads part of a file (NFS fetch-before-write,
+	// DeltaCFS block recovery).
+	FetchRange(path string, off, n int64) ([]byte, error)
+	// Poll retrieves batches other clients pushed to shared files since
+	// the last poll (cloud forwarding, §III-D).
+	Poll() ([]*Batch, error)
+	Close() error
+}

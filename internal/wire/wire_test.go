@@ -1,0 +1,104 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/rsync"
+	"repro/internal/version"
+)
+
+func TestNodeKindString(t *testing.T) {
+	cases := map[NodeKind]string{
+		NCreate: "create", NWrite: "write", NDelta: "delta",
+		NFull: "full", NCDC: "cdc", NodeKind(99): "node(?)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestNodePayloadBytes(t *testing.T) {
+	n := &Node{
+		Kind:    NWrite,
+		Extents: []Extent{{Off: 0, Data: make([]byte, 100)}, {Off: 200, Data: make([]byte, 50)}},
+	}
+	if got := n.PayloadBytes(); got != 150 {
+		t.Fatalf("write payload = %d, want 150", got)
+	}
+
+	full := &Node{Kind: NFull, Full: make([]byte, 999)}
+	if got := full.PayloadBytes(); got != 999 {
+		t.Fatalf("full payload = %d", got)
+	}
+
+	cdcNode := &Node{Kind: NCDC, Chunks: []ChunkRef{
+		{Len: 100, Data: make([]byte, 100)}, // carried
+		{Len: 100},                          // dedup reference
+	}}
+	// Each ref costs hash+len (24 B); only the carried chunk adds data.
+	if got := cdcNode.PayloadBytes(); got != 24*2+100 {
+		t.Fatalf("cdc payload = %d, want %d", got, 24*2+100)
+	}
+
+	d := &Node{Kind: NDelta, Delta: &rsync.Delta{
+		Ops: []rsync.Op{{Kind: rsync.OpData, Data: make([]byte, 64)}},
+	}}
+	if d.PayloadBytes() < 64 {
+		t.Fatalf("delta payload = %d, want >= 64", d.PayloadBytes())
+	}
+}
+
+func TestNodeWireSizeOverride(t *testing.T) {
+	n := &Node{Kind: NFull, Path: "f", Full: make([]byte, 1000)}
+	plain := n.WireSize()
+	if plain < 1000 {
+		t.Fatalf("WireSize = %d, want >= payload", plain)
+	}
+	n.PayloadWire = 10 // compressed to 10 bytes
+	if got := n.WireSize(); got >= plain || got < 10 {
+		t.Fatalf("overridden WireSize = %d (plain %d)", got, plain)
+	}
+}
+
+func TestBatchWireSizeSumsNodes(t *testing.T) {
+	b := &Batch{Nodes: []*Node{
+		{Kind: NCreate, Path: "a"},
+		{Kind: NWrite, Path: "a", Extents: []Extent{{Data: make([]byte, 10)}}},
+	}}
+	want := int64(16) + b.Nodes[0].WireSize() + b.Nodes[1].WireSize()
+	if got := b.WireSize(); got != want {
+		t.Fatalf("batch WireSize = %d, want %d", got, want)
+	}
+}
+
+func TestPushReplyWireSize(t *testing.T) {
+	r := &PushReply{
+		Statuses:  []ApplyStatus{StatusOK, StatusConflict},
+		Conflicts: []string{"f.conflict-1-2"},
+	}
+	if r.WireSize() <= 16 {
+		t.Fatalf("reply WireSize = %d", r.WireSize())
+	}
+}
+
+func TestFetchReplyWireSize(t *testing.T) {
+	r := &FetchReply{Content: make([]byte, 500), Ver: version.ID{Client: 1, Count: 2}, Exists: true}
+	if got := r.WireSize(); got != 532 {
+		t.Fatalf("fetch reply WireSize = %d, want 532", got)
+	}
+}
+
+func TestSelfSignedTLSConfigsMatch(t *testing.T) {
+	serverConf, clientConf, err := SelfSignedTLS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serverConf.Certificates) != 1 {
+		t.Fatal("server config missing certificate")
+	}
+	if clientConf.RootCAs == nil || clientConf.ServerName != "localhost" {
+		t.Fatalf("client config incomplete: %+v", clientConf)
+	}
+}
