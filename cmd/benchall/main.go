@@ -5,10 +5,13 @@
 // Usage:
 //
 //	benchall [-scale 1.0] [-exp all|fig1|fig2|table2|fig8|fig9|table3|table4]
+//	         [-json report.json]
 //
 // Scale 1.0 reproduces the paper's trace dimensions (a 131 MB SQLite file,
 // 373 update rounds, ...); smaller scales shrink files and counts
-// proportionally for quick runs.
+// proportionally for quick runs. With -json, the numbers behind the selected
+// tables and figures are additionally written to the given path as one
+// machine-readable document.
 package main
 
 import (
@@ -23,17 +26,19 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "trace scale (1.0 = paper dimensions)")
 	exp := flag.String("exp", "all", "experiment: all|fig1|fig2|table2|fig8|fig9|table3|table4")
 	iters := flag.Int("filebench-iters", 2000, "filebench iterations per personality")
+	jsonPath := flag.String("json", "", "also write the assembled numbers as JSON to this path")
 	flag.Parse()
 
-	if err := run(*exp, *scale, *iters); err != nil {
+	if err := run(*exp, *scale, *iters, *jsonPath); err != nil {
 		fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, scale float64, iters int) error {
+func run(exp string, scale float64, iters int, jsonPath string) error {
 	out := os.Stdout
 	needMatrix := exp == "all" || exp == "table2" || exp == "fig8" || exp == "fig9"
+	rep := &experiment.Report{Scale: scale}
 
 	var m *experiment.Matrix
 	if needMatrix {
@@ -43,6 +48,7 @@ func run(exp string, scale float64, iters int) error {
 		if err != nil {
 			return err
 		}
+		rep.AddMatrix(m)
 	}
 
 	if exp == "all" || exp == "fig1" {
@@ -52,6 +58,7 @@ func run(exp string, scale float64, iters int) error {
 		}
 		experiment.PrintFig1(out, rs)
 		fmt.Fprintln(out)
+		rep.Fig1 = rs
 	}
 	if exp == "all" || exp == "fig2" {
 		r, err := experiment.Fig2(scale)
@@ -60,6 +67,7 @@ func run(exp string, scale float64, iters int) error {
 		}
 		experiment.PrintFig2(out, r)
 		fmt.Fprintln(out)
+		rep.Fig2 = r
 	}
 	if exp == "all" || exp == "table2" {
 		m.PrintTable2(out)
@@ -80,6 +88,7 @@ func run(exp string, scale float64, iters int) error {
 		}
 		experiment.PrintTable3(out, rs)
 		fmt.Fprintln(out)
+		rep.Table3 = rs
 	}
 	if exp == "all" || exp == "table4" {
 		rs, err := experiment.Table4()
@@ -88,6 +97,13 @@ func run(exp string, scale float64, iters int) error {
 		}
 		experiment.PrintTable4(out, rs)
 		fmt.Fprintln(out)
+		rep.Table4 = rs
+	}
+	if jsonPath != "" {
+		if err := rep.WriteFile(jsonPath); err != nil {
+			return fmt.Errorf("writing %s: %w", jsonPath, err)
+		}
+		fmt.Fprintf(out, "wrote JSON report to %s\n", jsonPath)
 	}
 	return nil
 }

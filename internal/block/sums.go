@@ -1,0 +1,22 @@
+package block
+
+// SumRange computes the per-block signatures of blocks [lo, hi) of data and
+// stores them at out[lo:hi]. Block i covers data[i*blockSize : (i+1)*blockSize]
+// (the last block may be short). It is the shard worker of the parallel
+// signature path in internal/rsync: disjoint ranges of out may be filled
+// concurrently because each call writes only its own index range and reads
+// data immutably.
+func SumRange(out []Sig, data []byte, blockSize int, withStrong bool, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		a := i * blockSize
+		b := a + blockSize
+		if b > len(data) {
+			b = len(data)
+		}
+		s := Sig{Index: i, Weak: WeakSum(data[a:b])}
+		if withStrong {
+			s.Strong = StrongSum(data[a:b])
+		}
+		out[i] = s
+	}
+}

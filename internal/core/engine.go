@@ -21,6 +21,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/block"
@@ -65,6 +66,12 @@ type Config struct {
 	// InPlaceThreshold is the fraction of a file an in-place update must
 	// rewrite before delta encoding is attempted on it (default 0.5).
 	InPlaceThreshold float64
+	// DeltaWorkers bounds the pool that runs triggered delta encodings off
+	// the operation path (default GOMAXPROCS). The pool changes wall-clock
+	// behaviour only: every queue/version decision still happens at the
+	// serial algorithm's sequence points, so reported traffic and CPU ticks
+	// are identical to a fully serial engine.
+	DeltaWorkers int
 	// DisableDelta turns off every delta-encoding trigger (relation table
 	// and in-place), leaving pure NFS-like file RPC. Ablation knob: it
 	// quantifies what the adaptive combination buys over interception
@@ -93,14 +100,19 @@ type pendingBase struct {
 }
 
 // Engine is the DeltaCFS client. It implements vfs.FS (the interception
-// surface applications write through) and trace.Target. It is not safe for
-// concurrent use: like the FUSE dispatch loop it serializes file operations.
+// surface applications write through) and trace.Target. Public methods are
+// safe for concurrent use: a mutex serializes the bookkeeping fast path,
+// like the FUSE dispatch loop, while triggered delta encodings run on a
+// bounded worker pool outside the lock and are joined back in at the next
+// operation on the same path (or before any upload).
 type Engine struct {
+	mu      sync.Mutex
 	cfg     Config
 	backing vfs.FS
 	ep      wire.Endpoint
 	clk     *clock.Clock
 	meter   *metrics.CPUMeter
+	pool    *deltaPool
 
 	q       *syncqueue.Queue
 	rel     *relation.Table
@@ -172,6 +184,7 @@ func New(cfg Config) (*Engine, error) {
 		vers:         version.NewMap(),
 		pendingDelta: make(map[string]pendingBase),
 		trashVer:     make(map[string]version.ID),
+		pool:         newDeltaPool(cfg.DeltaWorkers),
 		clientID:     id,
 	}
 	return e, nil
@@ -181,19 +194,33 @@ func New(cfg Config) (*Engine, error) {
 func (e *Engine) ClientID() uint32 { return e.clientID }
 
 // Stats returns a snapshot of engine counters.
-func (e *Engine) Stats() Stats { return e.stats }
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
 
 // ConflictFiles returns conflict-file paths reported by the server or
 // created locally for conflicting forwarded updates.
 func (e *Engine) ConflictFiles() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return append([]string(nil), e.conflictFiles...)
 }
 
 // QueueLen returns the number of nodes awaiting upload (for tests).
-func (e *Engine) QueueLen() int { return e.q.Len() }
+func (e *Engine) QueueLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.q.Len()
+}
 
 // QueueBufferedBytes returns the payload bytes awaiting upload.
-func (e *Engine) QueueBufferedBytes() int64 { return e.q.BufferedBytes() }
+func (e *Engine) QueueBufferedBytes() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.q.BufferedBytes()
+}
 
 // FS implements trace.Target: applications issue operations through the
 // engine itself.
@@ -255,6 +282,9 @@ func (e *Engine) stamp(n *syncqueue.Node, path string) {
 // relation entry (the unlink-then-rewrite pattern), the preserved old
 // version becomes the pending delta base.
 func (e *Engine) Create(path string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.pool.joinPath(path)
 	e.meter.FSOp(1)
 	if ent, ok := e.rel.Lookup(path, e.clk.Now()); ok && ent.FromUnlink && !e.cfg.DisableDelta {
 		// Transactional update identified at re-creation (Table I trigger
@@ -285,6 +315,9 @@ func (e *Engine) Create(path string) error {
 // WriteAt implements vfs.FS: the NFS-like file RPC path. The payload is the
 // incremental data; no scanning, chunking or fingerprinting happens here.
 func (e *Engine) WriteAt(path string, off int64, data []byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.pool.joinPath(path)
 	e.meter.FSOp(1)
 	e.ensureTracked(path)
 	if err := e.undo.BeforeWrite(path, off, int64(len(data)), e.readRange(path)); err != nil {
@@ -311,6 +344,8 @@ func (e *Engine) WriteAt(path string, off int64, data []byte) error {
 // the read are verified first; corrupted blocks are recovered from the
 // cloud before the read is served (§III-E).
 func (e *Engine) ReadAt(path string, off, n int64) ([]byte, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.meter.FSOp(1)
 	if e.cfg.Checksums {
 		if err := e.verifyAndRecoverRange(path, off, n); err != nil {
@@ -322,6 +357,8 @@ func (e *Engine) ReadAt(path string, off, n int64) ([]byte, error) {
 
 // ReadFile implements vfs.FS, with the same verification as ReadAt.
 func (e *Engine) ReadFile(path string) ([]byte, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.meter.FSOp(1)
 	if e.cfg.Checksums {
 		st, err := e.backing.Stat(path)
@@ -336,6 +373,9 @@ func (e *Engine) ReadFile(path string) ([]byte, error) {
 
 // Truncate implements vfs.FS.
 func (e *Engine) Truncate(path string, size int64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.pool.joinPath(path)
 	e.meter.FSOp(1)
 	if err := e.backing.Truncate(path, size); err != nil {
 		return err
@@ -359,6 +399,10 @@ func (e *Engine) Truncate(path string, size int64) error {
 // destination name (Word pattern), or a destination that already exists
 // (gedit pattern).
 func (e *Engine) Rename(oldPath, newPath string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.pool.joinPath(oldPath)
+	e.pool.joinPath(newPath)
 	e.meter.FSOp(1)
 	st, err := e.backing.Stat(oldPath)
 	if err != nil {
@@ -431,6 +475,12 @@ func (e *Engine) Rename(oldPath, newPath string) error {
 // and the preserved base, replacing srcPath's buffered write node. basePath
 // is read locally; serverBase names the delta base as the server will
 // resolve it at the node's queue position.
+//
+// The queue substitution, version stamp and stats all happen here, at the
+// same sequence point a fully serial engine would make them; only the rsync
+// encode itself runs on the worker pool, against content snapshots taken
+// now. The reserved node ships only after the pool joins (Tick and Drain
+// join before releasing batches), so an unfilled delta can never upload.
 func (e *Engine) triggerRenameDelta(srcPath, basePath, serverBase string) {
 	newContent, err := e.backing.ReadFile(srcPath)
 	if err != nil {
@@ -441,16 +491,15 @@ func (e *Engine) triggerRenameDelta(srcPath, basePath, serverBase string) {
 		return
 	}
 	e.meter.DiskIO(int64(len(newContent)) + int64(len(baseContent)))
-	d := rsync.DeltaLocal(baseContent, newContent, e.cfg.BlockSize, e.meter)
 	node := &syncqueue.Node{
 		Kind:     syncqueue.KindDelta,
 		Path:     srcPath,
 		BasePath: serverBase,
-		Delta:    d,
 		At:       e.clk.Now(),
 	}
 	node.Ver = e.counter.Next()
-	if e.q.ReplaceWithDeltaIfBaseStable(srcPath, serverBase, node) {
+	replaced := e.q.ReplaceWithDeltaIfBaseStable(srcPath, serverBase, node)
+	if replaced {
 		// The replacement chained node.Base onto the replaced write node's
 		// base; only a successful replacement may advance the version map.
 		// If the raw writes already uploaded — or a pending node would
@@ -459,11 +508,28 @@ func (e *Engine) triggerRenameDelta(srcPath, basePath, serverBase string) {
 		e.vers.Set(srcPath, node.Ver)
 		e.stats.DeltaTriggers++
 	}
+	// The serial path charges the meter for the encode even when the
+	// replacement fails, so the job runs either way.
+	bs, meter := e.cfg.BlockSize, e.meter
+	var d *rsync.Delta
+	e.pool.dispatch(srcPath,
+		func() { d = rsync.DeltaLocal(baseContent, newContent, bs, meter) },
+		func() {
+			if replaced {
+				e.q.FillDelta(node, d)
+			} else {
+				d.Release()
+			}
+		})
 }
 
 // Link implements vfs.FS. Links need no relation entry (§III-A): the
 // replacing rename that follows triggers via the name-exists rule.
 func (e *Engine) Link(oldPath, newPath string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.pool.joinPath(oldPath)
+	e.pool.joinPath(newPath)
 	e.meter.FSOp(1)
 	if err := e.backing.Link(oldPath, newPath); err != nil {
 		return err
@@ -492,6 +558,9 @@ func (e *Engine) Link(oldPath, newPath string) error {
 // against it. If the file's whole lifetime is still queued, its nodes are
 // dropped instead of shipping an unlink.
 func (e *Engine) Unlink(path string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.pool.joinPath(path)
 	e.meter.FSOp(1)
 	st, err := e.backing.Stat(path)
 	if err != nil {
@@ -558,6 +627,8 @@ func (e *Engine) preserveInTrash(path string) (string, error) {
 
 // Mkdir implements vfs.FS.
 func (e *Engine) Mkdir(path string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.meter.FSOp(1)
 	if err := e.backing.Mkdir(path); err != nil {
 		return err
@@ -568,6 +639,8 @@ func (e *Engine) Mkdir(path string) error {
 
 // Rmdir implements vfs.FS. Deleted directories are not preserved (§III-A).
 func (e *Engine) Rmdir(path string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.meter.FSOp(1)
 	if err := e.backing.Rmdir(path); err != nil {
 		return err
@@ -579,6 +652,9 @@ func (e *Engine) Rmdir(path string) error {
 // Close implements vfs.FS: the file's state changed, so its write node
 // packs and the pack-time delta decision runs.
 func (e *Engine) Close(path string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.pool.joinPath(path)
 	e.meter.FSOp(1)
 	e.packDecision(path)
 	e.q.Pack(path)
@@ -587,14 +663,24 @@ func (e *Engine) Close(path string) error {
 
 // Fsync implements vfs.FS.
 func (e *Engine) Fsync(path string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.meter.FSOp(1)
 	return e.backing.Fsync(path)
 }
 
 // Stat implements vfs.FS.
-func (e *Engine) Stat(path string) (vfs.FileInfo, error) { return e.backing.Stat(path) }
+func (e *Engine) Stat(path string) (vfs.FileInfo, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.backing.Stat(path)
+}
 
 // List implements vfs.FS.
-func (e *Engine) List(prefix string) ([]string, error) { return e.backing.List(prefix) }
+func (e *Engine) List(prefix string) ([]string, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.backing.List(prefix)
+}
 
 var _ vfs.FS = (*Engine)(nil)

@@ -51,6 +51,8 @@ func (e *Engine) recoverFromCloud(path string) error {
 // backing store — what a real client does when it first indexes an existing
 // sync folder. Harnesses call this after seeding initial state.
 func (e *Engine) PrimeChecksums() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	paths, err := e.backing.List("")
 	if err != nil {
 		return err
@@ -86,6 +88,11 @@ type RecoveryReport struct {
 // store and dirty-file set live in the kvstore and survive. Experiments
 // call this before CrashScan.
 func (e *Engine) DropVolatileState() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// Everything before the simulated crash point completed synchronously in
+	// the serial engine, so settle in-flight encodes before dropping state.
+	e.pool.joinAll()
 	e.q = syncqueue.New(e.cfg.UploadDelay)
 	e.rel = relation.New(e.cfg.RelationTimeout)
 	e.undo = undolog.New(e.meter)
@@ -98,6 +105,8 @@ func (e *Engine) DropVolatileState() {
 // from the cloud when restore is true (the paper lets the user decide which
 // version to keep — restore=false reports without touching local data).
 func (e *Engine) CrashScan(restore bool) (*RecoveryReport, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	report := &RecoveryReport{}
 	var dirty []string
 	err := e.kv.Range([]byte("dirty/"), func(k, v []byte) bool {

@@ -18,6 +18,8 @@ const pollInterval = time.Second
 // write nodes, delayed uploads, and forwarded-update polling. The trace
 // replayer calls this after every clock advance.
 func (e *Engine) Tick(now time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for _, ent := range e.rel.Expire(now) {
 		if ent.FromUnlink {
 			_ = e.backing.Unlink(ent.Dst)
@@ -26,6 +28,9 @@ func (e *Engine) Tick(now time.Duration) {
 	for _, path := range e.q.OpenReady(now) {
 		e.packDecision(path)
 	}
+	// Every reserved delta node must be filled before the queue may release
+	// it for upload.
+	e.pool.joinAll()
 	for _, b := range e.q.PopReady(now) {
 		e.pushBatch(b)
 	}
@@ -35,11 +40,15 @@ func (e *Engine) Tick(now time.Duration) {
 	}
 }
 
-// Drain forces everything pending onto the cloud (end of trace / shutdown).
+// Drain forces everything pending onto the cloud (end of trace / shutdown),
+// joining all in-flight delta workers first.
 func (e *Engine) Drain() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for _, path := range e.q.OpenReady(1<<62 - 1) {
 		e.packDecision(path)
 	}
+	e.pool.joinAll()
 	for _, b := range e.q.Drain() {
 		e.pushBatch(b)
 	}
@@ -52,6 +61,7 @@ func (e *Engine) Drain() error {
 // in-place update rewrote more than the threshold fraction of the file,
 // replace the buffered raw writes with a local rsync delta (§III-A).
 func (e *Engine) packDecision(path string) {
+	e.pool.joinPath(path)
 	if e.cfg.DisableDelta {
 		e.undo.Reset(path)
 		return
@@ -112,12 +122,13 @@ func (e *Engine) resolvePendingDelta(path string, pd pendingBase) {
 	if !e.q.RemoveRecent(path, syncqueue.KindCreate) {
 		return // unlink removed alone is still correct: create+write follow raw
 	}
-	d := rsync.DeltaLocal(baseContent, newContent, e.cfg.BlockSize, e.meter)
+	// Reserve the delta's queue position and version now; encode on the
+	// pool against the snapshots read above and fill the node at join time,
+	// which Tick/Drain force before any upload.
 	node := &syncqueue.Node{
-		Kind:  syncqueue.KindDelta,
-		Path:  path,
-		Delta: d,
-		At:    e.clk.Now(),
+		Kind: syncqueue.KindDelta,
+		Path: path,
+		At:   e.clk.Now(),
 	}
 	node.Ver = e.counter.Next()
 	if !e.q.ReplaceWithDelta(path, node) {
@@ -131,6 +142,11 @@ func (e *Engine) resolvePendingDelta(path string, pd pendingBase) {
 	node.Base = pd.baseVer
 	e.vers.Set(path, node.Ver)
 	e.stats.DeltaTriggers++
+	bs, meter := e.cfg.BlockSize, e.meter
+	var d *rsync.Delta
+	e.pool.dispatch(path,
+		func() { d = rsync.DeltaLocal(baseContent, newContent, bs, meter) },
+		func() { e.q.FillDelta(node, d) })
 }
 
 // maybeInPlaceDelta applies the §III-A extension: when an in-place update
@@ -149,7 +165,11 @@ func (e *Engine) maybeInPlaceDelta(path string) {
 	if !e.q.OnlyWriteNodePending(path) {
 		return
 	}
-	payload := e.q.WritePayload(path)
+	wn := e.q.LatestPendingWrite(path)
+	if wn == nil {
+		return
+	}
+	payload := wn.PayloadBytes()
 	if payload == 0 {
 		return
 	}
@@ -162,21 +182,35 @@ func (e *Engine) maybeInPlaceDelta(path string) {
 		return
 	}
 	e.meter.DiskIO(int64(len(current)))
-	d := rsync.DeltaLocal(old, current, e.cfg.BlockSize, e.meter)
-	if d.WireSize() >= payload {
-		return // raw writes are already the cheaper encoding
-	}
-	node := &syncqueue.Node{
-		Kind:  syncqueue.KindDelta,
-		Path:  path,
-		Delta: d,
-		At:    e.clk.Now(),
-	}
-	node.Ver = e.counter.Next()
-	if e.q.ReplaceWithDelta(path, node) {
-		e.vers.Set(path, node.Ver)
-		e.stats.InPlaceDeltas++
-	}
+	// Unlike the rename-triggered cases, whether the delta replaces the raw
+	// writes depends on the encoded size, so the substitution itself must
+	// wait for the worker. The write node and the queue tail are pinned here
+	// so the commit produces the position and backindex group an immediate
+	// replacement would have; joinPath at every operation on path keeps both
+	// valid until the commit runs.
+	tail := e.q.TailSeq()
+	at := e.clk.Now()
+	bs, meter := e.cfg.BlockSize, e.meter
+	var d *rsync.Delta
+	e.pool.dispatch(path,
+		func() { d = rsync.DeltaLocal(old, current, bs, meter) },
+		func() {
+			if d.WireSize() >= payload {
+				d.Release() // raw writes are already the cheaper encoding
+				return
+			}
+			node := &syncqueue.Node{
+				Kind:  syncqueue.KindDelta,
+				Path:  path,
+				Delta: d,
+				At:    at,
+			}
+			node.Ver = e.counter.Next()
+			if e.q.ReplaceWithDeltaAt(wn, node, tail) {
+				e.vers.Set(path, node.Ver)
+				e.stats.InPlaceDeltas++
+			}
+		})
 }
 
 // kindToWire maps queue node kinds onto wire node kinds.
@@ -233,7 +267,11 @@ func (e *Engine) pushBatch(b syncqueue.Batch) {
 }
 
 // LastPushError returns the most recent upload failure, if any.
-func (e *Engine) LastPushError() error { return e.lastPushErr }
+func (e *Engine) LastPushError() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastPushErr
+}
 
 // pollForwarded applies updates other clients pushed to shared files
 // (§III-D: the cloud forwards incremental data verbatim).

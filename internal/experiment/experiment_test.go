@@ -292,3 +292,34 @@ func TestRunTraceUnknownSystem(t *testing.T) {
 		t.Fatal("unknown system accepted")
 	}
 }
+
+// TestMatrixParallelDeterministic checks that the worker-pool sweep renders
+// the same tables as a serial sweep: the meters are deterministic, cells are
+// independent, and slots are index-addressed, so fan-out must not change a
+// single byte of output.
+func TestMatrixParallelDeterministic(t *testing.T) {
+	render := func(m *Matrix) string {
+		var buf bytes.Buffer
+		m.PrintTable2(&buf)
+		m.PrintFig8(&buf)
+		m.PrintFig9(&buf)
+		return buf.String()
+	}
+
+	defer func(old int) { matrixWorkers = old }(matrixWorkers)
+
+	matrixWorkers = 1
+	serial, err := RunMatrix(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matrixWorkers = 6
+	parallel, err := RunMatrix(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if s, p := render(serial), render(parallel); s != p {
+		t.Errorf("parallel sweep output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", s, p)
+	}
+}

@@ -3,6 +3,8 @@ package experiment
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 	"text/tabwriter"
 
 	"repro/internal/metrics"
@@ -20,26 +22,78 @@ type Matrix struct {
 	Mobile []*Result // MobileSystems x Traces
 }
 
-// RunMatrix executes the full sweep at the given trace scale.
+// matrixWorkers bounds the concurrent (system, trace) cells RunMatrix runs;
+// 0 means GOMAXPROCS. A variable so tests can force a specific fan-out.
+var matrixWorkers = 0
+
+// RunMatrix executes the full sweep at the given trace scale. Cells are
+// independent — each gets its own backing store, server, meters and freshly
+// generated trace — so they run on a worker pool, filling index-addressed
+// slots that reproduce the serial trace-major layout. The meters are
+// deterministic (they charge for algorithmic work, not wall time), so the
+// resulting tables are byte-identical to a serial sweep.
 func RunMatrix(scale float64) (*Matrix, error) {
 	m := &Matrix{Scale: scale}
-	for _, tr := range Traces(scale) {
-		for _, sys := range PCSystems {
-			r, err := RunTrace(sys, tr, metrics.PC)
-			if err != nil {
-				return nil, err
-			}
-			m.PC = append(m.PC, r)
+	nTraces := len(Traces(scale))
+	m.PC = make([]*Result, nTraces*len(PCSystems))
+	m.Mobile = make([]*Result, nTraces*len(MobileSystems))
+
+	type cell struct {
+		out      []*Result
+		slot     int
+		traceIdx int
+		sys      System
+		platform metrics.Platform
+	}
+	var cells []cell
+	for ti := 0; ti < nTraces; ti++ {
+		for si, sys := range PCSystems {
+			cells = append(cells, cell{m.PC, ti*len(PCSystems) + si, ti, sys, metrics.PC})
 		}
 	}
-	for _, tr := range Traces(scale) {
-		for _, sys := range MobileSystems {
-			r, err := RunTrace(sys, tr, metrics.Mobile)
-			if err != nil {
-				return nil, err
-			}
-			m.Mobile = append(m.Mobile, r)
+	for ti := 0; ti < nTraces; ti++ {
+		for si, sys := range MobileSystems {
+			cells = append(cells, cell{m.Mobile, ti*len(MobileSystems) + si, ti, sys, metrics.Mobile})
 		}
+	}
+
+	workers := matrixWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	workers = min(workers, len(cells))
+	jobs := make(chan cell)
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				// Each cell generates its own trace objects: the generator
+				// closures carry per-run state and must not be shared
+				// across goroutines.
+				r, err := RunTrace(c.sys, Traces(scale)[c.traceIdx], c.platform)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					continue
+				}
+				c.out[c.slot] = r
+			}
+		}()
+	}
+	for _, c := range cells {
+		jobs <- c
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return m, nil
 }

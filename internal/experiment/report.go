@@ -1,0 +1,41 @@
+package experiment
+
+import (
+	"encoding/json"
+	"os"
+
+	"repro/internal/filebench"
+)
+
+// Report is the machine-readable form of a benchall run: every table and
+// figure number in one JSON document, so the perf trajectory can be tracked
+// across revisions without scraping the human-oriented tables.
+type Report struct {
+	Scale float64 `json:"scale"`
+
+	// MatrixPC and MatrixMobile are the Table II / Fig 8 / Fig 9 source
+	// measurements, in the sweep's trace-major order.
+	MatrixPC     []*Result `json:"matrix_pc,omitempty"`
+	MatrixMobile []*Result `json:"matrix_mobile,omitempty"`
+
+	Fig1   []Fig1Result        `json:"fig1,omitempty"`
+	Fig2   *Fig2Result         `json:"fig2,omitempty"`
+	Table3 []filebench.Result  `json:"table3,omitempty"`
+	Table4 []ReliabilityResult `json:"table4,omitempty"`
+}
+
+// AddMatrix records the evaluation matrix in the report.
+func (rep *Report) AddMatrix(m *Matrix) {
+	rep.Scale = m.Scale
+	rep.MatrixPC = m.PC
+	rep.MatrixMobile = m.Mobile
+}
+
+// WriteFile writes the report as indented JSON.
+func (rep *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/block"
 	"repro/internal/metrics"
@@ -73,13 +74,33 @@ func DeltaRemote(sig *Sig, target []byte, meter *metrics.CPUMeter) (*Delta, erro
 // MD5. This is the delta encoder DeltaCFS triggers on transactional updates.
 func DeltaLocal(base, target []byte, blockSize int, meter *metrics.CPUMeter) *Delta {
 	sig := WeakSignature(base, blockSize, meter)
-	return computeDelta(sig, base, target, meter)
+	d := computeDelta(sig, base, target, meter)
+	// The signature never escapes; recycle its block storage.
+	sig.Release()
+	return d
 }
 
-// computeDelta runs the block-matching scan. If baseData is non-nil, matches
-// are verified bitwise against it (local mode); otherwise they are verified
-// with strong checksums from sig (remote mode).
+// deltaParallelMin is the target size, in bytes, below which the delta scan
+// always runs serially: sharding a sub-megabyte scan costs more in fan-out
+// and stitching than the scan itself. A variable so tests can force the
+// parallel scan on small inputs.
+var deltaParallelMin = 1 << 20
+
+// computeDelta runs the block-matching scan, choosing the sharded scan for
+// large targets when workers are available. Both paths produce the identical
+// op stream and meter charges (see parallel.go for the argument).
 func computeDelta(sig *Sig, baseData, target []byte, meter *metrics.CPUMeter) *Delta {
+	if workers := workerCount(); workers > 1 && len(target) >= deltaParallelMin &&
+		len(target)-sig.BlockSize+1 >= 2*workers {
+		return computeDeltaParallel(sig, baseData, target, meter)
+	}
+	return computeDeltaSerial(sig, baseData, target, meter)
+}
+
+// computeDeltaSerial is the canonical single-goroutine scan. If baseData is
+// non-nil, matches are verified bitwise against it (local mode); otherwise
+// they are verified with strong checksums from sig (remote mode).
+func computeDeltaSerial(sig *Sig, baseData, target []byte, meter *metrics.CPUMeter) *Delta {
 	d := &Delta{
 		BlockSize: sig.BlockSize,
 		BaseLen:   sig.FileLen,
@@ -181,6 +202,18 @@ func (d *Delta) appendCopy(off, n int64) {
 	d.Ops = append(d.Ops, Op{Kind: OpCopy, Off: off, Len: n})
 }
 
+// litPool recycles literal-run buffers between deltas whose owners call
+// Release. Buffers grow by append inside appendData, so pooled capacity is
+// reused even when a literal run ends up larger than the pooled buffer was.
+var litPool sync.Pool
+
+func getLitBuf() []byte {
+	if v := litPool.Get(); v != nil {
+		return v.([]byte)[:0]
+	}
+	return nil
+}
+
 // appendData adds a literal op, coalescing with a preceding literal. The
 // bytes are copied, so the caller's buffer may be reused.
 func (d *Delta) appendData(p []byte) {
@@ -191,7 +224,26 @@ func (d *Delta) appendData(p []byte) {
 			return
 		}
 	}
-	d.Ops = append(d.Ops, Op{Kind: OpData, Data: append([]byte(nil), p...)})
+	d.Ops = append(d.Ops, Op{Kind: OpData, Data: append(getLitBuf(), p...)})
+}
+
+// Release returns the delta's literal buffers to the package pool and clears
+// the op list. Only the delta's sole owner may call it, and only when the
+// delta was never handed to the sync queue, the wire layer, or a server —
+// those paths retain the Data slices. It exists for call sites that compute a
+// delta, read its WireSize, and discard it (the in-place sizing check in
+// internal/core, benchmarks).
+func (d *Delta) Release() {
+	if d == nil {
+		return
+	}
+	for i := range d.Ops {
+		if d.Ops[i].Kind == OpData && d.Ops[i].Data != nil {
+			litPool.Put(d.Ops[i].Data[:0])
+			d.Ops[i].Data = nil
+		}
+	}
+	d.Ops = d.Ops[:0]
 }
 
 // Patch applies d to base and returns the reconstructed target. It validates

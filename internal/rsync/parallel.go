@@ -1,0 +1,246 @@
+package rsync
+
+import (
+	"bytes"
+	"sync"
+
+	"repro/internal/block"
+	"repro/internal/metrics"
+)
+
+// Sharded delta scan.
+//
+// The serial scan in delta.go is a single left-to-right trajectory: at each
+// position it either matches a base block (and jumps a full block forward) or
+// slides one byte. The decision at a position — which block matches, and how
+// many candidates were tried before the verdict — is a pure function of the
+// window bytes target[pos:pos+bs]: the rolling checksum is content-only
+// (mod-2^16 sums carry no position state), the candidate list comes from the
+// immutable weak index, and verification compares window bytes against
+// immutable base bytes. Trajectory state (where the scan currently is) never
+// feeds into the decision.
+//
+// That purity is what makes speculation safe: shard workers scan disjoint
+// position ranges ahead of time, each running the serial automaton from its
+// shard start, and record the decision at every position they visit. A
+// sequential stitch pass then replays the exact serial trajectory, consuming
+// cached decisions. The two trajectories can disagree about WHICH positions
+// get visited (a worker entering its shard cold may match at a different
+// phase than the serial scan arriving mid-jump), but wherever they visit the
+// same position they decide identically, and once they coincide they stay in
+// lock-step until the next divergence. Positions the serial trajectory visits
+// but the worker jumped over are recomputed fresh during the stitch, with a
+// locally maintained rolling window so a divergence run costs one O(bs)
+// window build plus O(1) per slide.
+//
+// Meter equivalence: the stitch replays the serial trajectory's charge rules
+// exactly — bs rolling bytes per window build, 1 per guarded slide, bs
+// compare/strong-hash bytes per candidate attempt — and charges the
+// aggregates once at the end. CPUMeter charges are integer-linear
+// (counter += n; ticks += n*perUnit*factor), so one aggregate charge equals
+// the serial path's many small ones, per category and per tick.
+
+// shardDecision records the scan verdict at one target position: the matched
+// block (-1 for a miss) and how many candidates were verified to reach it.
+type shardDecision struct {
+	pos   int
+	blk   int
+	tried int
+}
+
+// shardDecisionsPool recycles per-shard decision slices across scans.
+var shardDecisionsPool sync.Pool
+
+func getShardDecisions() []shardDecision {
+	if v := shardDecisionsPool.Get(); v != nil {
+		return v.([]shardDecision)[:0]
+	}
+	return nil
+}
+
+// tryCands runs the candidate verification loop of the serial scan without
+// touching the meter: it returns the first verified block (or -1) and the
+// number of verification attempts, which the stitch converts into the same
+// Compare/StrongHash charges the serial path makes inline.
+func tryCands(sig *Sig, baseData, target []byte, idx map[uint32][]int, sum uint32, pos int) (blk, tried int) {
+	bs := sig.BlockSize
+	cands, ok := idx[sum]
+	if !ok {
+		return -1, 0
+	}
+	window := target[pos : pos+bs]
+	for _, c := range cands {
+		tried++
+		if baseData != nil {
+			lo := c * bs
+			if bytes.Equal(window, baseData[lo:lo+bs]) {
+				return c, tried
+			}
+		} else if block.StrongSum(window) == sig.Blocks[c].Strong {
+			return c, tried
+		}
+	}
+	return -1, tried
+}
+
+// scanShard runs the serial matching automaton over positions [lo, hi),
+// starting cold (no carried-in window), and records the decision at every
+// position it visits. Matches jump bs positions exactly like the serial scan,
+// so a shard's decision list is sparse after matches.
+func scanShard(sig *Sig, baseData, target []byte, idx map[uint32][]int, lo, hi int, out *[]shardDecision) {
+	bs := sig.BlockSize
+	dec := *out
+	pos := lo
+	var roll block.Rolling
+	haveWindow := false
+	for pos < hi {
+		if !haveWindow {
+			roll = block.NewRolling(target[pos : pos+bs])
+			haveWindow = true
+		}
+		blk, tried := tryCands(sig, baseData, target, idx, roll.Sum(), pos)
+		dec = append(dec, shardDecision{pos: pos, blk: blk, tried: tried})
+		if blk >= 0 {
+			pos += bs
+			haveWindow = false
+			continue
+		}
+		if pos+1 < hi {
+			roll.Roll(target[pos], target[pos+bs])
+		}
+		pos++
+	}
+	*out = dec
+}
+
+// computeDeltaParallel produces the same delta and meter charges as
+// computeDeltaSerial by sharding the position space across workerCount()
+// goroutines and stitching their cached decisions back into the serial
+// trajectory. The dispatcher in computeDelta guarantees at least two
+// positions per worker.
+func computeDeltaParallel(sig *Sig, baseData, target []byte, meter *metrics.CPUMeter) *Delta {
+	bs := sig.BlockSize
+	idx := sig.index() // build once, before the fan-out
+	limit := len(target) - bs + 1
+	workers := workerCount()
+	if workers > limit {
+		workers = limit
+	}
+	shardSize := (limit + workers - 1) / workers
+
+	nShards := (limit + shardSize - 1) / shardSize
+	shards := make([][]shardDecision, nShards)
+	var wg sync.WaitGroup
+	for i := range shards {
+		lo := i * shardSize
+		hi := min(lo+shardSize, limit)
+		shards[i] = getShardDecisions()
+		wg.Add(1)
+		go func(lo, hi int, out *[]shardDecision) {
+			defer wg.Done()
+			scanShard(sig, baseData, target, idx, lo, hi, out)
+		}(lo, hi, &shards[i])
+	}
+	wg.Wait()
+
+	d := &Delta{
+		BlockSize: bs,
+		BaseLen:   sig.FileLen,
+		TargetLen: int64(len(target)),
+	}
+	litStart := 0
+	flushLiteral := func(end int) {
+		if end > litStart {
+			d.appendData(target[litStart:end])
+		}
+	}
+
+	// Stitch: replay the serial trajectory. ptr[s] advances monotonically
+	// through shard s's decisions; positions the worker jumped over are
+	// recomputed with a fresh rolling window carried across consecutive
+	// uncached misses.
+	ptr := make([]int, len(shards))
+	var rollingBytes, verifyAttempts int64
+	pos := 0
+	haveWindow := false // serial-trajectory window state (for charging only)
+	var roll block.Rolling
+	freshWindow := false // roll mirrors target[pos:pos+bs] right now
+	for pos+bs <= len(target) {
+		if !haveWindow {
+			rollingBytes += int64(bs)
+			haveWindow = true
+		}
+		s := min(pos/shardSize, len(shards)-1)
+		sd := shards[s]
+		for ptr[s] < len(sd) && sd[ptr[s]].pos < pos {
+			ptr[s]++
+		}
+		var blk, tried int
+		if ptr[s] < len(sd) && sd[ptr[s]].pos == pos {
+			blk, tried = sd[ptr[s]].blk, sd[ptr[s]].tried
+			freshWindow = false
+		} else {
+			if !freshWindow {
+				roll = block.NewRolling(target[pos : pos+bs])
+				freshWindow = true
+			}
+			blk, tried = tryCands(sig, baseData, target, idx, roll.Sum(), pos)
+		}
+		verifyAttempts += int64(tried)
+		if blk >= 0 {
+			flushLiteral(pos)
+			d.appendCopy(int64(blk)*int64(bs), int64(bs))
+			pos += bs
+			litStart = pos
+			haveWindow = false
+			freshWindow = false
+			continue
+		}
+		if pos+bs < len(target) {
+			rollingBytes++
+			if freshWindow {
+				roll.Roll(target[pos], target[pos+bs])
+			}
+		}
+		pos++
+	}
+
+	meter.RollingHash(rollingBytes)
+	if baseData != nil {
+		meter.Compare(verifyAttempts * int64(bs))
+	} else {
+		meter.StrongHash(verifyAttempts * int64(bs))
+	}
+
+	for _, sd := range shards {
+		shardDecisionsPool.Put(sd)
+	}
+
+	// Tail block: identical to the serial path (single charge, kept inline).
+	if tail := sig.tailBlock(); tail >= 0 {
+		tl := sig.blockLen(tail)
+		start := len(target) - tl
+		if tl > 0 && start >= pos {
+			rem := target[start:]
+			ok := false
+			if baseData != nil {
+				lo := tail * bs
+				meter.Compare(int64(tl))
+				ok = bytes.Equal(rem, baseData[lo:lo+tl])
+			} else {
+				meter.RollingHash(int64(tl))
+				if block.WeakSum(rem) == sig.Blocks[tail].Weak {
+					meter.StrongHash(int64(tl))
+					ok = block.StrongSum(rem) == sig.Blocks[tail].Strong
+				}
+			}
+			if ok {
+				flushLiteral(start)
+				d.appendCopy(int64(tail)*int64(bs), int64(tl))
+				litStart = len(target)
+			}
+		}
+	}
+	flushLiteral(len(target))
+	return d
+}

@@ -1,0 +1,293 @@
+package rsync
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/metrics"
+)
+
+// mutate derives a target from base with the paper's workload shapes:
+// in-place overwrites, an insertion (shifting alignment), and an append.
+func mutate(rng *rand.Rand, base []byte) []byte {
+	target := append([]byte(nil), base...)
+	for i := 0; i < 1+rng.Intn(4); i++ {
+		if len(target) == 0 {
+			break
+		}
+		off := rng.Intn(len(target))
+		n := min(1+rng.Intn(200), len(target)-off)
+		rng.Read(target[off : off+n])
+	}
+	if rng.Intn(2) == 0 && len(target) > 0 {
+		at := rng.Intn(len(target))
+		ins := make([]byte, 1+rng.Intn(300))
+		rng.Read(ins)
+		target = append(target[:at], append(ins, target[at:]...)...)
+	}
+	if rng.Intn(2) == 0 {
+		app := make([]byte, rng.Intn(5000))
+		rng.Read(app)
+		target = append(target, app...)
+	}
+	return target
+}
+
+func runSerial(base, target []byte, bs int, remote bool) (*Delta, *metrics.CPUMeter) {
+	meter := metrics.NewCPUMeter(metrics.PC)
+	if remote {
+		sig := Signature(base, bs, meter)
+		d, err := DeltaRemote(sig, target, meter)
+		if err != nil {
+			panic(err)
+		}
+		return d, meter
+	}
+	return DeltaLocal(base, target, bs, meter), meter
+}
+
+func checkEqualRuns(t *testing.T, base, target []byte, bs int, remote bool) {
+	t.Helper()
+	SetWorkers(1)
+	ds, ms := runSerial(base, target, bs, remote)
+	SetWorkers(5)
+	dp, mp := runSerial(base, target, bs, remote)
+	SetWorkers(1)
+
+	if !reflect.DeepEqual(ds.Ops, dp.Ops) {
+		t.Fatalf("op streams differ: serial %d ops, parallel %d ops", len(ds.Ops), len(dp.Ops))
+	}
+	if ds.WireSize() != dp.WireSize() {
+		t.Fatalf("wire sizes differ: serial %d, parallel %d", ds.WireSize(), dp.WireSize())
+	}
+	if ms.NanoTicks() != mp.NanoTicks() {
+		t.Fatalf("nano-ticks differ: serial %d, parallel %d\nserial %v\nparallel %v",
+			ms.NanoTicks(), mp.NanoTicks(), ms.Breakdown(), mp.Breakdown())
+	}
+	if !reflect.DeepEqual(ms.Breakdown(), mp.Breakdown()) {
+		t.Fatalf("meter breakdowns differ:\nserial   %v\nparallel %v", ms.Breakdown(), mp.Breakdown())
+	}
+	got, err := Patch(base, dp, nil)
+	if err != nil {
+		t.Fatalf("patch failed: %v", err)
+	}
+	if !bytes.Equal(got, target) {
+		t.Fatalf("patched output differs from target (len %d vs %d)", len(got), len(target))
+	}
+}
+
+func TestParallelMatchesSerialRandomized(t *testing.T) {
+	oldSig, oldDelta := sigParallelMin, deltaParallelMin
+	sigParallelMin = 0
+	deltaParallelMin = 0
+	t.Cleanup(func() {
+		SetWorkers(0)
+		sigParallelMin = oldSig
+		deltaParallelMin = oldDelta
+	})
+
+	rng := rand.New(rand.NewSource(7))
+	for _, bs := range []int{16, 64, 4096} {
+		for _, size := range []int{0, 1, bs - 1, bs, bs + 1, 4 * bs, 32*bs + 17} {
+			base := make([]byte, size)
+			rng.Read(base)
+			for iter := 0; iter < 4; iter++ {
+				target := mutate(rng, base)
+				for _, remote := range []bool{false, true} {
+					checkEqualRuns(t, base, target, bs, remote)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelMatchesSerialStructured(t *testing.T) {
+	oldSig, oldDelta := sigParallelMin, deltaParallelMin
+	sigParallelMin = 0
+	deltaParallelMin = 0
+	t.Cleanup(func() {
+		SetWorkers(0)
+		sigParallelMin = oldSig
+		deltaParallelMin = oldDelta
+	})
+
+	rng := rand.New(rand.NewSource(11))
+	bs := 256
+	base := make([]byte, 64*bs+100)
+	rng.Read(base)
+
+	cases := map[string][]byte{
+		"identical":      append([]byte(nil), base...),
+		"disjoint":       bytes.Repeat([]byte{0xAA}, len(base)),
+		"shifted":        append([]byte{1, 2, 3}, base...),
+		"truncated":      base[:10*bs+5],
+		"tail-only":      base[len(base)-100:],
+		"repeated-block": bytes.Repeat(base[:bs], 20),
+		"empty":          nil,
+	}
+	for name, target := range cases {
+		t.Run(name, func(t *testing.T) {
+			for _, remote := range []bool{false, true} {
+				checkEqualRuns(t, base, target, bs, remote)
+			}
+		})
+	}
+}
+
+// TestSharedSigConcurrent exercises the Sig.index() race the lazy map build
+// had: many goroutines share one signature and encode deltas concurrently.
+// Run under -race this fails on the pre-sync.Once implementation.
+func TestSharedSigConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	base := make([]byte, 1<<16)
+	rng.Read(base)
+	sig := Signature(base, 1024, nil)
+	want, err := DeltaRemote(sig, base[100:], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d, err := DeltaRemote(sig, base[100:], nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !reflect.DeepEqual(d.Ops, want.Ops) {
+				errs <- fmt.Errorf("concurrent delta diverged: %d ops vs %d", len(d.Ops), len(want.Ops))
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestDeltaReleaseRecycles(t *testing.T) {
+	base := bytes.Repeat([]byte{1, 2, 3, 4}, 1000)
+	target := append(append([]byte(nil), base...), []byte("trailing edit")...)
+	d := DeltaLocal(base, target, 256, nil)
+	if got, err := Patch(base, d, nil); err != nil || !bytes.Equal(got, target) {
+		t.Fatalf("patch before release: err=%v", err)
+	}
+	d.Release()
+	if len(d.Ops) != 0 {
+		t.Fatalf("Release left %d ops", len(d.Ops))
+	}
+	// The pool must hand back usable zero-length buffers, not corrupt ones.
+	d2 := DeltaLocal(base, target, 256, nil)
+	if got, err := Patch(base, d2, nil); err != nil || !bytes.Equal(got, target) {
+		t.Fatalf("patch after pooled reuse: err=%v", err)
+	}
+}
+
+var benchCases = []struct {
+	name string
+	size int
+}{
+	{"64KB", 64 << 10},
+	{"4MB", 4 << 20},
+	{"64MB", 64 << 20},
+}
+
+func benchInput(size int) (base, target []byte) {
+	rng := rand.New(rand.NewSource(int64(size)))
+	base = make([]byte, size)
+	rng.Read(base)
+	// Realistic update: a handful of scattered small edits plus one insertion.
+	target = append([]byte(nil), base...)
+	for i := 0; i < 8; i++ {
+		off := rng.Intn(max(size-64, 1))
+		rng.Read(target[off : off+min(64, size-off)])
+	}
+	mid := size / 2
+	target = append(target[:mid], append([]byte("inserted-run-of-bytes"), target[mid:]...)...)
+	return base, target
+}
+
+func benchModes(b *testing.B, run func(b *testing.B)) {
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			SetWorkers(mode.workers)
+			if mode.workers == 0 {
+				old := sigParallelMin
+				oldD := deltaParallelMin
+				sigParallelMin = 1 << 12
+				deltaParallelMin = 1 << 12
+				b.Cleanup(func() { sigParallelMin = old; deltaParallelMin = oldD })
+			}
+			b.Cleanup(func() { SetWorkers(0) })
+			run(b)
+		})
+	}
+}
+
+func BenchmarkSignature(b *testing.B) {
+	for _, tc := range benchCases {
+		b.Run(tc.name, func(b *testing.B) {
+			base, _ := benchInput(tc.size)
+			benchModes(b, func(b *testing.B) {
+				b.SetBytes(int64(tc.size))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s := Signature(base, block.DefaultBlockSize, nil)
+					s.Release()
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkDeltaLocal(b *testing.B) {
+	for _, tc := range benchCases {
+		b.Run(tc.name, func(b *testing.B) {
+			base, target := benchInput(tc.size)
+			benchModes(b, func(b *testing.B) {
+				b.SetBytes(int64(tc.size))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					d := DeltaLocal(base, target, block.DefaultBlockSize, nil)
+					d.Release()
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkDeltaRemote(b *testing.B) {
+	for _, tc := range benchCases {
+		b.Run(tc.name, func(b *testing.B) {
+			base, target := benchInput(tc.size)
+			benchModes(b, func(b *testing.B) {
+				sig := Signature(base, block.DefaultBlockSize, nil)
+				b.SetBytes(int64(tc.size))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					d, err := DeltaRemote(sig, target, nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					d.Release()
+				}
+			})
+		})
+	}
+}

@@ -10,17 +10,74 @@
 //
 // All entry points charge a metrics.CPUMeter for the algorithmic work they
 // perform, so the evaluation harness can report deterministic CPU ticks.
+// The meter models the canonical serial algorithm: the parallel kernel
+// (signature sharding in this file, the sharded delta scan in parallel.go)
+// reports exactly the charges the serial path would, so evaluation numbers
+// are identical whichever path ran — only wall-clock time changes.
 package rsync
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/block"
 	"repro/internal/metrics"
 )
+
+// kernelWorkers overrides the kernel's parallelism when positive; zero (the
+// default) means GOMAXPROCS. Set via SetWorkers.
+var kernelWorkers atomic.Int32
+
+// SetWorkers sets the number of concurrent shard workers the signature and
+// delta kernels may use. n <= 1 forces the serial path regardless of input
+// size; n == 0 restores the default (GOMAXPROCS). Safe to call concurrently,
+// though it is intended for process setup and benchmarks.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	kernelWorkers.Store(int32(n))
+}
+
+// workerCount returns the effective shard-worker count.
+func workerCount() int {
+	if n := int(kernelWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// sigParallelMin is the base size, in bytes, below which signatures are
+// always computed serially. Below this the spawn/join overhead of shard
+// goroutines exceeds the hashing work itself (a 1 MiB base is 256 default
+// blocks, tens of microseconds of checksumming), and keeping small files on
+// the serial path also keeps them allocation-free beyond the signature
+// itself. Declared as a variable so tests can force the parallel path on
+// small inputs.
+var sigParallelMin = 1 << 20
+
+// sigBlocksPool recycles per-file signature block slices, the dominant
+// allocation of repeated DeltaLocal calls on large files.
+var sigBlocksPool sync.Pool
+
+func getSigBlocks(n int) []block.Sig {
+	if v := sigBlocksPool.Get(); v != nil {
+		if b := v.([]block.Sig); cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]block.Sig, n)
+}
 
 // Sig is the signature of a base file: per-block weak (and optionally
 // strong) checksums. It corresponds to what an rsync receiver transmits to
 // the sender; in DeltaCFS's local mode it is computed in place and never
 // crosses the network.
+//
+// A *Sig is safe to share across goroutines once constructed: the weak-index
+// map is built exactly once behind a sync.Once, and all other fields are
+// immutable after the constructor returns.
 type Sig struct {
 	BlockSize int
 	FileLen   int64
@@ -29,6 +86,7 @@ type Sig struct {
 	// (bitwise-comparison) mode skips strong checksums entirely.
 	HasStrong bool
 
+	indexOnce sync.Once
 	weakIndex map[uint32][]int
 }
 
@@ -52,6 +110,10 @@ func WeakSignature(base []byte, blockSize int, meter *metrics.CPUMeter) *Sig {
 	return s
 }
 
+// signature builds the per-block checksum table, sharding the base across
+// workerCount() goroutines when the file is large enough to amortize the
+// fan-out. Every block's checksum is a pure function of its bytes, so the
+// shard split cannot change the result.
 func signature(base []byte, blockSize int, withStrong bool) *Sig {
 	if blockSize <= 0 {
 		blockSize = block.DefaultBlockSize
@@ -60,39 +122,70 @@ func signature(base []byte, blockSize int, withStrong bool) *Sig {
 	s := &Sig{
 		BlockSize: blockSize,
 		FileLen:   int64(len(base)),
-		Blocks:    make([]block.Sig, 0, nBlocks),
+		Blocks:    getSigBlocks(nBlocks),
 		HasStrong: withStrong,
 	}
-	for i := 0; i < nBlocks; i++ {
-		lo := i * blockSize
-		hi := lo + blockSize
-		if hi > len(base) {
-			hi = len(base)
-		}
-		bs := block.Sig{Index: i, Weak: block.WeakSum(base[lo:hi])}
-		if withStrong {
-			bs.Strong = block.StrongSum(base[lo:hi])
-		}
-		s.Blocks = append(s.Blocks, bs)
+	workers := workerCount()
+	if len(base) < sigParallelMin || workers <= 1 || nBlocks < 2 {
+		block.SumRange(s.Blocks, base, blockSize, withStrong, 0, nBlocks)
+		return s
 	}
+	if workers > nBlocks {
+		workers = nBlocks
+	}
+	per := (nBlocks + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < nBlocks; lo += per {
+		hi := lo + per
+		if hi > nBlocks {
+			hi = nBlocks
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			block.SumRange(s.Blocks, base, blockSize, withStrong, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
 	return s
 }
 
-// index returns the weak-checksum → block-indexes map, building it on first
-// use. Only full-size blocks participate in rolling matches; a short trailing
+// Release returns the signature's block storage to the package pool. Only
+// the owner of the signature may call it, and only when no goroutine will
+// touch the signature again (DeltaLocal releases its internal signature this
+// way). The signature must not be used after Release.
+func (s *Sig) Release() {
+	if s == nil {
+		return
+	}
+	if s.Blocks != nil {
+		sigBlocksPool.Put(s.Blocks[:0])
+	}
+	s.Blocks = nil
+	s.weakIndex = nil
+	s.indexOnce = sync.Once{}
+}
+
+// index returns the weak-checksum → block-indexes map, building it exactly
+// once. The sync.Once makes a shared *Sig safe: two goroutines racing into
+// index() observe one fully built map (the previous lazy build with no
+// synchronization corrupted the map under concurrent DeltaRemote calls).
+// Only full-size blocks participate in rolling matches; a short trailing
 // block is matched separately by the delta routines.
 func (s *Sig) index() map[uint32][]int {
-	if s.weakIndex != nil {
-		return s.weakIndex
-	}
-	s.weakIndex = make(map[uint32][]int, len(s.Blocks))
+	s.indexOnce.Do(s.buildIndex)
+	return s.weakIndex
+}
+
+func (s *Sig) buildIndex() {
+	m := make(map[uint32][]int, len(s.Blocks))
 	for i, b := range s.Blocks {
 		if s.blockLen(i) != s.BlockSize {
 			continue
 		}
-		s.weakIndex[b.Weak] = append(s.weakIndex[b.Weak], i)
+		m[b.Weak] = append(m[b.Weak], i)
 	}
-	return s.weakIndex
+	s.weakIndex = m
 }
 
 // blockLen returns the length in bytes of block i.

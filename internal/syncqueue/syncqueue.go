@@ -251,27 +251,80 @@ func (q *Queue) Pack(path string) {
 // the replaced position through the current tail. It returns false if no
 // replaceable write node exists (the engine then just appends the delta).
 func (q *Queue) ReplaceWithDelta(path string, d *Node) bool {
+	n := q.LatestPendingWrite(path)
+	if n == nil {
+		return false
+	}
+	return q.ReplaceWithDeltaAt(n, d, q.tailSeq())
+}
+
+// LatestPendingWrite returns path's most recent not-yet-uploaded write node,
+// or nil. The engine pins this node when it defers a delta encode, so the
+// later substitution lands on exactly the node an immediate one would have.
+func (q *Queue) LatestPendingWrite(path string) *Node {
 	for i := len(q.nodes) - 1; i >= q.head; i-- {
 		n := q.nodes[i]
-		if n == nil || n.Kind != KindWrite || n.Path != path {
-			continue
+		if n != nil && n.Kind == KindWrite && n.Path == path {
+			return n
 		}
-		q.buffered -= n.PayloadBytes()
-		if q.open[path] == n {
-			delete(q.open, path)
-		}
-		d.Seq = n.Seq
-		d.Kind = KindDelta
-		// The delta takes the replaced node's position in the version
-		// chain: the server's file version at this position is the write
-		// node's base, not whatever the client map says now.
-		d.Base = n.Base
-		q.nodes[i] = d
-		q.buffered += d.PayloadBytes()
-		q.addGroup(group{start: n.Seq, end: q.tailSeq()})
-		return true
 	}
-	return false
+	return nil
+}
+
+// TailSeq returns the seq of the newest queued node (baseSeq-1 when the queue
+// has never held a node). Deferred delta commits pin it at decision time so
+// their backindex group covers the same range an immediate replacement's
+// would, not whatever the tail has grown to by commit time.
+func (q *Queue) TailSeq() uint64 { return q.tailSeq() }
+
+// ReplaceWithDeltaAt substitutes the pinned write node n with delta node d,
+// recording a backindex group from n's position through tail. It returns
+// false if n is no longer queued at its position (uploaded or removed since
+// it was pinned).
+func (q *Queue) ReplaceWithDeltaAt(n, d *Node, tail uint64) bool {
+	if n.Seq < q.baseSeq {
+		return false
+	}
+	i := q.idx(n.Seq)
+	if i < q.head || i >= len(q.nodes) || q.nodes[i] != n {
+		return false
+	}
+	q.buffered -= n.PayloadBytes()
+	if q.open[n.Path] == n {
+		delete(q.open, n.Path)
+	}
+	d.Seq = n.Seq
+	d.Kind = KindDelta
+	// The delta takes the replaced node's position in the version chain: the
+	// server's file version at this position is the write node's base, not
+	// whatever the client map says now.
+	d.Base = n.Base
+	q.nodes[i] = d
+	q.buffered += d.PayloadBytes()
+	if n.Seq <= tail {
+		q.addGroup(group{start: n.Seq, end: tail})
+	}
+	return true
+}
+
+// FillDelta installs the finished delta into a node that was reserved in the
+// queue with a nil Delta (the engine substitutes the node synchronously and
+// encodes off-thread), fixing up buffered-byte accounting. A node that has
+// already left the queue is still filled, but the accounting is untouched.
+func (q *Queue) FillDelta(n *Node, d *rsync.Delta) {
+	live := false
+	if n.Seq >= q.baseSeq {
+		if i := q.idx(n.Seq); i >= q.head && i < len(q.nodes) && q.nodes[i] == n {
+			live = true
+		}
+	}
+	if live {
+		q.buffered -= n.PayloadBytes()
+	}
+	n.Delta = d
+	if live {
+		q.buffered += n.PayloadBytes()
+	}
 }
 
 // DropPending removes all queued trace of path — valid only when the file's
