@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	benchall [-scale 1.0] [-exp all|fig1|fig2|table2|fig8|fig9|table3|table4]
-//	         [-json report.json]
+//	benchall [-scale 1.0] [-exp all|fig1|fig2|table2|fig8|fig9|table3|table4|chaos]
+//	         [-chaos-seeds 5] [-json report.json]
 //
 // Scale 1.0 reproduces the paper's trace dimensions (a 131 MB SQLite file,
 // 373 update rounds, ...); smaller scales shrink files and counts
@@ -24,18 +24,19 @@ import (
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "trace scale (1.0 = paper dimensions)")
-	exp := flag.String("exp", "all", "experiment: all|fig1|fig2|table2|fig8|fig9|table3|table4")
+	exp := flag.String("exp", "all", "experiment: all|fig1|fig2|table2|fig8|fig9|table3|table4|chaos")
 	iters := flag.Int("filebench-iters", 2000, "filebench iterations per personality")
+	chaosSeeds := flag.Int("chaos-seeds", 5, "chaos schedules per fault profile")
 	jsonPath := flag.String("json", "", "also write the assembled numbers as JSON to this path")
 	flag.Parse()
 
-	if err := run(*exp, *scale, *iters, *jsonPath); err != nil {
+	if err := run(*exp, *scale, *iters, *chaosSeeds, *jsonPath); err != nil {
 		fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, scale float64, iters int, jsonPath string) error {
+func run(exp string, scale float64, iters, chaosSeeds int, jsonPath string) error {
 	out := os.Stdout
 	needMatrix := exp == "all" || exp == "table2" || exp == "fig8" || exp == "fig9"
 	rep := &experiment.Report{Scale: scale}
@@ -98,6 +99,19 @@ func run(exp string, scale float64, iters int, jsonPath string) error {
 		experiment.PrintTable4(out, rs)
 		fmt.Fprintln(out)
 		rep.Table4 = rs
+	}
+	// The chaos sweep is opt-in only (not part of "all"): its convergence
+	// and duplicate-apply columns are deterministic, but the raw transport
+	// counters (retries, dedup hits) depend on goroutine scheduling, which
+	// would break the byte-diff determinism of the default output.
+	if exp == "chaos" {
+		rs, err := experiment.ChaosSweep(chaosSeeds)
+		if err != nil {
+			return err
+		}
+		experiment.PrintChaos(out, rs)
+		fmt.Fprintln(out)
+		rep.Chaos = rs
 	}
 	if jsonPath != "" {
 		if err := rep.WriteFile(jsonPath); err != nil {

@@ -77,6 +77,14 @@ type Config struct {
 	// quantifies what the adaptive combination buys over interception
 	// alone.
 	DisableDelta bool
+	// QueueHighWater bounds the unsent-batch buffer retained across push
+	// failures (default DefaultQueueHighWater); reaching it marks the
+	// engine Offline.
+	QueueHighWater int64
+	// SyncMeter counts fault-tolerance events — degraded time here; retries
+	// and reconnects when the same meter is shared with a ResilientClient
+	// (may be nil).
+	SyncMeter *metrics.SyncMeter
 }
 
 // Stats counts engine activity.
@@ -134,6 +142,17 @@ type Engine struct {
 	lastPoll    time.Duration
 	lastPushErr error
 
+	// Fault-tolerance state (health.go). unsent holds converted batches
+	// whose push failed, oldest first; batchSeq is the idempotency-key
+	// counter — durable client state like the version counter, NOT reset by
+	// DropVolatileState (a replayed key must never alias a new batch).
+	unsent      []*wire.Batch
+	unsentBytes int64
+	batchSeq    uint64
+	consecFails int
+	lastTickAt  time.Duration
+	syncMeter   *metrics.SyncMeter
+
 	stats         Stats
 	conflictFiles []string
 
@@ -156,6 +175,9 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.InPlaceThreshold <= 0 {
 		cfg.InPlaceThreshold = 0.5
+	}
+	if cfg.QueueHighWater <= 0 {
+		cfg.QueueHighWater = DefaultQueueHighWater
 	}
 	kv := cfg.KV
 	if kv == nil {
@@ -186,6 +208,7 @@ func New(cfg Config) (*Engine, error) {
 		trashVer:     make(map[string]version.ID),
 		pool:         newDeltaPool(cfg.DeltaWorkers),
 		clientID:     id,
+		syncMeter:    cfg.SyncMeter,
 	}
 	return e, nil
 }

@@ -1,0 +1,144 @@
+package core
+
+// Graceful degradation under cloud faults: when a push fails, the converted
+// wire batch is kept in an in-order unsent buffer instead of being dropped,
+// and every subsequent Tick retries the buffer head before anything newer —
+// batches arrive at the cloud in submission order or not at all. The engine
+// exposes a Healthy/Degraded/Offline health state and meters degraded time
+// on the logical clock.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Health is the engine's sync-path state.
+type Health int
+
+const (
+	// Healthy: the last push succeeded and nothing is buffered.
+	Healthy Health = iota
+	// Degraded: pushes are failing (or unsent batches are buffered) but the
+	// engine is still below its local-buffering limits.
+	Degraded
+	// Offline: repeated consecutive failures or a full unsent buffer; the
+	// engine keeps accepting local operations and buffering, but the cloud
+	// is treated as unreachable until a flush succeeds.
+	Offline
+)
+
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Offline:
+		return "offline"
+	default:
+		return fmt.Sprintf("health(%d)", int(h))
+	}
+}
+
+// offlineAfterFailures is how many consecutive push failures move the engine
+// from Degraded to Offline.
+const offlineAfterFailures = 3
+
+// DefaultQueueHighWater bounds the unsent buffer (64 MB). Reaching it marks
+// the engine Offline; nothing is dropped — local state is the durable copy
+// and the buffer resumes in order once the cloud answers again.
+const DefaultQueueHighWater = 64 << 20
+
+// Health returns the engine's current sync-path state.
+func (e *Engine) Health() Health {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.healthLocked()
+}
+
+func (e *Engine) healthLocked() Health {
+	if e.consecFails >= offlineAfterFailures || e.unsentBytes >= e.cfg.QueueHighWater {
+		return Offline
+	}
+	if e.consecFails > 0 || len(e.unsent) > 0 {
+		return Degraded
+	}
+	return Healthy
+}
+
+// UnsentBatches returns how many pushed batches await retransmission.
+func (e *Engine) UnsentBatches() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.unsent)
+}
+
+// UnsentBytes returns the wire size of the unsent buffer.
+func (e *Engine) UnsentBytes() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.unsentBytes
+}
+
+// enqueueUnsent appends a converted batch to the in-order unsent buffer.
+func (e *Engine) enqueueUnsent(wb *wire.Batch) {
+	e.unsent = append(e.unsent, wb)
+	e.unsentBytes += wb.WireSize()
+}
+
+// flushUnsent retries the unsent buffer head-first, stopping at the first
+// failure so cloud-visible order always matches submission order. A failed
+// round counts once toward the Offline threshold regardless of how many
+// batches were waiting behind the failure.
+func (e *Engine) flushUnsent() {
+	for len(e.unsent) > 0 {
+		if !e.sendOne(e.unsent[0]) {
+			e.consecFails++
+			return
+		}
+		e.consecFails = 0
+		e.unsentBytes -= e.unsent[0].WireSize()
+		e.unsent[0] = nil
+		e.unsent = e.unsent[1:]
+	}
+	e.unsent = nil
+	e.unsentBytes = 0
+}
+
+// sendOne pushes a single wire batch, reporting success. Failures leave the
+// batch owned by the caller (still buffered).
+func (e *Engine) sendOne(wb *wire.Batch) bool {
+	reply, err := e.ep.Push(wb)
+	if err != nil {
+		e.lastPushErr = err
+		return false
+	}
+	e.lastPushErr = nil
+	e.stats.UploadedBatches++
+	e.stats.UploadedNodes += len(wb.Nodes)
+	for _, st := range reply.Statuses {
+		if st == wire.StatusConflict {
+			e.stats.Conflicts++
+		}
+	}
+	e.conflictFiles = append(e.conflictFiles, reply.Conflicts...)
+	for _, n := range wb.Nodes {
+		if !e.q.HasPendingWrite(n.Path) && !e.q.HasOpen(n.Path) {
+			e.clearDirty(n.Path)
+		}
+	}
+	return true
+}
+
+// meterDegraded charges the span since the previous Tick to the sync meter
+// when it was spent outside the Healthy state.
+func (e *Engine) meterDegraded(now time.Duration) {
+	if e.healthLocked() != Healthy && now > e.lastTickAt {
+		e.syncMeter.AddDegraded(now - e.lastTickAt)
+	}
+	if now > e.lastTickAt {
+		e.lastTickAt = now
+	}
+}

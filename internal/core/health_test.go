@@ -1,0 +1,323 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/faultinject"
+	"repro/internal/metrics"
+	"repro/internal/server"
+	"repro/internal/vfs"
+	"repro/internal/wire"
+)
+
+// flakyEndpoint fails Push (and optionally all ops) while down.
+type flakyEndpoint struct {
+	wire.Endpoint
+	down bool
+}
+
+var errFlakyDown = errors.New("flaky endpoint down")
+
+func (f *flakyEndpoint) Push(b *wire.Batch) (*wire.PushReply, error) {
+	if f.down {
+		return nil, errFlakyDown
+	}
+	return f.Endpoint.Push(b)
+}
+
+// flakyRig is a rig whose endpoint can be taken down.
+type flakyRig struct {
+	*rig
+	flaky *flakyEndpoint
+	sm    *metrics.SyncMeter
+}
+
+func newFlakyRig(t *testing.T, highWater int64) *flakyRig {
+	t.Helper()
+	r := &rig{
+		backing: vfs.NewMemFS(),
+		clk:     &clock.Clock{},
+		meter:   metrics.NewCPUMeter(metrics.PC),
+		traffic: &metrics.TrafficMeter{},
+	}
+	r.srv = server.New(metrics.NewCPUMeter(metrics.PC))
+	flaky := &flakyEndpoint{Endpoint: server.NewLoopback(r.srv, r.meter, r.traffic)}
+	sm := &metrics.SyncMeter{}
+	eng, err := New(Config{
+		Backing:        r.backing,
+		Endpoint:       flaky,
+		Clock:          r.clk,
+		Meter:          r.meter,
+		QueueHighWater: highWater,
+		SyncMeter:      sm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.eng = eng
+	return &flakyRig{rig: r, flaky: flaky, sm: sm}
+}
+
+// step advances the logical clock and ticks once.
+func (r *flakyRig) step(d time.Duration) {
+	r.clk.Advance(d)
+	r.eng.Tick(r.clk.Now())
+}
+
+func TestHealthStateMachine(t *testing.T) {
+	r := newFlakyRig(t, 0)
+	if h := r.eng.Health(); h != Healthy {
+		t.Fatalf("initial health = %v", h)
+	}
+
+	if err := r.eng.Create("f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.eng.WriteAt("f", 0, []byte("buffered while down")); err != nil {
+		t.Fatal(err)
+	}
+	r.flaky.down = true
+	r.step(time.Minute) // batch pops, push fails
+	if h := r.eng.Health(); h != Degraded {
+		t.Fatalf("health after first failure = %v, want degraded", h)
+	}
+	if r.eng.UnsentBatches() == 0 || r.eng.UnsentBytes() == 0 {
+		t.Fatal("failed batch not buffered")
+	}
+
+	for i := 0; i < offlineAfterFailures; i++ {
+		r.step(time.Second)
+	}
+	if h := r.eng.Health(); h != Offline {
+		t.Fatalf("health after repeated failures = %v, want offline", h)
+	}
+	if r.sm.Degraded() == 0 {
+		t.Fatal("degraded time not metered")
+	}
+
+	// Heal: the buffer flushes, in order, and health recovers.
+	r.flaky.down = false
+	r.step(time.Second)
+	if h := r.eng.Health(); h != Healthy {
+		t.Fatalf("health after heal = %v, want healthy", h)
+	}
+	if r.eng.UnsentBatches() != 0 {
+		t.Fatalf("%d batches still unsent after heal", r.eng.UnsentBatches())
+	}
+	got, ok := r.srv.FileContent("f")
+	if !ok || !bytes.Equal(got, []byte("buffered while down")) {
+		t.Fatalf("server content after heal = %q, %v", got, ok)
+	}
+	if d := r.srv.DuplicateApplies(); d != 0 {
+		t.Fatalf("DuplicateApplies = %d", d)
+	}
+}
+
+func TestUnsentBatchesResumeInOrder(t *testing.T) {
+	r := newFlakyRig(t, 0)
+	r.flaky.down = true
+	// Three separate batches: each write packs and pops on its own tick.
+	for _, p := range []string{"a", "b", "c"} {
+		if err := r.eng.Create(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.eng.WriteAt(p, 0, []byte(p)); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.eng.Close(p); err != nil {
+			t.Fatal(err)
+		}
+		r.step(time.Minute)
+	}
+	if r.eng.UnsentBatches() < 3 {
+		t.Fatalf("UnsentBatches = %d, want >= 3", r.eng.UnsentBatches())
+	}
+	r.flaky.down = false
+	r.step(time.Second)
+
+	var order []string
+	seen := map[string]bool{}
+	for _, op := range r.srv.AppliedLog() {
+		if !seen[op.Path] {
+			seen[op.Path] = true
+			order = append(order, op.Path)
+		}
+	}
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("server applied order = %v", order)
+	}
+	if r.eng.Health() != Healthy {
+		t.Fatalf("health = %v after full flush", r.eng.Health())
+	}
+}
+
+func TestDrainReportsUnsent(t *testing.T) {
+	r := newFlakyRig(t, 0)
+	r.flaky.down = true
+	if err := r.eng.Create("f"); err != nil {
+		t.Fatal(err)
+	}
+	r.clk.Advance(time.Minute)
+	r.eng.Tick(r.clk.Now())
+	if err := r.eng.Drain(); err == nil {
+		t.Fatal("Drain succeeded with the endpoint down")
+	}
+	r.flaky.down = false
+	if err := r.eng.Drain(); err != nil {
+		t.Fatalf("Drain after heal: %v", err)
+	}
+}
+
+func TestHighWaterMarksOffline(t *testing.T) {
+	r := newFlakyRig(t, 1) // one buffered byte is already over the limit
+	r.flaky.down = true
+	if err := r.eng.Create("f"); err != nil {
+		t.Fatal(err)
+	}
+	r.step(time.Minute)
+	if h := r.eng.Health(); h != Offline {
+		t.Fatalf("health over high water = %v, want offline", h)
+	}
+}
+
+// TestCrashDuringPartitionRecovers composes the three fault dimensions over
+// a real TCP transport: a network partition strands updates and fails a
+// restore attempt, a crash (volatile state lost + a torn local write)
+// corrupts a dirty file, and after the partition heals the crash scan
+// restores the file from the cloud and the client resumes syncing with no
+// conflicts and no duplicate applies.
+func TestCrashDuringPartitionRecovers(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	plan := faultinject.NewNetPlan(faultinject.NetFaultConfig{Seed: 1})
+	srv := server.New(nil)
+	go wire.Serve(plan.Listener(lis), srv)
+
+	sm := &metrics.SyncMeter{}
+	srv.SetSyncMeter(sm)
+	policy := wire.RetryPolicy{MaxAttempts: 2, Seed: 1, Sleep: func(time.Duration) {}}
+	ep, err := wire.DialResilient(context.Background(), lis.Addr().String(), wire.DialOpts{}, policy, sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+
+	backing := vfs.NewMemFS()
+	clk := &clock.Clock{}
+	eng, err := New(Config{
+		Backing:   backing,
+		Endpoint:  ep,
+		Clock:     clk,
+		Checksums: true,
+		SyncMeter: sm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: healthy sync.
+	content := []byte("stable content the cloud holds")
+	if err := eng.Create("f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.WriteAt("f", 0, content); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Minute)
+	eng.Tick(clk.Now())
+	if err := eng.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := srv.FileContent("f"); !ok || !bytes.Equal(got, content) {
+		t.Fatalf("pre-partition sync failed: %q %v", got, ok)
+	}
+
+	// Phase 2: partition. An update to f buffers locally; health degrades.
+	plan.PartitionFor(1 << 30)
+	if err := eng.WriteAt("f", 0, []byte("written during partition")); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Minute)
+	eng.Tick(clk.Now())
+	if h := eng.Health(); h == Healthy {
+		t.Fatal("engine healthy inside a partition")
+	}
+	// A further tick inside the partition accrues degraded time.
+	clk.Advance(10 * time.Second)
+	eng.Tick(clk.Now())
+
+	// Phase 3: crash during the partition. Volatile state is lost and the
+	// dirty file is torn; restore cannot reach the cloud yet.
+	eng.DropVolatileState()
+	if err := backing.WriteAt("f", 0, []byte("XXXX torn by the crash XXXX")); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.CrashScan(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Inconsistent) != 1 || rep.Inconsistent[0] != "f" {
+		t.Fatalf("inconsistent = %v", rep.Inconsistent)
+	}
+	if len(rep.Restored) != 0 {
+		t.Fatal("restore succeeded through a partition")
+	}
+
+	// Phase 4: heal, rescan, resume. The cloud's copy may be either the
+	// pre-partition content or the partition-time write: the push whose
+	// bytes were already in flight when the partition hit can land
+	// server-side with its reply lost (a genuine ambiguous apply). Restore
+	// must converge on whichever copy the cloud holds.
+	plan.Heal()
+	rep, err = eng.CrashScan(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Restored) != 1 || rep.Restored[0] != "f" {
+		t.Fatalf("restored = %v (inconsistent %v)", rep.Restored, rep.Inconsistent)
+	}
+	cloudCopy, ok := srv.FileContent("f")
+	if !ok {
+		t.Fatal("cloud lost f")
+	}
+	local, err := backing.ReadFile("f")
+	if err != nil || !bytes.Equal(local, cloudCopy) {
+		t.Fatalf("post-restore content = %q, cloud holds %q (%v)", local, cloudCopy, err)
+	}
+	if err := eng.ResyncVersions(); err != nil {
+		t.Fatal(err)
+	}
+	final := []byte("post-recovery update")
+	if err := eng.WriteAt("f", 0, final); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Minute)
+	eng.Tick(clk.Now())
+	if err := eng.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := srv.FileContent("f")
+	want := append(append([]byte(nil), final...), cloudCopy[len(final):]...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("final server content = %q, want %q", got, want)
+	}
+	st := eng.Stats()
+	if st.Conflicts != 0 || st.RemoteConflicts != 0 {
+		t.Fatalf("conflicts after recovery: %+v", st)
+	}
+	if d := srv.DuplicateApplies(); d != 0 {
+		t.Fatalf("DuplicateApplies = %d", d)
+	}
+	if sm.Retries() == 0 || sm.Degraded() == 0 {
+		t.Fatalf("fault metrics empty: %+v", sm.Snapshot())
+	}
+}

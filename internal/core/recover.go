@@ -98,6 +98,44 @@ func (e *Engine) DropVolatileState() {
 	e.undo = undolog.New(e.meter)
 	e.pendingDelta = make(map[string]pendingBase)
 	e.trashVer = make(map[string]version.ID)
+	// The unsent buffer is volatile too; local files remain the durable
+	// copy and CrashScan reconciles them against the cloud. batchSeq is
+	// durable client state (like the version counter): a post-crash batch
+	// must never reuse a key the server may already have applied.
+	e.unsent = nil
+	e.unsentBytes = 0
+	e.consecFails = 0
+	e.lastPushErr = nil
+}
+
+// ResyncVersions refreshes the local version map from cloud metadata — the
+// reconnect step after a crash or long partition, matching the persist-layer
+// contract that "a reconnecting client re-syncs via Head metadata". With no
+// arguments every local file is refreshed; otherwise only the given paths.
+// Local versions the cloud never saw (batches lost to the crash) rewind to
+// the cloud's, so the next update chains onto a base the server recognizes.
+func (e *Engine) ResyncVersions(paths ...string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(paths) == 0 {
+		var err error
+		paths, err = e.backing.List("")
+		if err != nil {
+			return err
+		}
+	}
+	for _, p := range paths {
+		v, ok, err := e.ep.Head(p)
+		if err != nil {
+			return fmt.Errorf("core: resync %s: %w", p, err)
+		}
+		if ok {
+			e.vers.Set(p, v)
+		} else {
+			e.vers.Delete(p)
+		}
+	}
+	return nil
 }
 
 // CrashScan is the post-crash check (§III-E): every recently-modified file

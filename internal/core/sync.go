@@ -20,6 +20,7 @@ const pollInterval = time.Second
 func (e *Engine) Tick(now time.Duration) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.meterDegraded(now)
 	for _, ent := range e.rel.Expire(now) {
 		if ent.FromUnlink {
 			_ = e.backing.Unlink(ent.Dst)
@@ -34,6 +35,9 @@ func (e *Engine) Tick(now time.Duration) {
 	for _, b := range e.q.PopReady(now) {
 		e.pushBatch(b)
 	}
+	// Resume: even with nothing newly ready, retry batches stranded by
+	// earlier push failures.
+	e.flushUnsent()
 	if now-e.lastPoll >= pollInterval {
 		e.lastPoll = now
 		e.pollForwarded()
@@ -52,7 +56,11 @@ func (e *Engine) Drain() error {
 	for _, b := range e.q.Drain() {
 		e.pushBatch(b)
 	}
+	e.flushUnsent()
 	e.pollForwarded()
+	if n := len(e.unsent); n > 0 {
+		return fmt.Errorf("core: drain: %d batches still unsent: %w", n, e.lastPushErr)
+	}
 	return nil
 }
 
@@ -226,9 +234,15 @@ var kindToWire = map[syncqueue.Kind]wire.NodeKind{
 	syncqueue.KindDelta:    wire.NDelta,
 }
 
-// pushBatch converts a queue batch to wire form and uploads it.
+// pushBatch converts a queue batch to wire form, stamps its idempotency key
+// and hands it to the unsent buffer, which uploads in order. The key is
+// assigned exactly once here: an engine-level retransmission after a failed
+// push reuses it, so the server can absorb a replay whose first attempt was
+// ambiguously applied.
 func (e *Engine) pushBatch(b syncqueue.Batch) {
-	wb := &wire.Batch{Atomic: b.Atomic, Nodes: make([]*wire.Node, 0, len(b.Nodes))}
+	e.batchSeq++
+	wb := &wire.Batch{Atomic: b.Atomic, Seq: e.batchSeq,
+		Nodes: make([]*wire.Node, 0, len(b.Nodes))}
 	for _, n := range b.Nodes {
 		wn := &wire.Node{
 			Kind:     kindToWire[n.Kind],
@@ -245,25 +259,7 @@ func (e *Engine) pushBatch(b syncqueue.Batch) {
 		}
 		wb.Nodes = append(wb.Nodes, wn)
 	}
-	reply, err := e.ep.Push(wb)
-	if err != nil {
-		e.lastPushErr = err
-		return
-	}
-	e.stats.UploadedBatches++
-	e.stats.UploadedNodes += len(b.Nodes)
-	for i, st := range reply.Statuses {
-		if st == wire.StatusConflict {
-			e.stats.Conflicts++
-			_ = i
-		}
-	}
-	e.conflictFiles = append(e.conflictFiles, reply.Conflicts...)
-	for _, n := range b.Nodes {
-		if !e.q.HasPendingWrite(n.Path) && !e.q.HasOpen(n.Path) {
-			e.clearDirty(n.Path)
-		}
-	}
+	e.enqueueUnsent(wb)
 }
 
 // LastPushError returns the most recent upload failure, if any.

@@ -1,0 +1,110 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/faultinject"
+)
+
+// ChaosResult is one row of the fault-tolerance sweep: a named fault
+// profile replayed over several seeds, with the aggregated transport
+// counters behind it.
+type ChaosResult struct {
+	Profile string `json:"profile"`
+	Runs    int    `json:"runs"`
+	// Converged counts runs whose faulty stack reached byte-identical server
+	// state with the fault-free reference.
+	Converged int `json:"converged"`
+	// DuplicateApplies must stay zero: replayed ambiguous pushes absorbed by
+	// the idempotency layer, never re-applied.
+	DuplicateApplies int                       `json:"duplicate_applies"`
+	Faults           faultinject.NetFaultStats `json:"faults"`
+	Sync             chaosSyncTotals           `json:"sync"`
+}
+
+// chaosSyncTotals aggregates metrics.SyncStats across a profile's runs.
+// Unlike the paper tables these counters are not byte-deterministic: how
+// many retries and dedup hits a schedule produces depends on goroutine
+// scheduling (e.g. whether a lingering server connection consumes a fault
+// verdict before or after a retransmit lands).
+type chaosSyncTotals struct {
+	Retries         int64   `json:"retries"`
+	Reconnects      int64   `json:"reconnects"`
+	DedupHits       int64   `json:"dedup_hits"`
+	DegradedSeconds float64 `json:"degraded_seconds"`
+}
+
+// chaosProfiles is the benchall sweep: one profile per fault dimension plus
+// the combined storm, smaller than the test matrix but exercising the same
+// convergence oracle.
+var chaosProfiles = []struct {
+	name      string
+	faults    faultinject.NetFaultConfig
+	checksums bool
+}{
+	{name: "drops", faults: faultinject.NetFaultConfig{DropProb: 0.08}},
+	{name: "partial-writes", faults: faultinject.NetFaultConfig{PartialProb: 0.06, DropProb: 0.02}},
+	{name: "corruption", faults: faultinject.NetFaultConfig{CorruptProb: 0.05}, checksums: true},
+	{name: "partitions", faults: faultinject.NetFaultConfig{PartitionProb: 0.02, PartitionOps: 15}},
+	{name: "everything", faults: faultinject.NetFaultConfig{
+		DropProb: 0.03, StallProb: 0.02, StallDur: 200 * time.Microsecond,
+		CorruptProb: 0.02, PartialProb: 0.02,
+		PartitionProb: 0.01, PartitionOps: 10,
+	}, checksums: true},
+}
+
+// ChaosSweep runs seedsPerProfile chaos schedules through every fault
+// profile and aggregates per profile.
+func ChaosSweep(seedsPerProfile int) ([]ChaosResult, error) {
+	if seedsPerProfile <= 0 {
+		seedsPerProfile = 5
+	}
+	var out []ChaosResult
+	for _, prof := range chaosProfiles {
+		row := ChaosResult{Profile: prof.name}
+		for seed := int64(1); seed <= int64(seedsPerProfile); seed++ {
+			res, err := chaos.Run(chaos.Config{
+				Seed:      seed,
+				Faults:    prof.faults,
+				Checksums: prof.checksums,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("chaos %s seed %d: %w", prof.name, seed, err)
+			}
+			row.Runs++
+			if res.Converged {
+				row.Converged++
+			}
+			row.DuplicateApplies += res.DuplicateApplies
+			row.Faults.Drops += res.Faults.Drops
+			row.Faults.Stalls += res.Faults.Stalls
+			row.Faults.Corruptions += res.Faults.Corruptions
+			row.Faults.PartialWrites += res.Faults.PartialWrites
+			row.Faults.Partitions += res.Faults.Partitions
+			row.Faults.PartitionedOps += res.Faults.PartitionedOps
+			row.Sync.Retries += res.Sync.Retries
+			row.Sync.Reconnects += res.Sync.Reconnects
+			row.Sync.DedupHits += res.Sync.DedupHits
+			row.Sync.DegradedSeconds += res.Sync.DegradedSeconds
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// PrintChaos renders the sweep as a table.
+func PrintChaos(w io.Writer, rs []ChaosResult) {
+	fmt.Fprintln(w, "Fault-tolerance sweep (faulty stack vs fault-free reference)")
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "profile\tconverged\tdup applies\tfaults\tretries\treconnects\tdedup hits\tdegraded s")
+	for _, r := range rs {
+		fmt.Fprintf(tw, "%s\t%d/%d\t%d\t%d\t%d\t%d\t%d\t%.1f\n",
+			r.Profile, r.Converged, r.Runs, r.DuplicateApplies, r.Faults.Total(),
+			r.Sync.Retries, r.Sync.Reconnects, r.Sync.DedupHits, r.Sync.DegradedSeconds)
+	}
+	tw.Flush()
+}

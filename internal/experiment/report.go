@@ -22,6 +22,11 @@ type Report struct {
 	Fig2   *Fig2Result         `json:"fig2,omitempty"`
 	Table3 []filebench.Result  `json:"table3,omitempty"`
 	Table4 []ReliabilityResult `json:"table4,omitempty"`
+
+	// Chaos is the fault-tolerance sweep: convergence and transport-retry
+	// counters per fault profile (not a paper artifact; tracks the
+	// robustness of the sync path across revisions).
+	Chaos []ChaosResult `json:"chaos,omitempty"`
 }
 
 // AddMatrix records the evaluation matrix in the report.

@@ -1,0 +1,192 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns a wrapped client side and the raw server side of an
+// in-memory connection.
+func pipePair(p *NetPlan) (wrapped, peer net.Conn) {
+	a, b := net.Pipe()
+	return p.Conn(a), b
+}
+
+func TestNetPlanNoFaultsPassesThrough(t *testing.T) {
+	p := NewNetPlan(NetFaultConfig{Seed: 1})
+	w, peer := pipePair(p)
+	defer w.Close()
+	defer peer.Close()
+	go func() {
+		buf := make([]byte, 5)
+		io.ReadFull(peer, buf)
+		peer.Write(buf)
+	}()
+	if _, err := w.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(w, buf); err != nil || !bytes.Equal(buf, []byte("hello")) {
+		t.Fatalf("echo = %q, %v", buf, err)
+	}
+	if p.Stats().Total() != 0 {
+		t.Fatalf("faults injected with zero probabilities: %+v", p.Stats())
+	}
+}
+
+func TestNetPlanDropClosesConn(t *testing.T) {
+	p := NewNetPlan(NetFaultConfig{Seed: 1, DropProb: 1})
+	w, peer := pipePair(p)
+	defer peer.Close()
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("Write err = %v, want ErrInjectedDrop", err)
+	}
+	if p.Stats().Drops == 0 {
+		t.Fatal("drop not counted")
+	}
+}
+
+func TestNetPlanPartialWrite(t *testing.T) {
+	p := NewNetPlan(NetFaultConfig{Seed: 1, PartialProb: 1})
+	w, peer := pipePair(p)
+	defer peer.Close()
+	got := make(chan int, 1)
+	go func() {
+		buf := make([]byte, 10)
+		n, _ := peer.Read(buf)
+		got <- n
+	}()
+	n, err := w.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjectedPartial) {
+		t.Fatalf("Write err = %v, want ErrInjectedPartial", err)
+	}
+	if n != 5 {
+		t.Fatalf("partial write wrote %d bytes, want 5", n)
+	}
+	if peerGot := <-got; peerGot > 5 {
+		t.Fatalf("peer received %d bytes past the partial cut", peerGot)
+	}
+}
+
+func TestNetPlanCorruptionFlipsOneBit(t *testing.T) {
+	p := NewNetPlan(NetFaultConfig{Seed: 1, CorruptProb: 1})
+	w, peer := pipePair(p)
+	defer w.Close()
+	defer peer.Close()
+	orig := []byte("payload-payload")
+	go w.Write(append([]byte(nil), orig...))
+	buf := make([]byte, len(orig))
+	if _, err := io.ReadFull(peer, buf); err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range buf {
+		diff += bits(buf[i] ^ orig[i])
+	}
+	if diff != 1 {
+		t.Fatalf("%d bits differ, want exactly 1", diff)
+	}
+}
+
+func bits(b byte) int {
+	n := 0
+	for ; b != 0; b >>= 1 {
+		n += int(b & 1)
+	}
+	return n
+}
+
+func TestNetPlanPartitionForThenHeal(t *testing.T) {
+	p := NewNetPlan(NetFaultConfig{Seed: 1})
+	p.PartitionFor(2)
+	if !p.Partitioned() {
+		t.Fatal("not partitioned after PartitionFor")
+	}
+	for i := 0; i < 2; i++ {
+		w, peer := pipePair(p)
+		if _, err := w.Write([]byte("x")); !errors.Is(err, ErrPartitioned) {
+			t.Fatalf("op %d err = %v, want ErrPartitioned", i, err)
+		}
+		peer.Close()
+	}
+	if p.Partitioned() {
+		t.Fatal("partition did not heal after budget exhausted")
+	}
+	// Post-partition ops pass.
+	w, peer := pipePair(p)
+	defer w.Close()
+	defer peer.Close()
+	go io.Copy(io.Discard, peer)
+	if _, err := w.Write([]byte("x")); err != nil {
+		t.Fatalf("post-heal write: %v", err)
+	}
+	if s := p.Stats(); s.Partitions != 1 || s.PartitionedOps != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestNetPlanHealStopsEverything(t *testing.T) {
+	p := NewNetPlan(NetFaultConfig{Seed: 1, DropProb: 1, PartitionProb: 1})
+	p.Heal()
+	w, peer := pipePair(p)
+	defer w.Close()
+	defer peer.Close()
+	go io.Copy(io.Discard, peer)
+	for i := 0; i < 10; i++ {
+		if _, err := w.Write([]byte("x")); err != nil {
+			t.Fatalf("write after Heal: %v", err)
+		}
+	}
+}
+
+func TestNetPlanDeterministicSchedule(t *testing.T) {
+	run := func() []verdict {
+		p := NewNetPlan(NetFaultConfig{Seed: 42, DropProb: 0.2, StallProb: 0.2,
+			CorruptProb: 0.2, PartialProb: 0.2, StallDur: time.Microsecond})
+		var out []verdict
+		for i := 0; i < 64; i++ {
+			v, _ := p.decide(i%2 == 0)
+			out = append(out, v)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across identical seeds: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFaultyListenerWrapsAccepted(t *testing.T) {
+	p := NewNetPlan(NetFaultConfig{Seed: 1, DropProb: 1})
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis := p.Listener(raw)
+	defer lis.Close()
+	done := make(chan error, 1)
+	go func() {
+		c, err := lis.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer c.Close()
+		_, err = c.Write([]byte("x"))
+		done <- err
+	}()
+	c, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := <-done; !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("accepted conn write err = %v, want ErrInjectedDrop", err)
+	}
+}

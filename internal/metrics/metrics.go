@@ -13,6 +13,7 @@ package metrics
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 )
 
 // Platform selects the CPU cost scale.
@@ -253,6 +254,101 @@ func (t *TrafficMeter) Reset() {
 	t.uploaded.Store(0)
 	t.downloaded.Store(0)
 	t.messages.Store(0)
+}
+
+// SyncMeter counts fault-tolerance events on the sync path: transport
+// retries, reconnects, server-side idempotency-dedup hits, and time spent in
+// a non-Healthy engine state. One meter is typically shared by the resilient
+// transport, the engine and the server of a single client↔cloud pair. It is
+// safe for concurrent use and, like CPUMeter, nil-safe: every method on a
+// nil meter is a no-op.
+type SyncMeter struct {
+	retries       atomic.Int64
+	reconnects    atomic.Int64
+	dedupHits     atomic.Int64
+	degradedNanos atomic.Int64
+}
+
+// SyncStats is a snapshot of a SyncMeter, in report-friendly units.
+type SyncStats struct {
+	Retries         int64   `json:"retries"`
+	Reconnects      int64   `json:"reconnects"`
+	DedupHits       int64   `json:"dedup_hits"`
+	DegradedSeconds float64 `json:"degraded_seconds"`
+}
+
+// Retry records one retried RPC attempt.
+func (m *SyncMeter) Retry() {
+	if m != nil {
+		m.retries.Add(1)
+	}
+}
+
+// Reconnect records one transport reconnection.
+func (m *SyncMeter) Reconnect() {
+	if m != nil {
+		m.reconnects.Add(1)
+	}
+}
+
+// DedupHit records one replayed batch absorbed by the server's reply cache.
+func (m *SyncMeter) DedupHit() {
+	if m != nil {
+		m.dedupHits.Add(1)
+	}
+}
+
+// AddDegraded accumulates time spent outside the Healthy state (logical or
+// wall clock, per the caller's time base).
+func (m *SyncMeter) AddDegraded(d time.Duration) {
+	if m != nil && d > 0 {
+		m.degradedNanos.Add(int64(d))
+	}
+}
+
+// Retries returns the retried-attempt count.
+func (m *SyncMeter) Retries() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.retries.Load()
+}
+
+// Reconnects returns the reconnection count.
+func (m *SyncMeter) Reconnects() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.reconnects.Load()
+}
+
+// DedupHits returns the reply-cache hit count.
+func (m *SyncMeter) DedupHits() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.dedupHits.Load()
+}
+
+// Degraded returns the accumulated non-Healthy time.
+func (m *SyncMeter) Degraded() time.Duration {
+	if m == nil {
+		return 0
+	}
+	return time.Duration(m.degradedNanos.Load())
+}
+
+// Snapshot returns the meter's current values.
+func (m *SyncMeter) Snapshot() SyncStats {
+	if m == nil {
+		return SyncStats{}
+	}
+	return SyncStats{
+		Retries:         m.retries.Load(),
+		Reconnects:      m.reconnects.Load(),
+		DedupHits:       m.dedupHits.Load(),
+		DegradedSeconds: m.Degraded().Seconds(),
+	}
 }
 
 // TUE (Traffic Usage Efficiency, from Li et al. [2]) is total sync traffic

@@ -3,6 +3,7 @@ package metrics
 import (
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestCPUMeterZeroValue(t *testing.T) {
@@ -143,5 +144,32 @@ func TestPlatformString(t *testing.T) {
 	}
 	if Platform(99).String() != "platform(99)" {
 		t.Fatalf("unexpected unknown platform string: %s", Platform(99))
+	}
+}
+
+func TestSyncMeter(t *testing.T) {
+	var m *SyncMeter
+	// nil meter: all no-ops, zero reads.
+	m.Retry()
+	m.Reconnect()
+	m.DedupHit()
+	m.AddDegraded(time.Second)
+	if m.Retries() != 0 || m.Degraded() != 0 || (m.Snapshot() != SyncStats{}) {
+		t.Fatal("nil SyncMeter not inert")
+	}
+
+	m = &SyncMeter{}
+	m.Retry()
+	m.Retry()
+	m.Reconnect()
+	m.DedupHit()
+	m.AddDegraded(1500 * time.Millisecond)
+	m.AddDegraded(-time.Second) // negative durations ignored
+	s := m.Snapshot()
+	if s.Retries != 2 || s.Reconnects != 1 || s.DedupHits != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.DegradedSeconds != 1.5 || m.Degraded() != 1500*time.Millisecond {
+		t.Fatalf("degraded = %v (%v s)", m.Degraded(), s.DegradedSeconds)
 	}
 }

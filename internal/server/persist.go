@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/block"
 	"repro/internal/version"
+	"repro/internal/wire"
 )
 
 // The paper leaves the server-side system design to future work (§VI),
@@ -18,6 +19,14 @@ import (
 // restores it, so cmd/deltacfs-server can persist across restarts with a
 // snapshot-on-shutdown (plus periodic) policy. Client outboxes are volatile
 // by design: a reconnecting client re-syncs via Head metadata.
+
+// snapshotReplyCache is one client's serialized idempotency state. Seqs and
+// Replies are parallel slices in FIFO insertion order.
+type snapshotReplyCache struct {
+	MaxSeq  uint64
+	Seqs    []uint64
+	Replies []*wire.PushReply
+}
 
 // snapshotState is the serialized form of the server's durable state.
 type snapshotState struct {
@@ -30,27 +39,45 @@ type snapshotState struct {
 	// also persisted their trackers stay in lockstep.
 	ChunkFIFO []block.Strong
 	Applied   []AppliedOp
+
+	// Version 2 fields. NextClient keeps the ID space collision-free when
+	// clients reattach after a restart; Dedup and AppliedSeqs carry the
+	// idempotency state so a replay of a batch applied just before a crash
+	// is still absorbed (and still audited) after recovery.
+	NextClient  uint32
+	Dedup       map[uint32]snapshotReplyCache
+	AppliedSeqs map[uint32]map[uint64]int
 }
 
-const snapshotVersion = 1
+const snapshotVersion = 2
 
 // Save writes the server's durable state to w.
 func (s *Server) Save(w io.Writer) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	state := snapshotState{
-		Version:   snapshotVersion,
-		Files:     s.files,
-		Dirs:      s.dirs,
-		Vers:      make(map[string]version.ID, len(s.files)),
-		Chunks:    s.chunks,
-		ChunkFIFO: s.chunkFIFO,
-		Applied:   s.applied,
+		Version:     snapshotVersion,
+		Files:       s.files,
+		Dirs:        s.dirs,
+		Vers:        make(map[string]version.ID, len(s.files)),
+		Chunks:      s.chunks,
+		ChunkFIFO:   s.chunkFIFO,
+		Applied:     s.applied,
+		NextClient:  s.nextClient,
+		Dedup:       make(map[uint32]snapshotReplyCache, len(s.dedup)),
+		AppliedSeqs: s.appliedSeqs,
 	}
 	for p := range s.files {
 		if v := s.vers.Get(p); !v.IsZero() {
 			state.Vers[p] = v
 		}
+	}
+	for id, rc := range s.dedup {
+		src := snapshotReplyCache{MaxSeq: rc.maxSeq, Seqs: rc.order}
+		for _, seq := range rc.order {
+			src.Replies = append(src.Replies, rc.replies[seq])
+		}
+		state.Dedup[id] = src
 	}
 	if err := gob.NewEncoder(w).Encode(&state); err != nil {
 		return fmt.Errorf("server: save: %w", err)
@@ -65,7 +92,10 @@ func (s *Server) Load(r io.Reader) error {
 	if err := gob.NewDecoder(r).Decode(&state); err != nil {
 		return fmt.Errorf("server: load: %w", err)
 	}
-	if state.Version != snapshotVersion {
+	// Version 1 snapshots (pre idempotency) load fine: the dedup state
+	// simply rebuilds empty, which is safe — at worst one ambiguous replay
+	// from before the upgrade re-applies.
+	if state.Version != 1 && state.Version != snapshotVersion {
 		return fmt.Errorf("server: load: unsupported snapshot version %d", state.Version)
 	}
 	s.mu.Lock()
@@ -91,6 +121,25 @@ func (s *Server) Load(r io.Reader) error {
 		s.chunkBytes += int64(len(d))
 	}
 	s.applied = state.Applied
+	s.nextClient = state.NextClient
+	s.dedup = make(map[uint32]*replyCache, len(state.Dedup))
+	for id, src := range state.Dedup {
+		rc := &replyCache{
+			maxSeq:  src.MaxSeq,
+			replies: make(map[uint64]*wire.PushReply, len(src.Seqs)),
+			order:   src.Seqs,
+		}
+		for i, seq := range src.Seqs {
+			if i < len(src.Replies) {
+				rc.replies[seq] = src.Replies[i]
+			}
+		}
+		s.dedup[id] = rc
+	}
+	s.appliedSeqs = state.AppliedSeqs
+	if s.appliedSeqs == nil {
+		s.appliedSeqs = make(map[uint32]map[uint64]int)
+	}
 	return nil
 }
 

@@ -31,6 +31,33 @@ type revision struct {
 	content []byte
 }
 
+// ReplyCacheDepth bounds how many PushReplies the server retains per client
+// for answering replayed batches. Replays older than the cache window are
+// still detected (via the max-applied Seq) and acknowledged with an empty OK
+// reply rather than re-applied.
+const ReplyCacheDepth = 64
+
+// replyCache is one client's idempotency state: the highest batch Seq the
+// server has applied for the client, plus a bounded FIFO of recent replies so
+// ambiguous retransmissions get the exact original answer back.
+type replyCache struct {
+	maxSeq  uint64
+	replies map[uint64]*wire.PushReply
+	order   []uint64
+}
+
+func (rc *replyCache) record(seq uint64, reply *wire.PushReply) {
+	if seq > rc.maxSeq {
+		rc.maxSeq = seq
+	}
+	rc.replies[seq] = reply
+	rc.order = append(rc.order, seq)
+	for len(rc.order) > ReplyCacheDepth {
+		delete(rc.replies, rc.order[0])
+		rc.order = rc.order[1:]
+	}
+}
+
 // Server is the cloud store. All methods are safe for concurrent use.
 type Server struct {
 	mu sync.Mutex
@@ -50,11 +77,21 @@ type Server struct {
 	outboxes   map[uint32][]*wire.Batch
 	nextClient uint32
 
+	// dedup holds per-client idempotency state ((Client, Seq) replay
+	// detection plus the bounded reply cache).
+	dedup map[uint32]*replyCache
+	// appliedSeqs counts, per (client, seq), how many times a keyed batch
+	// was actually applied. It is maintained unconditionally — independent
+	// of the dedup logic it audits — so tests can assert zero duplicate
+	// applies even if the dedup path regresses.
+	appliedSeqs map[uint32]map[uint64]int
+
 	// applied records the order in which content-bearing nodes were
 	// committed, for the upload-ordering experiment (Table IV).
 	applied []AppliedOp
 
-	meter *metrics.CPUMeter
+	meter     *metrics.CPUMeter
+	syncMeter *metrics.SyncMeter
 }
 
 // AppliedOp is one committed operation in server order.
@@ -66,14 +103,24 @@ type AppliedOp struct {
 // New returns an empty server charging CPU work to meter (may be nil).
 func New(meter *metrics.CPUMeter) *Server {
 	return &Server{
-		files:    make(map[string][]byte),
-		dirs:     map[string]bool{".": true},
-		vers:     version.NewMap(),
-		history:  make(map[string][]revision),
-		chunks:   make(map[block.Strong][]byte),
-		outboxes: make(map[uint32][]*wire.Batch),
-		meter:    meter,
+		files:       make(map[string][]byte),
+		dirs:        map[string]bool{".": true},
+		vers:        version.NewMap(),
+		history:     make(map[string][]revision),
+		chunks:      make(map[block.Strong][]byte),
+		outboxes:    make(map[uint32][]*wire.Batch),
+		dedup:       make(map[uint32]*replyCache),
+		appliedSeqs: make(map[uint32]map[uint64]int),
+		meter:       meter,
 	}
+}
+
+// SetSyncMeter wires a fault-tolerance meter (may be nil) that counts
+// reply-cache dedup hits.
+func (s *Server) SetSyncMeter(m *metrics.SyncMeter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.syncMeter = m
 }
 
 // Meter returns the server's CPU meter.
@@ -87,6 +134,23 @@ func (s *Server) Register() uint32 {
 	id := s.nextClient
 	s.outboxes[id] = nil
 	return id
+}
+
+// Attach re-binds a reconnecting transport to an existing client ID: the
+// outbox (and any idempotency state) survives, and the ID space stays
+// collision-free even if the ID was minted before a server restart.
+func (s *Server) Attach(client uint32) {
+	if client == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if client > s.nextClient {
+		s.nextClient = client
+	}
+	if _, ok := s.outboxes[client]; !ok {
+		s.outboxes[client] = nil
+	}
 }
 
 // SeedFile installs initial content outside the measured run (both sides of
@@ -235,6 +299,21 @@ func (s *Server) Push(from uint32, b *wire.Batch) *wire.PushReply {
 	s.meter.RPC(1)
 	s.meter.Net(b.WireSize())
 
+	// Idempotency: a keyed batch at or below the highest Seq applied for
+	// this client is a replay of an ambiguous push — answer it from the
+	// reply cache (or with an empty OK for replays past the cache window)
+	// without re-applying or re-forwarding.
+	if b.Seq != 0 {
+		rc := s.dedup[from]
+		if rc != nil && b.Seq <= rc.maxSeq {
+			s.syncMeter.DedupHit()
+			if cached, ok := rc.replies[b.Seq]; ok {
+				return cached
+			}
+			return &wire.PushReply{Statuses: make([]wire.ApplyStatus, len(b.Nodes))}
+		}
+	}
+
 	reply := &wire.PushReply{Statuses: make([]wire.ApplyStatus, len(b.Nodes))}
 
 	if b.Atomic {
@@ -255,7 +334,39 @@ func (s *Server) Push(from uint32, b *wire.Batch) *wire.PushReply {
 			}
 		}
 	}
+
+	if b.Seq != 0 {
+		seqs := s.appliedSeqs[from]
+		if seqs == nil {
+			seqs = make(map[uint64]int)
+			s.appliedSeqs[from] = seqs
+		}
+		seqs[b.Seq]++
+		rc := s.dedup[from]
+		if rc == nil {
+			rc = &replyCache{replies: make(map[uint64]*wire.PushReply)}
+			s.dedup[from] = rc
+		}
+		rc.record(b.Seq, reply)
+	}
 	return reply
+}
+
+// DuplicateApplies returns how many keyed batches were applied more than
+// once — the duplicate-apply tripwire chaos tests assert stays zero. The
+// count is maintained independently of the dedup logic it checks.
+func (s *Server) DuplicateApplies() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dups := 0
+	for _, seqs := range s.appliedSeqs {
+		for _, n := range seqs {
+			if n > 1 {
+				dups += n - 1
+			}
+		}
+	}
+	return dups
 }
 
 // applyOne applies a single (non-atomic) node.

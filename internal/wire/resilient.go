@@ -1,0 +1,276 @@
+package wire
+
+// ResilientClient wraps the TCP/TLS transport with the retry discipline a
+// production sync client needs: reconnection with a stable client identity,
+// capped exponential backoff with jitter, error classification (retryable /
+// ambiguous / fatal), and idempotency keys on every push so the server can
+// absorb replays of ambiguous failures. Retransmitted bytes are charged to
+// the traffic meter again on every attempt — retransmission policy dominates
+// sync cost under loss, and hiding the cost would falsify the accounting.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/version"
+)
+
+// RetryPolicy parameterizes a ResilientClient's retry loop.
+type RetryPolicy struct {
+	// MaxAttempts bounds tries per RPC, including the first (default 6).
+	MaxAttempts int
+	// BaseDelay is the first backoff (default 10ms); each retry doubles it
+	// up to MaxDelay (default 1s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Jitter is the ± fraction applied to each backoff (default 0.5). The
+	// jitter source is seeded by Seed, so a fixed seed replays the same
+	// delays.
+	Jitter float64
+	Seed   int64
+	// OpTimeout is the per-attempt connection deadline (default 10s).
+	OpTimeout time.Duration
+	// Sleep is the backoff sleeper (default time.Sleep; tests substitute).
+	Sleep func(time.Duration)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 6
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	if p.Jitter <= 0 {
+		p.Jitter = 0.5
+	}
+	if p.OpTimeout <= 0 {
+		p.OpTimeout = 10 * time.Second
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// ResilientClient is a reconnecting, retrying Endpoint over the network
+// transport. Safe for concurrent use.
+type ResilientClient struct {
+	addr string
+	opts DialOpts
+	p    RetryPolicy
+	sm   *metrics.SyncMeter
+	ctx  context.Context
+
+	mu      sync.Mutex
+	cur     *NetClient
+	id      uint32
+	rng     *rand.Rand
+	nextSeq uint64
+}
+
+// DialResilient eagerly connects (retrying per policy) and registers,
+// returning a client whose identity survives reconnects. ctx cancellation
+// aborts in-flight retry loops; sm may be nil.
+func DialResilient(ctx context.Context, addr string, opts DialOpts, policy RetryPolicy, sm *metrics.SyncMeter) (*ResilientClient, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	policy = policy.withDefaults()
+	opts.OpTimeout = policy.OpTimeout
+	opts.AttachID = 0
+	rc := &ResilientClient{
+		addr: addr,
+		opts: opts,
+		p:    policy,
+		sm:   sm,
+		ctx:  ctx,
+		rng:  rand.New(rand.NewSource(policy.Seed)),
+	}
+	// First connection registers; retries here are plain retryable (no
+	// server-visible state until register succeeds).
+	err := rc.withRetry(true, func(c *NetClient) error { return nil })
+	if err != nil {
+		return nil, err
+	}
+	return rc, nil
+}
+
+// backoff returns the jittered delay for the given 0-based retry index.
+func (rc *ResilientClient) backoff(retry int) time.Duration {
+	d := rc.p.BaseDelay << uint(retry)
+	if d > rc.p.MaxDelay || d <= 0 {
+		d = rc.p.MaxDelay
+	}
+	rc.mu.Lock()
+	f := 1 + rc.p.Jitter*(2*rc.rng.Float64()-1)
+	rc.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// conn returns the live connection, dialing (and attaching, after the first
+// registration) if necessary.
+func (rc *ResilientClient) conn() (*NetClient, error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.cur != nil {
+		return rc.cur, nil
+	}
+	opts := rc.opts
+	opts.AttachID = rc.id
+	c, err := DialWith(rc.addr, opts)
+	if err != nil {
+		return nil, err
+	}
+	if rc.id == 0 {
+		rc.id = c.id
+	} else {
+		rc.sm.Reconnect()
+	}
+	rc.cur = c
+	return c, nil
+}
+
+// dropConn discards c if it is still the current connection.
+func (rc *ResilientClient) dropConn(c *NetClient) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.cur == c {
+		rc.cur = nil
+	}
+	c.Close()
+}
+
+// withRetry runs op against a live connection, retrying per policy.
+// idempotent marks ops safe to retry after ambiguous failures (reads, and
+// pushes carrying an idempotency key).
+func (rc *ResilientClient) withRetry(idempotent bool, op func(*NetClient) error) error {
+	var lastErr error
+	for attempt := 0; attempt < rc.p.MaxAttempts; attempt++ {
+		if err := rc.ctx.Err(); err != nil {
+			return fmt.Errorf("wire: resilient: %w", err)
+		}
+		if attempt > 0 {
+			rc.sm.Retry()
+			rc.p.Sleep(rc.backoff(attempt - 1))
+		}
+		c, err := rc.conn()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		err = op(c)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		switch Classify(err) {
+		case ClassFatal:
+			return err
+		case ClassAmbiguous:
+			rc.dropConn(c)
+			if !idempotent {
+				return fmt.Errorf("wire: ambiguous failure on non-idempotent request: %w", err)
+			}
+		case ClassRetryable:
+			rc.dropConn(c)
+		}
+	}
+	return fmt.Errorf("wire: giving up after %d attempts: %w", rc.p.MaxAttempts, lastErr)
+}
+
+// Register implements Endpoint.
+func (rc *ResilientClient) Register() (uint32, error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.id, nil
+}
+
+// Push implements Endpoint. Batches without a Seq get one assigned from the
+// client's monotone counter, making every push idempotent and therefore
+// safely retryable across ambiguous failures.
+func (rc *ResilientClient) Push(b *Batch) (*PushReply, error) {
+	rc.mu.Lock()
+	if b.Seq == 0 {
+		rc.nextSeq++
+		b.Seq = rc.nextSeq
+	} else if b.Seq > rc.nextSeq {
+		// Caller-assigned keys move the counter forward so later
+		// auto-assigned keys stay monotone.
+		rc.nextSeq = b.Seq
+	}
+	rc.mu.Unlock()
+	var reply *PushReply
+	err := rc.withRetry(true, func(c *NetClient) error {
+		r, err := c.Push(b)
+		reply = r
+		return err
+	})
+	return reply, err
+}
+
+// Fetch implements Endpoint.
+func (rc *ResilientClient) Fetch(path string) (*FetchReply, error) {
+	var reply *FetchReply
+	err := rc.withRetry(true, func(c *NetClient) error {
+		r, err := c.Fetch(path)
+		reply = r
+		return err
+	})
+	return reply, err
+}
+
+// Head implements Endpoint.
+func (rc *ResilientClient) Head(path string) (version.ID, bool, error) {
+	var v version.ID
+	var ok bool
+	err := rc.withRetry(true, func(c *NetClient) error {
+		var err error
+		v, ok, err = c.Head(path)
+		return err
+	})
+	return v, ok, err
+}
+
+// FetchRange implements Endpoint.
+func (rc *ResilientClient) FetchRange(path string, off, n int64) ([]byte, error) {
+	var data []byte
+	err := rc.withRetry(true, func(c *NetClient) error {
+		var err error
+		data, err = c.FetchRange(path, off, n)
+		return err
+	})
+	return data, err
+}
+
+// Poll implements Endpoint.
+func (rc *ResilientClient) Poll() ([]*Batch, error) {
+	var batches []*Batch
+	err := rc.withRetry(true, func(c *NetClient) error {
+		var err error
+		batches, err = c.Poll()
+		return err
+	})
+	return batches, err
+}
+
+// Close implements Endpoint.
+func (rc *ResilientClient) Close() error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.cur != nil {
+		err := rc.cur.Close()
+		rc.cur = nil
+		return err
+	}
+	return nil
+}
+
+var _ Endpoint = (*ResilientClient)(nil)

@@ -1,0 +1,265 @@
+package wire
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// noSleep substitutes the backoff sleeper so retry tests run instantly.
+func noSleep(time.Duration) {}
+
+func testPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond,
+		MaxDelay: 4 * time.Millisecond, Seed: 1, Sleep: noSleep}
+}
+
+func TestResilientBasicOps(t *testing.T) {
+	backend := newFakeBackend()
+	addr, stop := startServer(t, backend)
+	defer stop()
+
+	sm := &metrics.SyncMeter{}
+	rc, err := DialResilient(context.Background(), addr, DialOpts{}, testPolicy(), sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	id, _ := rc.Register()
+	if id == 0 {
+		t.Fatal("no client id after DialResilient")
+	}
+	if _, err := rc.Push(&Batch{Nodes: []*Node{{Kind: NFull, Path: "f", Full: []byte("x")}}}); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := rc.Fetch("f")
+	if err != nil || !fr.Exists {
+		t.Fatalf("Fetch = %+v, %v", fr, err)
+	}
+	if _, _, err := rc.Head("f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.FetchRange("f", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if sm.Retries() != 0 || sm.Reconnects() != 0 {
+		t.Fatalf("healthy path metered retries=%d reconnects=%d", sm.Retries(), sm.Reconnects())
+	}
+}
+
+func TestResilientSeqAssignment(t *testing.T) {
+	backend := newFakeBackend()
+	addr, stop := startServer(t, backend)
+	defer stop()
+
+	rc, err := DialResilient(context.Background(), addr, DialOpts{}, testPolicy(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	for i := 0; i < 3; i++ {
+		b := &Batch{Nodes: []*Node{{Kind: NCreate, Path: "f"}}}
+		if _, err := rc.Push(b); err != nil {
+			t.Fatal(err)
+		}
+		if b.Seq != uint64(i+1) {
+			t.Fatalf("push %d assigned Seq %d", i, b.Seq)
+		}
+	}
+	// A sticky caller-assigned key is kept, and advances the counter.
+	b := &Batch{Seq: 9, Nodes: []*Node{{Kind: NCreate, Path: "g"}}}
+	if _, err := rc.Push(b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Seq != 9 {
+		t.Fatalf("caller-assigned Seq rewritten to %d", b.Seq)
+	}
+	b2 := &Batch{Nodes: []*Node{{Kind: NCreate, Path: "h"}}}
+	if _, err := rc.Push(b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.Seq != 10 {
+		t.Fatalf("counter did not advance past caller key: Seq=%d", b2.Seq)
+	}
+}
+
+func TestResilientReconnectKeepsIdentity(t *testing.T) {
+	backend := newFakeBackend()
+	addr, stop := startServer(t, backend)
+	defer stop()
+
+	sm := &metrics.SyncMeter{}
+	rc, err := DialResilient(context.Background(), addr, DialOpts{}, testPolicy(), sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	id0, _ := rc.Register()
+
+	// Sever the live connection out from under the client.
+	rc.mu.Lock()
+	rc.cur.Close()
+	rc.mu.Unlock()
+
+	if _, err := rc.Push(&Batch{Nodes: []*Node{{Kind: NCreate, Path: "f"}}}); err != nil {
+		t.Fatalf("push across reconnect: %v", err)
+	}
+	if id, _ := rc.Register(); id != id0 {
+		t.Fatalf("identity changed across reconnect: %d -> %d", id0, id)
+	}
+	if sm.Reconnects() == 0 || sm.Retries() == 0 {
+		t.Fatalf("reconnect not metered: %+v", sm.Snapshot())
+	}
+}
+
+func TestResilientGivesUpAfterMaxAttempts(t *testing.T) {
+	var sleeps []time.Duration
+	var mu sync.Mutex
+	p := testPolicy()
+	p.Sleep = func(d time.Duration) {
+		mu.Lock()
+		sleeps = append(sleeps, d)
+		mu.Unlock()
+	}
+	// Reserve a port and close it so dials fail fast.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	lis.Close()
+
+	_, err = DialResilient(context.Background(), addr, DialOpts{}, p, nil)
+	if err == nil {
+		t.Fatal("DialResilient to a dead address succeeded")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(sleeps) != p.MaxAttempts-1 {
+		t.Fatalf("slept %d times, want %d", len(sleeps), p.MaxAttempts-1)
+	}
+	for _, d := range sleeps {
+		if d <= 0 {
+			t.Fatalf("non-positive backoff %v", d)
+		}
+	}
+}
+
+func TestResilientContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	lis.Close()
+	if _, err := DialResilient(ctx, addr, DialOpts{}, testPolicy(), nil); err == nil {
+		t.Fatal("cancelled DialResilient succeeded")
+	}
+}
+
+// connTracker remembers the most recently accepted connection so a backend
+// wrapper can sever it at a precise protocol point.
+type connTracker struct {
+	net.Listener
+	mu   sync.Mutex
+	last net.Conn
+}
+
+func (l *connTracker) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.last = c
+	l.mu.Unlock()
+	return c, nil
+}
+
+// killOnFirstPush applies the first pushed batch and then severs the
+// client's connection before the reply can be written — a deterministic
+// ambiguous failure (request applied, reply lost).
+type killOnFirstPush struct {
+	*fakeBackend
+	tr   *connTracker
+	once sync.Once
+}
+
+func (k *killOnFirstPush) Push(from uint32, b *Batch) *PushReply {
+	r := k.fakeBackend.Push(from, b)
+	k.once.Do(func() {
+		k.tr.mu.Lock()
+		if k.tr.last != nil {
+			k.tr.last.Close()
+		}
+		k.tr.mu.Unlock()
+	})
+	return r
+}
+
+func TestResilientRetransmitsAmbiguousPushWithSameSeq(t *testing.T) {
+	backend := newFakeBackend()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &connTracker{Listener: lis}
+	go Serve(tr, &killOnFirstPush{fakeBackend: backend, tr: tr})
+	defer lis.Close()
+
+	sm := &metrics.SyncMeter{}
+	rc, err := DialResilient(context.Background(), lis.Addr().String(), DialOpts{}, testPolicy(), sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	b := &Batch{Nodes: []*Node{{Kind: NFull, Path: "f", Full: []byte("x")}}}
+	if _, err := rc.Push(b); err != nil {
+		t.Fatalf("push through ambiguous failure: %v", err)
+	}
+
+	// The fake backend has no dedup, so it must have seen the batch twice —
+	// both times under the same idempotency key.
+	backend.mu.Lock()
+	defer backend.mu.Unlock()
+	if len(backend.pushed) != 2 {
+		t.Fatalf("backend saw %d pushes, want 2 (original + retransmit)", len(backend.pushed))
+	}
+	if backend.pushed[0].Seq != b.Seq || backend.pushed[1].Seq != b.Seq || b.Seq == 0 {
+		t.Fatalf("retransmit changed idempotency key: %d, %d",
+			backend.pushed[0].Seq, backend.pushed[1].Seq)
+	}
+	if sm.Retries() == 0 || sm.Reconnects() == 0 {
+		t.Fatalf("ambiguous retry not metered: %+v", sm.Snapshot())
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want ErrClass
+	}{
+		{&TransportError{Phase: "dial", Err: net.ErrClosed}, ClassRetryable},
+		{&TransportError{Phase: "send", Err: net.ErrClosed}, ClassAmbiguous},
+		{&TransportError{Phase: "recv", Err: net.ErrClosed}, ClassAmbiguous},
+		{net.ErrClosed, ClassFatal},
+		{nil, ClassFatal},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Fatalf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}

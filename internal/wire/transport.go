@@ -10,6 +10,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"math/big"
 	"net"
 	"sync"
@@ -24,6 +25,10 @@ import (
 // explicit client ID.
 type Backend interface {
 	Register() uint32
+	// Attach re-binds a reconnecting transport to an already-registered
+	// client ID, so reconnects keep version stamps and idempotency keys
+	// stable instead of minting a fresh identity.
+	Attach(client uint32)
 	Push(from uint32, b *Batch) *PushReply
 	Fetch(path string) *FetchReply
 	Head(path string) (version.ID, bool)
@@ -33,11 +38,12 @@ type Backend interface {
 
 // request is the single on-the-wire request message.
 type request struct {
-	Op   string // "register", "push", "fetch", "fetchrange", "poll"
-	B    *Batch
-	Path string
-	Off  int64
-	N    int64
+	Op     string // "register", "attach", "push", "fetch", "head", "fetchrange", "poll"
+	Client uint32 // attach: the ID to re-bind
+	B      *Batch
+	Path   string
+	Off    int64
+	N      int64
 }
 
 // response is the single on-the-wire response message.
@@ -52,9 +58,35 @@ type response struct {
 	Batches []*Batch
 }
 
+// ServeConfig tunes per-connection robustness of Serve.
+type ServeConfig struct {
+	// WriteTimeout bounds each response write. Without it, a half-dead peer
+	// that stops reading wedges its handler goroutine forever inside
+	// gob.Encode (the kernel send buffer fills and the write never
+	// returns). Default 30s; negative disables.
+	WriteTimeout time.Duration
+	// IdleTimeout bounds the wait for the next request on an established
+	// connection. Zero means no idle bound (clients legitimately sit idle
+	// between sync cycles).
+	IdleTimeout time.Duration
+}
+
+// DefaultWriteTimeout is the response-write deadline Serve applies when the
+// config leaves WriteTimeout zero.
+const DefaultWriteTimeout = 30 * time.Second
+
 // Serve accepts connections on lis and dispatches them into backend until
-// lis is closed. Each connection serves one client sequentially.
+// lis is closed. Each connection serves one client sequentially, with the
+// default ServeConfig.
 func Serve(lis net.Listener, backend Backend) error {
+	return ServeWith(lis, backend, ServeConfig{})
+}
+
+// ServeWith is Serve with an explicit per-connection configuration.
+func ServeWith(lis net.Listener, backend Backend, cfg ServeConfig) error {
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = DefaultWriteTimeout
+	}
 	for {
 		conn, err := lis.Accept()
 		if err != nil {
@@ -63,24 +95,39 @@ func Serve(lis net.Listener, backend Backend) error {
 			}
 			return err
 		}
-		go serveConn(conn, backend)
+		go serveConn(conn, backend, cfg)
 	}
 }
 
-func serveConn(conn net.Conn, backend Backend) {
+// serveConn runs one connection's request loop. It returns (closing the
+// connection) on the first decode or response-write failure: a gob stream
+// cannot resynchronize after a short write, so continuing would desynchronize
+// every later exchange. The returned error reports why the connection ended
+// (nil for a clean EOF).
+func serveConn(conn net.Conn, backend Backend, cfg ServeConfig) error {
 	defer conn.Close()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	var client uint32
 	for {
+		if cfg.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(cfg.IdleTimeout))
+		}
 		var req request
 		if err := dec.Decode(&req); err != nil {
-			return // EOF or broken connection
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("wire: serve: read: %w", err)
 		}
 		var resp response
 		switch req.Op {
 		case "register":
 			client = backend.Register()
+			resp.Client = client
+		case "attach":
+			client = req.Client
+			backend.Attach(client)
 			resp.Client = client
 		case "push":
 			req.B.Client = client
@@ -100,10 +147,59 @@ func serveConn(conn net.Conn, backend Backend) {
 		default:
 			resp.Err = fmt.Sprintf("unknown op %q", req.Op)
 		}
-		if err := enc.Encode(&resp); err != nil {
-			return
+		if cfg.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(cfg.WriteTimeout))
+		}
+		err := enc.Encode(&resp)
+		if cfg.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Time{})
+		}
+		if err != nil {
+			return fmt.Errorf("wire: serve: write: %w", err)
 		}
 	}
+}
+
+// TransportError tags a transport-level failure with the phase of the RPC
+// exchange it interrupted, which determines how it may be retried (see
+// Classify).
+type TransportError struct {
+	Phase string // "dial", "send" or "recv"
+	Err   error
+}
+
+func (e *TransportError) Error() string { return fmt.Sprintf("wire: %s: %v", e.Phase, e.Err) }
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// ErrClass classifies an RPC failure for retry purposes.
+type ErrClass int
+
+const (
+	// ClassFatal errors came back from the application: the exchange
+	// completed and retrying would repeat the same answer.
+	ClassFatal ErrClass = iota
+	// ClassRetryable errors happened before the request could have reached
+	// the server (dial failures): retrying is always safe.
+	ClassRetryable
+	// ClassAmbiguous errors interrupted an exchange in flight (send or
+	// receive): the server may or may not have processed the request, so
+	// blind retry is only safe for idempotent requests — reads, and pushes
+	// carrying an idempotency key the server dedups on.
+	ClassAmbiguous
+)
+
+// Classify maps an error from a NetClient RPC onto its retry class.
+func Classify(err error) ErrClass {
+	var te *TransportError
+	if !errors.As(err, &te) {
+		return ClassFatal
+	}
+	if te.Phase == "dial" {
+		return ClassRetryable
+	}
+	// A failed send is still ambiguous: gob buffers, so bytes may have
+	// reached the server before the failure surfaced here.
+	return ClassAmbiguous
 }
 
 // NetClient is a TCP/TLS Endpoint. It is safe for concurrent use (requests
@@ -114,34 +210,74 @@ type NetClient struct {
 	enc     *gob.Encoder
 	dec     *gob.Decoder
 	id      uint32
+	timeout time.Duration
+	broken  bool
 	traffic *metrics.TrafficMeter
 	meter   *metrics.CPUMeter
 }
 
-// Dial connects to a Serve listener. tlsConf may be nil for plaintext.
-// traffic and meter account the client side and may be nil.
+// DialOpts configures DialWith.
+type DialOpts struct {
+	// TLS may be nil for plaintext.
+	TLS *tls.Config
+	// Meter and Traffic account the client side; either may be nil.
+	Meter   *metrics.CPUMeter
+	Traffic *metrics.TrafficMeter
+	// OpTimeout is the per-RPC deadline applied to the connection for each
+	// round trip (send + receive). Zero means no deadline.
+	OpTimeout time.Duration
+	// AttachID, when nonzero, re-binds this connection to an existing
+	// client ID instead of registering a new one — the reconnect path.
+	AttachID uint32
+}
+
+// Dial connects to a Serve listener and registers a new client. tlsConf may
+// be nil for plaintext. traffic and meter account the client side and may be
+// nil.
 func Dial(addr string, tlsConf *tls.Config, meter *metrics.CPUMeter, traffic *metrics.TrafficMeter) (*NetClient, error) {
-	var conn net.Conn
-	var err error
-	if tlsConf != nil {
-		conn, err = tls.Dial("tcp", addr, tlsConf)
-	} else {
-		conn, err = net.Dial("tcp", addr)
-	}
+	return DialWith(addr, DialOpts{TLS: tlsConf, Meter: meter, Traffic: traffic})
+}
+
+// DialWith connects to a Serve listener with explicit options. When
+// OpTimeout is set it also bounds connection establishment — including the
+// TLS handshake, which otherwise blocks forever if the peer (or a fault in
+// between) swallows handshake bytes.
+func DialWith(addr string, o DialOpts) (*NetClient, error) {
+	conn, err := net.DialTimeout("tcp", addr, o.OpTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+		return nil, &TransportError{Phase: "dial", Err: fmt.Errorf("%s: %w", addr, err)}
+	}
+	if o.TLS != nil {
+		if o.OpTimeout > 0 {
+			conn.SetDeadline(time.Now().Add(o.OpTimeout))
+		}
+		tc := tls.Client(conn, o.TLS)
+		if err := tc.Handshake(); err != nil {
+			conn.Close()
+			return nil, &TransportError{Phase: "dial", Err: fmt.Errorf("%s: tls: %w", addr, err)}
+		}
+		conn.SetDeadline(time.Time{})
+		conn = tc
 	}
 	c := &NetClient{
 		conn:    conn,
 		enc:     gob.NewEncoder(conn),
 		dec:     gob.NewDecoder(conn),
-		traffic: traffic,
-		meter:   meter,
+		timeout: o.OpTimeout,
+		traffic: o.Traffic,
+		meter:   o.Meter,
 	}
-	resp, err := c.roundTrip(request{Op: "register"}, 0)
+	req := request{Op: "register"}
+	if o.AttachID != 0 {
+		req = request{Op: "attach", Client: o.AttachID}
+	}
+	resp, err := c.roundTrip(req, 0)
 	if err != nil {
 		conn.Close()
-		return nil, err
+		// The identity exchange is part of connection establishment: a
+		// failure here never leaves server-visible state behind, so report
+		// it as a dial failure (always retryable).
+		return nil, &TransportError{Phase: "dial", Err: err}
 	}
 	c.id = resp.Client
 	return c, nil
@@ -152,18 +288,29 @@ func Dial(addr string, tlsConf *tls.Config, meter *metrics.CPUMeter, traffic *me
 func (c *NetClient) roundTrip(req request, wireBytes int64) (*response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.broken {
+		return nil, &TransportError{Phase: "send", Err: errors.New("connection previously failed")}
+	}
 	if wireBytes == 0 {
 		wireBytes = 64
 	}
 	c.meter.RPC(1)
 	c.meter.Net(wireBytes)
 	c.traffic.Upload(wireBytes)
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	if err := c.enc.Encode(&req); err != nil {
-		return nil, fmt.Errorf("wire: send: %w", err)
+		c.broken = true
+		return nil, &TransportError{Phase: "send", Err: err}
 	}
 	var resp response
 	if err := c.dec.Decode(&resp); err != nil {
-		return nil, fmt.Errorf("wire: recv: %w", err)
+		// A gob stream cannot resynchronize after a torn exchange; poison
+		// the connection so later callers fail fast instead of misparsing.
+		c.broken = true
+		return nil, &TransportError{Phase: "recv", Err: err}
 	}
 	if resp.Err != "" {
 		return nil, errors.New(resp.Err)

@@ -37,6 +37,14 @@ func (f *fakeBackend) Register() uint32 {
 	return f.nextID
 }
 
+func (f *fakeBackend) Attach(client uint32) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if client > f.nextID {
+		f.nextID = client
+	}
+}
+
 func (f *fakeBackend) Push(from uint32, b *Batch) *PushReply {
 	f.mu.Lock()
 	defer f.mu.Unlock()

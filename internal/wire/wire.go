@@ -130,6 +130,14 @@ func (n *Node) WireSize() int64 {
 // transactionally by the server (DeltaCFS backindex groups).
 type Batch struct {
 	Client uint32
+	// Seq is the client-assigned idempotency key: together with Client it
+	// identifies this batch across retransmissions. Clients assign Seq
+	// monotonically in submission order and submit in order, so the server
+	// may treat any Seq at or below the highest it has applied for the
+	// client as a replay of an ambiguous push, answered from the reply
+	// cache without re-applying. Zero means no idempotency tracking
+	// (legacy senders, tests).
+	Seq    uint64
 	Atomic bool
 	Nodes  []*Node
 }
