@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	benchall [-scale 1.0] [-exp all|fig1|fig2|table2|fig8|fig9|table3|table4|chaos]
-//	         [-chaos-seeds 5] [-json report.json]
+//	benchall [-scale 1.0] [-exp all|fig1|fig2|table2|fig8|fig9|table3|table4|chaos|scaling]
+//	         [-chaos-seeds 5] [-clients 1,2,4,8,16] [-json report.json]
+//	         [-cpuprofile cpu.pprof] [-mutexprofile mutex.pprof] [-blockprofile block.pprof]
 //
 // Scale 1.0 reproduces the paper's trace dimensions (a 131 MB SQLite file,
 // 373 update rounds, ...); smaller scales shrink files and counts
@@ -18,25 +19,113 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"repro/internal/experiment"
 )
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "trace scale (1.0 = paper dimensions)")
-	exp := flag.String("exp", "all", "experiment: all|fig1|fig2|table2|fig8|fig9|table3|table4|chaos")
+	exp := flag.String("exp", "all", "experiment: all|fig1|fig2|table2|fig8|fig9|table3|table4|chaos|scaling")
 	iters := flag.Int("filebench-iters", 2000, "filebench iterations per personality")
 	chaosSeeds := flag.Int("chaos-seeds", 5, "chaos schedules per fault profile")
+	clients := flag.String("clients", "1,2,4,8,16", "client counts for the -exp scaling throughput sweep")
+	scalingOps := flag.Int("scaling-ops", 1500, "pushes per client in the -exp scaling sweep")
 	jsonPath := flag.String("json", "", "also write the assembled numbers as JSON to this path")
+	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	mutexProf := flag.String("mutexprofile", "", "write a mutex-contention profile to this path")
+	blockProf := flag.String("blockprofile", "", "write a blocking profile to this path")
 	flag.Parse()
 
-	if err := run(*exp, *scale, *iters, *chaosSeeds, *jsonPath); err != nil {
+	stop, err := startProfiles(*cpuProf, *mutexProf, *blockProf)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
+		os.Exit(1)
+	}
+	runErr := run(*exp, *scale, *iters, *chaosSeeds, *clients, *scalingOps, *jsonPath)
+	if err := stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
+		os.Exit(1)
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "benchall: %v\n", runErr)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, scale float64, iters, chaosSeeds int, jsonPath string) error {
+// startProfiles enables the requested runtime profilers and returns the
+// function that stops them and writes the profile files. Profiles are written
+// even when the run itself fails, so a crashing experiment can still be
+// diagnosed.
+func startProfiles(cpuPath, mutexPath, blockPath string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		cpuFile = f
+	}
+	if mutexPath != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	if blockPath != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	writeProf := func(name, path string) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("%s profile: %w", name, err)
+		}
+		defer f.Close()
+		if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+			return fmt.Errorf("%s profile: %w", name, err)
+		}
+		return nil
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if err := writeProf("mutex", mutexPath); err != nil {
+			return err
+		}
+		return writeProf("block", blockPath)
+	}, nil
+}
+
+// parseClients parses the -clients list ("1,2,4,8,16").
+func parseClients(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("invalid -clients entry %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-clients is empty")
+	}
+	return out, nil
+}
+
+func run(exp string, scale float64, iters, chaosSeeds int, clients string, scalingOps int, jsonPath string) error {
 	out := os.Stdout
 	needMatrix := exp == "all" || exp == "table2" || exp == "fig8" || exp == "fig9"
 	rep := &experiment.Report{Scale: scale}
@@ -112,6 +201,22 @@ func run(exp string, scale float64, iters, chaosSeeds int, jsonPath string) erro
 		experiment.PrintChaos(out, rs)
 		fmt.Fprintln(out)
 		rep.Chaos = rs
+	}
+	// The scaling sweep is likewise opt-in: it reports wall-clock throughput,
+	// which varies with machine and core count, so it would break the
+	// byte-diff determinism of the default output.
+	if exp == "scaling" {
+		counts, err := parseClients(clients)
+		if err != nil {
+			return err
+		}
+		rs, err := experiment.ScalingSweep(counts, scalingOps)
+		if err != nil {
+			return err
+		}
+		experiment.PrintScaling(out, rs)
+		fmt.Fprintln(out)
+		rep.Scaling = rs
 	}
 	if jsonPath != "" {
 		if err := rep.WriteFile(jsonPath); err != nil {

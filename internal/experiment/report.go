@@ -27,6 +27,11 @@ type Report struct {
 	// counters per fault profile (not a paper artifact; tracks the
 	// robustness of the sync path across revisions).
 	Chaos []ChaosResult `json:"chaos,omitempty"`
+
+	// Scaling is the multi-client throughput sweep: sharded vs global-lock
+	// server push throughput per client count (not a paper artifact; tracks
+	// the server's concurrency headroom across revisions).
+	Scaling []ScalingResult `json:"scaling,omitempty"`
 }
 
 // AddMatrix records the evaluation matrix in the report.

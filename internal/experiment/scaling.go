@@ -1,0 +1,149 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/version"
+	"repro/internal/wire"
+)
+
+// ScalingResult is one row of the multi-client throughput sweep: N clients
+// pushing concurrently against the sharded server versus the same workload
+// against the 1-shard (global-lock) configuration. Unlike the paper tables
+// these are wall-clock numbers: they vary run to run and with core count,
+// which is why the sweep is opt-in (-exp scaling) rather than part of "all".
+type ScalingResult struct {
+	Clients int `json:"clients"`
+	// Ops is the total number of pushes across all clients.
+	Ops int `json:"ops"`
+
+	ShardedOpsPerSec float64 `json:"sharded_ops_per_sec"`
+	ShardedP50Micros float64 `json:"sharded_p50_micros"`
+	ShardedP99Micros float64 `json:"sharded_p99_micros"`
+
+	GlobalOpsPerSec float64 `json:"global_ops_per_sec"`
+	GlobalP50Micros float64 `json:"global_p50_micros"`
+	GlobalP99Micros float64 `json:"global_p99_micros"`
+
+	// Speedup is sharded over global-lock throughput.
+	Speedup float64 `json:"speedup"`
+}
+
+// scalingRun drives opsPerClient pushes from each of n concurrent clients
+// against srv and returns elapsed wall time plus every push latency. Each
+// client writes its own path universe (the no-false-sharing case striping is
+// designed for) and drains its forwarding outbox every 32 pushes, as a real
+// sync client would.
+func scalingRun(srv *server.Server, n, opsPerClient int) (time.Duration, []time.Duration) {
+	const pathsPerClient = 8
+	ids := make([]uint32, n)
+	for i := range ids {
+		ids[i] = srv.Register()
+	}
+	payloads := make([][]byte, 16)
+	r := rand.New(rand.NewSource(42))
+	for i := range payloads {
+		payloads[i] = make([]byte, 1024)
+		r.Read(payloads[i])
+	}
+
+	lats := make([][]time.Duration, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < n; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			ctr := version.NewCounter(ids[c])
+			vers := make([]version.ID, pathsPerClient)
+			lats[c] = make([]time.Duration, 0, opsPerClient)
+			for i := 0; i < opsPerClient; i++ {
+				p := i % pathsPerClient
+				n := &wire.Node{
+					Kind: wire.NFull,
+					Path: fmt.Sprintf("c%d/f%d", ids[c], p),
+					Base: vers[p],
+					Ver:  ctr.Next(),
+					Full: payloads[i%len(payloads)],
+				}
+				vers[p] = n.Ver
+				b := &wire.Batch{Client: ids[c], Seq: uint64(i + 1), Nodes: []*wire.Node{n}}
+				t0 := time.Now()
+				srv.Push(ids[c], b)
+				lats[c] = append(lats[c], time.Since(t0))
+				if i%32 == 31 {
+					srv.Poll(ids[c])
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	return elapsed, all
+}
+
+func percentileMicros(lats []time.Duration, p float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	idx := int(p * float64(len(lats)-1))
+	return float64(lats[idx]) / float64(time.Microsecond)
+}
+
+// ScalingSweep measures push throughput and latency for each client count,
+// on the sharded server and on the 1-shard global-lock baseline.
+func ScalingSweep(clientCounts []int, opsPerClient int) ([]ScalingResult, error) {
+	if opsPerClient <= 0 {
+		opsPerClient = 1500
+	}
+	var out []ScalingResult
+	for _, n := range clientCounts {
+		if n <= 0 {
+			return nil, fmt.Errorf("scaling: invalid client count %d", n)
+		}
+		row := ScalingResult{Clients: n, Ops: n * opsPerClient}
+
+		elapsed, lats := scalingRun(server.New(nil), n, opsPerClient)
+		row.ShardedOpsPerSec = float64(row.Ops) / elapsed.Seconds()
+		row.ShardedP50Micros = percentileMicros(lats, 0.50)
+		row.ShardedP99Micros = percentileMicros(lats, 0.99)
+
+		elapsed, lats = scalingRun(server.NewWithShards(nil, 1), n, opsPerClient)
+		row.GlobalOpsPerSec = float64(row.Ops) / elapsed.Seconds()
+		row.GlobalP50Micros = percentileMicros(lats, 0.50)
+		row.GlobalP99Micros = percentileMicros(lats, 0.99)
+
+		if row.GlobalOpsPerSec > 0 {
+			row.Speedup = row.ShardedOpsPerSec / row.GlobalOpsPerSec
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// PrintScaling renders the sweep as a table.
+func PrintScaling(w io.Writer, rs []ScalingResult) {
+	fmt.Fprintln(w, "Multi-client push throughput: sharded server vs global-lock (1-shard) baseline")
+	fmt.Fprintln(w, "(wall-clock; scales with available cores — on a single-core host expect ~1x)")
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "clients\tsharded ops/s\tp50 us\tp99 us\tglobal ops/s\tp50 us\tp99 us\tspeedup")
+	for _, r := range rs {
+		fmt.Fprintf(tw, "%d\t%.0f\t%.1f\t%.1f\t%.0f\t%.1f\t%.1f\t%.2fx\n",
+			r.Clients, r.ShardedOpsPerSec, r.ShardedP50Micros, r.ShardedP99Micros,
+			r.GlobalOpsPerSec, r.GlobalP50Micros, r.GlobalP99Micros, r.Speedup)
+	}
+	tw.Flush()
+}

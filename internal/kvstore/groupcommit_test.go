@@ -1,0 +1,183 @@
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A Sync whose mutations were already made durable by an earlier Sync must
+// coalesce: no second fsync.
+func TestSyncCoalescesWhenAlreadyDurable(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if err := s.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.FsyncCount(); got != 1 {
+		t.Fatalf("after first Sync: FsyncCount = %d, want 1", got)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.FsyncCount(); got != 1 {
+		t.Fatalf("after redundant Sync: FsyncCount = %d, want 1 (coalesced)", got)
+	}
+	if got := s.SyncCoalesced(); got != 1 {
+		t.Fatalf("SyncCoalesced = %d, want 1", got)
+	}
+
+	// A new mutation moves the target past syncedSeq again.
+	if err := s.Put([]byte("k"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.FsyncCount(); got != 2 {
+		t.Fatalf("after mutation + Sync: FsyncCount = %d, want 2", got)
+	}
+}
+
+// Every concurrent Sync either leads an fsync or coalesces onto one; none is
+// silently dropped, and the store stays consistent under the race detector.
+func TestConcurrentSyncGroupCommit(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const writers = 8
+	const perWriter = 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				k := []byte(fmt.Sprintf("w%d-%d", w, i))
+				if err := s.Put(k, []byte("x")); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := s.Sync(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := int64(writers * perWriter)
+	fsyncs, coalesced := s.FsyncCount(), s.SyncCoalesced()
+	if fsyncs+coalesced != total {
+		t.Fatalf("fsyncs(%d) + coalesced(%d) = %d, want %d (every Sync accounted)",
+			fsyncs, coalesced, fsyncs+coalesced, total)
+	}
+	if fsyncs < 1 || fsyncs > total {
+		t.Fatalf("FsyncCount = %d out of range [1,%d]", fsyncs, total)
+	}
+	if s.Len() != writers*perWriter {
+		t.Fatalf("Len = %d, want %d", s.Len(), writers*perWriter)
+	}
+}
+
+// With a commit window, mutations become durable without any caller ever
+// invoking Sync, and the data survives a reopen.
+func TestCommitWindowFlushesInBackground(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenWith(dir, Options{CommitWindow: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.FsyncCount() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background committer never fsynced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The window's fsync covered every mutation, so an explicit Sync now
+	// coalesces (no mutations appended since).
+	before := s.FsyncCount()
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.FsyncCount(); got != before {
+		t.Fatalf("Sync after window commit fsynced again: %d -> %d", before, got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	for i := 0; i < 10; i++ {
+		if _, ok, err := reopened.Get([]byte(fmt.Sprintf("k%d", i))); err != nil || !ok {
+			t.Fatalf("key k%d lost across reopen (ok=%v, err=%v)", i, ok, err)
+		}
+	}
+}
+
+// Close with an active committer must not deadlock or double-close, and must
+// persist the buffered tail itself.
+func TestCloseStopsCommitter(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenWith(dir, Options{CommitWindow: time.Hour}) // window never fires
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put([]byte("tail"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	reopened, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if _, ok, _ := reopened.Get([]byte("tail")); !ok {
+		t.Fatal("tail mutation lost: Close did not flush the buffered WAL")
+	}
+}
+
+// Memory-only stores accept Sync as a no-op and never start a committer.
+func TestSyncMemoryOnly(t *testing.T) {
+	s, err := OpenWith("", Options{CommitWindow: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.FsyncCount(); got != 0 {
+		t.Fatalf("memory-only FsyncCount = %d, want 0", got)
+	}
+}

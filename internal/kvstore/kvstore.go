@@ -23,6 +23,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 const (
@@ -44,6 +46,12 @@ var ErrClosed = errors.New("kvstore: store is closed")
 // Store is an embedded key-value store. All methods are safe for concurrent
 // use. A Store opened with an empty directory is memory-only (no
 // persistence), which the tests and some benchmarks use.
+//
+// Durability uses group commit: mutations append to the buffered WAL and
+// return; the actual flush+fsync happens in Sync, where concurrent callers
+// coalesce onto one fsync (leader/follower), and optionally on a periodic
+// commit window (Options.CommitWindow) so checksum-store persistence costs
+// one fsync per window instead of one per mutation.
 type Store struct {
 	mu     sync.RWMutex
 	table  map[string][]byte
@@ -52,11 +60,40 @@ type Store struct {
 	walBuf *bufio.Writer
 	walLen int64
 	closed bool
+
+	// Group commit. mutSeq counts WAL appends (under mu); syncedSeq is the
+	// highest mutSeq known durable, advanced only by the fsync leader
+	// (under commitMu). A Sync whose target is already covered returns
+	// without touching the file — that is the coalescing.
+	commitMu  sync.Mutex
+	mutSeq    uint64 // under mu
+	syncedSeq uint64 // under commitMu
+	fsyncs    atomic.Int64
+	coalesced atomic.Int64
+
+	// Background committer (CommitWindow > 0).
+	window     time.Duration
+	commitKick chan struct{}
+	commitQuit chan struct{}
+	commitDone chan struct{}
+}
+
+// Options tunes a store opened with OpenWith.
+type Options struct {
+	// CommitWindow, when positive, starts a background committer that
+	// fsyncs the WAL at most once per window while mutations are pending.
+	// Mutations return immediately; durability lags by at most one window
+	// (plus the fsync itself) without any caller ever paying a per-op
+	// fsync. Explicit Sync still works and still coalesces.
+	CommitWindow time.Duration
 }
 
 // Open opens (or creates) a store in dir. If dir is empty, the store is
 // memory-only.
-func Open(dir string) (*Store, error) {
+func Open(dir string) (*Store, error) { return OpenWith(dir, Options{}) }
+
+// OpenWith opens (or creates) a store in dir with explicit options.
+func OpenWith(dir string, o Options) (*Store, error) {
 	s := &Store{table: make(map[string][]byte), dir: dir}
 	if dir == "" {
 		return s, nil
@@ -82,7 +119,56 @@ func Open(dir string) (*Store, error) {
 	s.wal = f
 	s.walBuf = bufio.NewWriter(f)
 	s.walLen = st.Size()
+	if o.CommitWindow > 0 {
+		s.window = o.CommitWindow
+		s.commitKick = make(chan struct{}, 1)
+		s.commitQuit = make(chan struct{})
+		s.commitDone = make(chan struct{})
+		go s.committer(s.commitQuit)
+	}
 	return s, nil
+}
+
+// committer is the background group-commit loop: each pending-mutation kick
+// starts (at most) one window timer, and the fsync at its expiry covers
+// every mutation that accumulated meanwhile — one fsync per window, not per
+// mutation.
+func (s *Store) committer(quit <-chan struct{}) {
+	timer := time.NewTimer(s.window)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	armed := false
+	for {
+		select {
+		case <-quit:
+			// Close flushes and fsyncs the tail itself, so a pending
+			// window can simply be abandoned.
+			timer.Stop()
+			close(s.commitDone)
+			return
+		case <-s.commitKick:
+			if !armed {
+				timer.Reset(s.window)
+				armed = true
+			}
+		case <-timer.C:
+			armed = false
+			s.Sync() // best-effort; explicit Sync surfaces errors
+		}
+	}
+}
+
+// kickCommit notifies the background committer that mutations are pending.
+// Non-blocking: a full channel means a kick is already queued.
+func (s *Store) kickCommit() {
+	if s.commitKick == nil {
+		return
+	}
+	select {
+	case s.commitKick <- struct{}{}:
+	default:
+	}
 }
 
 func (s *Store) loadSnapshot() error {
@@ -216,6 +302,8 @@ func (s *Store) Put(key, val []byte) error {
 			return fmt.Errorf("kvstore: wal append: %w", err)
 		}
 		s.walLen += int64(13 + len(key) + len(valCopy))
+		s.mutSeq++
+		s.kickCommit()
 	}
 	s.table[string(key)] = valCopy
 	return s.maybeCompactLocked()
@@ -233,19 +321,59 @@ func (s *Store) Delete(key []byte) error {
 			return fmt.Errorf("kvstore: wal append: %w", err)
 		}
 		s.walLen += int64(13 + len(key))
+		s.mutSeq++
+		s.kickCommit()
 	}
 	delete(s.table, string(key))
 	return s.maybeCompactLocked()
 }
 
-// Sync flushes the WAL to the operating system and fsyncs it.
+// Sync makes every mutation that returned before the call durable. Concurrent
+// Syncs group-commit: the first caller (leader) flushes and fsyncs the WAL
+// once, covering every mutation appended up to that point; a caller whose
+// mutations are already covered returns without touching the file.
 func (s *Store) Sync() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
 	if s.closed {
+		s.mu.RUnlock()
 		return ErrClosed
 	}
-	return s.syncLocked()
+	if s.walBuf == nil {
+		s.mu.RUnlock()
+		return nil
+	}
+	target := s.mutSeq
+	s.mu.RUnlock()
+	return s.commitUpTo(target)
+}
+
+// commitUpTo makes mutations 1..target durable, coalescing with any commit
+// that already covered them. The fsync happens outside s.mu, so mutations
+// keep appending to the buffered WAL while the disk write is in flight.
+func (s *Store) commitUpTo(target uint64) error {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	if s.syncedSeq >= target {
+		s.coalesced.Add(1)
+		return nil
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	covered := s.mutSeq
+	err := s.walBuf.Flush()
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := s.wal.Sync(); err != nil {
+		return err
+	}
+	s.fsyncs.Add(1)
+	s.syncedSeq = covered
+	return nil
 }
 
 func (s *Store) syncLocked() error {
@@ -255,8 +383,19 @@ func (s *Store) syncLocked() error {
 	if err := s.walBuf.Flush(); err != nil {
 		return err
 	}
-	return s.wal.Sync()
+	if err := s.wal.Sync(); err != nil {
+		return err
+	}
+	s.fsyncs.Add(1)
+	return nil
 }
+
+// FsyncCount returns the number of WAL fsyncs performed since Open.
+func (s *Store) FsyncCount() int64 { return s.fsyncs.Load() }
+
+// SyncCoalesced returns the number of Sync calls absorbed without an fsync
+// because an earlier or concurrent commit already covered their mutations.
+func (s *Store) SyncCoalesced() int64 { return s.coalesced.Load() }
 
 // Len returns the number of keys.
 func (s *Store) Len() int {
@@ -368,6 +507,18 @@ func (s *Store) compactLocked() error {
 
 // Close flushes and closes the store. Further operations return ErrClosed.
 func (s *Store) Close() error {
+	// Stop the background committer before taking any lock for good: its
+	// commit path needs commitMu and mu, so waiting for it under either
+	// would deadlock. Nil-ing commitQuit under mu makes Close idempotent.
+	s.mu.Lock()
+	quit := s.commitQuit
+	s.commitQuit = nil
+	s.mu.Unlock()
+	if quit != nil {
+		close(quit)
+		<-s.commitDone
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -385,5 +536,6 @@ func (s *Store) Close() error {
 		s.wal.Close()
 		return err
 	}
+	s.fsyncs.Add(1)
 	return s.wal.Close()
 }

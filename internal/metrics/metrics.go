@@ -267,6 +267,8 @@ type SyncMeter struct {
 	reconnects    atomic.Int64
 	dedupHits     atomic.Int64
 	degradedNanos atomic.Int64
+	outboxDrops   atomic.Int64
+	outboxPeak    atomic.Int64
 }
 
 // SyncStats is a snapshot of a SyncMeter, in report-friendly units.
@@ -275,6 +277,11 @@ type SyncStats struct {
 	Reconnects      int64   `json:"reconnects"`
 	DedupHits       int64   `json:"dedup_hits"`
 	DegradedSeconds float64 `json:"degraded_seconds"`
+	// OutboxDrops counts forwarded batches the server evicted from bounded
+	// per-client outboxes; OutboxPeak is the deepest per-client outbox
+	// observed. Both are zero unless the server is wired to this meter.
+	OutboxDrops int64 `json:"outbox_drops,omitempty"`
+	OutboxPeak  int64 `json:"outbox_peak,omitempty"`
 }
 
 // Retry records one retried RPC attempt.
@@ -296,6 +303,43 @@ func (m *SyncMeter) DedupHit() {
 	if m != nil {
 		m.dedupHits.Add(1)
 	}
+}
+
+// OutboxDrop records n forwarded batches evicted from a bounded per-client
+// outbox (a sharing client that stopped polling).
+func (m *SyncMeter) OutboxDrop(n int64) {
+	if m != nil && n > 0 {
+		m.outboxDrops.Add(n)
+	}
+}
+
+// OutboxDepth records an observed per-client outbox depth, keeping the peak.
+func (m *SyncMeter) OutboxDepth(d int64) {
+	if m == nil {
+		return
+	}
+	for {
+		cur := m.outboxPeak.Load()
+		if d <= cur || m.outboxPeak.CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}
+
+// OutboxDrops returns the evicted forwarded-batch count.
+func (m *SyncMeter) OutboxDrops() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.outboxDrops.Load()
+}
+
+// OutboxPeak returns the deepest per-client outbox observed.
+func (m *SyncMeter) OutboxPeak() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.outboxPeak.Load()
 }
 
 // AddDegraded accumulates time spent outside the Healthy state (logical or
@@ -348,6 +392,8 @@ func (m *SyncMeter) Snapshot() SyncStats {
 		Reconnects:      m.reconnects.Load(),
 		DedupHits:       m.dedupHits.Load(),
 		DegradedSeconds: m.Degraded().Seconds(),
+		OutboxDrops:     m.outboxDrops.Load(),
+		OutboxPeak:      m.outboxPeak.Load(),
 	}
 }
 

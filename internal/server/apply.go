@@ -17,7 +17,8 @@ var debugConflicts = false
 
 // txn records compensation data so a partially applied batch can be rolled
 // back. Old content slices are retained by reference (mutating operations
-// copy-on-write), so rollback is cheap and allocation-light.
+// copy-on-write), so rollback is cheap and allocation-light. The caller
+// holds the batch's shard locks (batchLocks) for every path the txn touches.
 type txn struct {
 	s *Server
 	// ops collects applied operations, appended to the server log on
@@ -47,32 +48,35 @@ func newTxn(s *Server) *txn {
 // touch snapshots a path's state once.
 func (t *txn) touch(path string) {
 	if _, ok := t.prevFiles[path]; !ok {
-		c, existed := t.s.files[path]
+		sh := t.s.shard(path)
+		c, existed := sh.files[path]
 		t.prevFiles[path] = prevFile{content: c, existed: existed}
-		t.prevVers[path] = t.s.vers.Get(path)
+		t.prevVers[path] = sh.getVer(path)
 	}
 }
 
 func (t *txn) touchDir(path string) {
 	if _, ok := t.prevDirs[path]; !ok {
-		t.prevDirs[path] = t.s.dirs[path]
+		t.prevDirs[path] = t.s.shard(path).dirs[path]
 	}
 }
 
 func (t *txn) rollback() {
 	for p, pf := range t.prevFiles {
+		sh := t.s.shard(p)
 		if pf.existed {
-			t.s.files[p] = pf.content
+			sh.files[p] = pf.content
 		} else {
-			delete(t.s.files, p)
+			delete(sh.files, p)
 		}
-		t.s.vers.Set(p, t.prevVers[p])
+		sh.setVer(p, t.prevVers[p])
 	}
 	for p, existed := range t.prevDirs {
+		sh := t.s.shard(p)
 		if existed {
-			t.s.dirs[p] = true
+			sh.dirs[p] = true
 		} else {
-			delete(t.s.dirs, p)
+			delete(sh.dirs, p)
 		}
 	}
 }
@@ -81,22 +85,27 @@ func (t *txn) rollback() {
 // log and recording history snapshots for conflict resolution when multiple
 // clients are registered.
 func (t *txn) commit() {
-	t.s.applied = append(t.s.applied, t.ops...)
-	if len(t.s.outboxes) <= 1 {
+	if len(t.ops) > 0 {
+		t.s.appliedMu.Lock()
+		t.s.applied = append(t.s.applied, t.ops...)
+		t.s.appliedMu.Unlock()
+	}
+	if !t.s.sharing() {
 		return
 	}
 	for p := range t.prevFiles {
-		c, ok := t.s.files[p]
+		sh := t.s.shard(p)
+		c, ok := sh.files[p]
 		if !ok {
 			continue
 		}
 		snap := append([]byte(nil), c...)
 		t.s.meter.Copy(int64(len(snap)))
-		h := append(t.s.history[p], revision{ver: t.s.vers.Get(p), content: snap})
+		h := append(sh.history[p], revision{ver: sh.getVer(p), content: snap})
 		if len(h) > HistoryDepth {
 			h = h[len(h)-HistoryDepth:]
 		}
-		t.s.history[p] = h
+		sh.history[p] = h
 	}
 }
 
@@ -105,7 +114,7 @@ func (t *txn) commit() {
 // in a transaction copies it.
 func (t *txn) mutable(path string, minLen int64) []byte {
 	t.touch(path)
-	cur := t.s.files[path]
+	cur := t.s.shard(path).files[path]
 	n := int64(len(cur))
 	if minLen > n {
 		n = minLen
@@ -122,10 +131,11 @@ func (t *txn) checkBase(n *wire.Node) error {
 	case wire.NMkdir, wire.NRmdir:
 		return nil
 	}
-	if !version.CheckBase(t.s.vers.Get(n.Path), n.Base) {
+	cur := t.s.shard(n.Path).getVer(n.Path)
+	if !version.CheckBase(cur, n.Base) {
 		if debugConflicts {
 			fmt.Printf("CONFLICT %s %s: server=%v node.Base=%v node.Ver=%v\n",
-				n.Kind, n.Path, t.s.vers.Get(n.Path), n.Base, n.Ver)
+				n.Kind, n.Path, cur, n.Base, n.Ver)
 		}
 		return errConflict
 	}
@@ -133,16 +143,18 @@ func (t *txn) checkBase(n *wire.Node) error {
 }
 
 // applyNode applies one node inside the transaction, including its version
-// check and stamp.
+// check and stamp. The caller holds the shard locks for every path the node
+// names (Path, Dst, BasePath).
 func (s *Server) applyNode(t *txn, n *wire.Node) error {
 	if err := t.checkBase(n); err != nil {
 		return err
 	}
 	t.ops = append(t.ops, AppliedOp{Kind: n.Kind, Path: n.Path})
+	sh := s.shard(n.Path)
 	switch n.Kind {
 	case wire.NCreate:
 		t.touch(n.Path)
-		s.files[n.Path] = nil
+		sh.files[n.Path] = nil
 
 	case wire.NWrite:
 		var maxEnd int64
@@ -156,63 +168,70 @@ func (s *Server) applyNode(t *txn, n *wire.Node) error {
 			copy(buf[e.Off:], e.Data)
 			s.meter.Copy(int64(len(e.Data)))
 		}
-		s.files[n.Path] = buf
+		sh.files[n.Path] = buf
 
 	case wire.NTruncate:
 		t.touch(n.Path)
-		cur, ok := s.files[n.Path]
+		cur, ok := sh.files[n.Path]
 		if !ok {
 			return fmt.Errorf("truncate: %s does not exist", n.Path)
 		}
 		if n.Size <= int64(len(cur)) {
 			// Slicing shares the old array; the txn retains the original
 			// slice header, so rollback still sees the full content.
-			s.files[n.Path] = cur[:n.Size:n.Size]
+			sh.files[n.Path] = cur[:n.Size:n.Size]
 		} else {
 			buf := make([]byte, n.Size)
 			copy(buf, cur)
 			s.meter.Copy(int64(len(cur)))
-			s.files[n.Path] = buf
+			sh.files[n.Path] = buf
 		}
 
 	case wire.NRename:
 		t.touch(n.Path)
 		t.touch(n.Dst)
-		c, ok := s.files[n.Path]
+		c, ok := sh.files[n.Path]
 		if !ok {
 			return fmt.Errorf("rename: %s does not exist", n.Path)
 		}
-		s.files[n.Dst] = c
-		delete(s.files, n.Path)
-		s.vers.Rename(n.Path, n.Dst)
+		dsh := s.shard(n.Dst)
+		dsh.files[n.Dst] = c
+		delete(sh.files, n.Path)
+		// version.Map.Rename semantics across (possibly) two shards.
+		if v := sh.getVer(n.Path); !v.IsZero() {
+			dsh.setVer(n.Dst, v)
+			sh.setVer(n.Path, version.ID{})
+		} else {
+			dsh.setVer(n.Dst, version.ID{})
+		}
 
 	case wire.NLink:
 		t.touch(n.Path)
 		t.touch(n.Dst)
-		c, ok := s.files[n.Path]
+		c, ok := sh.files[n.Path]
 		if !ok {
 			return fmt.Errorf("link: %s does not exist", n.Path)
 		}
 		// The server store has no inodes; a link materializes as a copy
 		// that shares the content slice (copied on next write).
-		s.files[n.Dst] = c
+		s.shard(n.Dst).files[n.Dst] = c
 
 	case wire.NUnlink:
 		t.touch(n.Path)
-		if _, ok := s.files[n.Path]; !ok {
+		if _, ok := sh.files[n.Path]; !ok {
 			return fmt.Errorf("unlink: %s does not exist", n.Path)
 		}
-		delete(s.files, n.Path)
-		s.vers.Delete(n.Path)
+		delete(sh.files, n.Path)
+		sh.setVer(n.Path, version.ID{})
 
 	case wire.NMkdir:
 		t.touchDir(n.Path)
-		s.dirs[n.Path] = true
+		sh.dirs[n.Path] = true
 		return nil
 
 	case wire.NRmdir:
 		t.touchDir(n.Path)
-		delete(s.dirs, n.Path)
+		delete(sh.dirs, n.Path)
 		return nil
 
 	case wire.NDelta:
@@ -220,19 +239,19 @@ func (s *Server) applyNode(t *txn, n *wire.Node) error {
 		if basePath == "" {
 			basePath = n.Path
 		}
-		base := s.files[basePath]
+		base := s.shard(basePath).files[basePath]
 		out, err := rsync.Patch(base, n.Delta, s.meter)
 		if err != nil {
 			return fmt.Errorf("delta on %s (base %s): %w", n.Path, basePath, err)
 		}
 		t.touch(n.Path)
-		s.files[n.Path] = out
+		sh.files[n.Path] = out
 
 	case wire.NFull:
 		t.touch(n.Path)
 		buf := append([]byte(nil), n.Full...)
 		s.meter.Copy(int64(len(buf)))
-		s.files[n.Path] = buf
+		sh.files[n.Path] = buf
 
 	case wire.NCDC:
 		t.touch(n.Path)
@@ -248,7 +267,7 @@ func (s *Server) applyNode(t *txn, n *wire.Node) error {
 		for i, c := range n.Chunks {
 			data := c.Data
 			if data == nil {
-				stored, ok := s.chunks[c.Hash]
+				stored, ok := s.chunk(c.Hash)
 				if !ok {
 					return fmt.Errorf("cdc: %s references unknown chunk %x", n.Path, c.Hash[:4])
 				}
@@ -260,14 +279,16 @@ func (s *Server) applyNode(t *txn, n *wire.Node) error {
 			resolved[i] = data
 		}
 		buf := make([]byte, 0, total)
+		s.chunkMu.Lock()
 		for i, c := range n.Chunks {
 			if c.Data != nil {
-				s.storeChunk(c.Hash, append([]byte(nil), c.Data...))
+				s.storeChunkLocked(c.Hash, append([]byte(nil), c.Data...))
 			}
 			buf = append(buf, resolved[i]...)
 			s.meter.Copy(int64(len(resolved[i])))
 		}
-		s.files[n.Path] = buf
+		s.chunkMu.Unlock()
+		sh.files[n.Path] = buf
 
 	default:
 		return fmt.Errorf("unknown node kind %d", n.Kind)
@@ -278,30 +299,48 @@ func (s *Server) applyNode(t *txn, n *wire.Node) error {
 		// No version to stamp: the path is gone or is a directory.
 	case wire.NRename:
 		if !n.Ver.IsZero() {
-			s.vers.Delete(n.Path)
-			s.vers.Set(n.Dst, n.Ver)
+			sh.setVer(n.Path, version.ID{})
+			s.shard(n.Dst).setVer(n.Dst, n.Ver)
 		}
 	case wire.NLink:
 		if !n.Ver.IsZero() {
-			s.vers.Set(n.Dst, n.Ver) // the new name gets the version; the source keeps its own
+			s.shard(n.Dst).setVer(n.Dst, n.Ver) // the new name gets the version; the source keeps its own
 		}
 	default:
 		if !n.Ver.IsZero() {
-			s.vers.Set(n.Path, n.Ver)
+			sh.setVer(n.Path, n.Ver)
 		}
 	}
 	return nil
 }
 
+// conflictEligible reports whether a losing node of this kind materializes
+// a conflict copy (content-bearing kinds only).
+func conflictEligible(k wire.NodeKind) bool {
+	switch k {
+	case wire.NMkdir, wire.NRmdir, wire.NUnlink, wire.NRename, wire.NLink, wire.NCreate:
+		return false
+	}
+	return true
+}
+
+// conflictName is the deterministic path of the conflict copy a losing node
+// would create. It is known before application (it depends only on the node
+// and the pusher), which is what lets lockSetFor cover conflict shards up
+// front.
+func conflictName(n *wire.Node, from uint32) string {
+	return fmt.Sprintf("%s.conflict-%d-%d", n.Path, from, n.Ver.Count)
+}
+
 // materializeConflict implements first-write-wins reconciliation: the
 // server's current content stays the latest version; the losing update is
 // applied to the base version it was made against (from history) and stored
-// under a conflict name. Returns the conflict paths created.
+// under a conflict name. Returns the conflict paths created. The caller
+// holds the batch's shard locks, which cover every conflict name.
 func (s *Server) materializeConflict(from uint32, nodes []*wire.Node) []string {
 	var out []string
 	for _, n := range nodes {
-		switch n.Kind {
-		case wire.NMkdir, wire.NRmdir, wire.NUnlink, wire.NRename, wire.NLink, wire.NCreate:
+		if !conflictEligible(n.Kind) {
 			continue
 		}
 		base, ok := s.historyContent(n.Path, n.Base)
@@ -314,20 +353,20 @@ func (s *Server) materializeConflict(from uint32, nodes []*wire.Node) []string {
 		if err != nil {
 			continue
 		}
-		name := fmt.Sprintf("%s.conflict-%d-%d", n.Path, from, n.Ver.Count)
-		s.files[name] = content
+		name := conflictName(n, from)
+		s.shard(name).files[name] = content
 		out = append(out, name)
 	}
 	return out
 }
 
 // historyContent finds the retained snapshot of path at version v. A zero
-// version resolves to empty content.
+// version resolves to empty content. The caller holds path's shard lock.
 func (s *Server) historyContent(path string, v version.ID) ([]byte, bool) {
 	if v.IsZero() {
 		return nil, true
 	}
-	for _, rev := range s.history[path] {
+	for _, rev := range s.shard(path).history[path] {
 		if rev.ver == v {
 			return rev.content, true
 		}
@@ -366,7 +405,7 @@ func (s *Server) applyToContent(base []byte, n *wire.Node) ([]byte, error) {
 		for _, c := range n.Chunks {
 			data := c.Data
 			if data == nil {
-				stored, ok := s.chunks[c.Hash]
+				stored, ok := s.chunk(c.Hash)
 				if !ok {
 					return nil, fmt.Errorf("cdc conflict: unknown chunk")
 				}

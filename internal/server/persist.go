@@ -19,6 +19,11 @@ import (
 // restores it, so cmd/deltacfs-server can persist across restarts with a
 // snapshot-on-shutdown (plus periodic) policy. Client outboxes are volatile
 // by design: a reconnecting client re-syncs via Head metadata.
+//
+// The snapshot format is shard-agnostic: shards are merged into the flat
+// maps of snapshot v2 on Save and redistributed on Load, so snapshots move
+// freely between servers with different shard counts (including the
+// 1-shard oracle configuration).
 
 // snapshotReplyCache is one client's serialized idempotency state. Seqs and
 // Replies are parallel slices in FIFO insertion order.
@@ -51,33 +56,66 @@ type snapshotState struct {
 
 const snapshotVersion = 2
 
-// Save writes the server's durable state to w.
+// Save writes the server's durable state to w. It quiesces the server for
+// the duration: per-client push locks are taken in ascending client-ID
+// order, then every shard lock (the same outermost-first order Push uses,
+// so a snapshot can never deadlock with in-flight batches).
 func (s *Server) Save(w io.Writer) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	refs := s.clientSnapshot()
+	for _, ref := range refs {
+		ref.cs.pushMu.Lock()
+	}
+	defer func() {
+		for i := len(refs) - 1; i >= 0; i-- {
+			refs[i].cs.pushMu.Unlock()
+		}
+	}()
+	s.lockAllShards()
+	defer s.unlockAllShards()
+	s.clientMu.RLock()
+	nextClient := s.nextClient
+	s.clientMu.RUnlock()
+	s.chunkMu.Lock()
+	defer s.chunkMu.Unlock()
+	s.appliedMu.Lock()
+	defer s.appliedMu.Unlock()
+
 	state := snapshotState{
 		Version:     snapshotVersion,
-		Files:       s.files,
-		Dirs:        s.dirs,
-		Vers:        make(map[string]version.ID, len(s.files)),
+		Files:       make(map[string][]byte),
+		Dirs:        make(map[string]bool),
+		Vers:        make(map[string]version.ID),
 		Chunks:      s.chunks,
 		ChunkFIFO:   s.chunkFIFO,
 		Applied:     s.applied,
-		NextClient:  s.nextClient,
-		Dedup:       make(map[uint32]snapshotReplyCache, len(s.dedup)),
-		AppliedSeqs: s.appliedSeqs,
+		NextClient:  nextClient,
+		Dedup:       make(map[uint32]snapshotReplyCache, len(refs)),
+		AppliedSeqs: make(map[uint32]map[uint64]int, len(refs)),
 	}
-	for p := range s.files {
-		if v := s.vers.Get(p); !v.IsZero() {
-			state.Vers[p] = v
+	for _, sh := range s.shards {
+		for p, c := range sh.files {
+			state.Files[p] = c
+			if v := sh.getVer(p); !v.IsZero() {
+				state.Vers[p] = v
+			}
+		}
+		for p := range sh.dirs {
+			state.Dirs[p] = true
 		}
 	}
-	for id, rc := range s.dedup {
+	for _, ref := range refs {
+		rc := ref.cs.dedup
+		if rc.maxSeq == 0 && len(rc.order) == 0 && len(ref.cs.appliedSeqs) == 0 {
+			continue
+		}
 		src := snapshotReplyCache{MaxSeq: rc.maxSeq, Seqs: rc.order}
 		for _, seq := range rc.order {
 			src.Replies = append(src.Replies, rc.replies[seq])
 		}
-		state.Dedup[id] = src
+		state.Dedup[ref.id] = src
+		if len(ref.cs.appliedSeqs) > 0 {
+			state.AppliedSeqs[ref.id] = ref.cs.appliedSeqs
+		}
 	}
 	if err := gob.NewEncoder(w).Encode(&state); err != nil {
 		return fmt.Errorf("server: save: %w", err)
@@ -98,19 +136,39 @@ func (s *Server) Load(r io.Reader) error {
 	if state.Version != 1 && state.Version != snapshotVersion {
 		return fmt.Errorf("server: load: unsupported snapshot version %d", state.Version)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	// Registration check first, on its own (clientMu is never held while
+	// shard locks are acquired — the Push lock order). Load's contract is a
+	// fresh, unshared server; the locks below are belt-and-suspenders.
+	s.clientMu.Lock()
 	if s.nextClient != 0 {
+		s.clientMu.Unlock()
 		return fmt.Errorf("server: load: clients already registered")
 	}
-	s.files = state.Files
+	s.clientMu.Unlock()
+	s.lockAllShards()
+
+	for _, sh := range s.shards {
+		sh.files = make(map[string][]byte)
+		sh.dirs = make(map[string]bool)
+		sh.vers = make(map[string]version.ID)
+		sh.history = make(map[string][]revision)
+	}
+	for p, c := range state.Files {
+		s.shard(p).files[p] = c
+	}
 	if state.Dirs != nil {
-		s.dirs = state.Dirs
+		for p := range state.Dirs {
+			s.shard(p).dirs[p] = true
+		}
+	} else {
+		s.shard(".").dirs["."] = true
 	}
-	s.vers = version.NewMap()
 	for p, v := range state.Vers {
-		s.vers.Set(p, v)
+		s.shard(p).setVer(p, v)
 	}
+	s.unlockAllShards()
+
+	s.chunkMu.Lock()
 	s.chunks = state.Chunks
 	if s.chunks == nil {
 		s.chunks = make(map[block.Strong][]byte)
@@ -120,10 +178,21 @@ func (s *Server) Load(r io.Reader) error {
 	for _, d := range s.chunks {
 		s.chunkBytes += int64(len(d))
 	}
+	s.chunkMu.Unlock()
+
+	s.appliedMu.Lock()
 	s.applied = state.Applied
+	s.appliedMu.Unlock()
+
+	s.clientMu.Lock()
+	defer s.clientMu.Unlock()
 	s.nextClient = state.NextClient
-	s.dedup = make(map[uint32]*replyCache, len(state.Dedup))
 	for id, src := range state.Dedup {
+		cs := s.clients[id]
+		if cs == nil {
+			cs = newClientState()
+			s.clients[id] = cs
+		}
 		rc := &replyCache{
 			maxSeq:  src.MaxSeq,
 			replies: make(map[uint64]*wire.PushReply, len(src.Seqs)),
@@ -134,11 +203,17 @@ func (s *Server) Load(r io.Reader) error {
 				rc.replies[seq] = src.Replies[i]
 			}
 		}
-		s.dedup[id] = rc
+		cs.dedup = rc
 	}
-	s.appliedSeqs = state.AppliedSeqs
-	if s.appliedSeqs == nil {
-		s.appliedSeqs = make(map[uint32]map[uint64]int)
+	for id, seqs := range state.AppliedSeqs {
+		cs := s.clients[id]
+		if cs == nil {
+			cs = newClientState()
+			s.clients[id] = cs
+		}
+		if seqs != nil {
+			cs.appliedSeqs = seqs
+		}
 	}
 	return nil
 }

@@ -5,12 +5,18 @@
 // first-write-wins conflict reconciliation (§III-C), applies DeltaCFS's
 // backindex batches transactionally (§III-E), and forwards applied updates
 // to other clients sharing the files (§III-D).
+//
+// Server state is path-sharded (shard.go): batches touching disjoint files
+// apply concurrently, read-only RPCs take shared locks, and per-client state
+// (reply cache, outbox) lives under per-client locks, so throughput scales
+// with cores instead of serializing every RPC on one mutex.
 package server
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/block"
 	"repro/internal/metrics"
@@ -60,38 +66,32 @@ func (rc *replyCache) record(seq uint64, reply *wire.PushReply) {
 
 // Server is the cloud store. All methods are safe for concurrent use.
 type Server struct {
-	mu sync.Mutex
+	// shards stripe the per-path state; immutable after New.
+	shards    []*fileShard
+	shardMask uint32
 
-	files map[string][]byte
-	dirs  map[string]bool
-	vers  *version.Map
-	// history holds recent content snapshots per path, newest last.
-	history map[string][]revision
 	// chunks is the server-wide content-addressed chunk store
 	// (Seafile/Dropbox dedup), bounded to wire.ChunkStoreBudget bytes with
 	// FIFO eviction; clients mirror the policy (baseline.ChunkTracker).
+	chunkMu    sync.Mutex
 	chunks     map[block.Strong][]byte
 	chunkFIFO  []block.Strong
 	chunkBytes int64
 
-	outboxes   map[uint32][]*wire.Batch
+	// clients is the per-client state registry. registered counts IDs with
+	// forwarding enabled (Register/Attach), the sharing()/forwarding gate.
+	clientMu   sync.RWMutex
+	clients    map[uint32]*clientState
 	nextClient uint32
-
-	// dedup holds per-client idempotency state ((Client, Seq) replay
-	// detection plus the bounded reply cache).
-	dedup map[uint32]*replyCache
-	// appliedSeqs counts, per (client, seq), how many times a keyed batch
-	// was actually applied. It is maintained unconditionally — independent
-	// of the dedup logic it audits — so tests can assert zero duplicate
-	// applies even if the dedup path regresses.
-	appliedSeqs map[uint32]map[uint64]int
+	registered atomic.Int32
 
 	// applied records the order in which content-bearing nodes were
 	// committed, for the upload-ordering experiment (Table IV).
-	applied []AppliedOp
+	appliedMu sync.Mutex
+	applied   []AppliedOp
 
 	meter     *metrics.CPUMeter
-	syncMeter *metrics.SyncMeter
+	syncMeter atomic.Pointer[metrics.SyncMeter]
 }
 
 // AppliedOp is one committed operation in server order.
@@ -100,39 +100,66 @@ type AppliedOp struct {
 	Path string
 }
 
-// New returns an empty server charging CPU work to meter (may be nil).
+// New returns an empty server with DefaultShards stripes, charging CPU work
+// to meter (may be nil).
 func New(meter *metrics.CPUMeter) *Server {
-	return &Server{
-		files:       make(map[string][]byte),
-		dirs:        map[string]bool{".": true},
-		vers:        version.NewMap(),
-		history:     make(map[string][]revision),
-		chunks:      make(map[block.Strong][]byte),
-		outboxes:    make(map[uint32][]*wire.Batch),
-		dedup:       make(map[uint32]*replyCache),
-		appliedSeqs: make(map[uint32]map[uint64]int),
-		meter:       meter,
-	}
+	return NewWithShards(meter, DefaultShards)
 }
 
-// SetSyncMeter wires a fault-tolerance meter (may be nil) that counts
-// reply-cache dedup hits.
-func (s *Server) SetSyncMeter(m *metrics.SyncMeter) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.syncMeter = m
+// NewWithShards returns an empty server with the given stripe count (rounded
+// up to a power of two, minimum 1). A 1-shard server serializes every batch
+// on a single lock — the global-lock configuration the property tests use as
+// oracle and the throughput sweep uses as baseline.
+func NewWithShards(meter *metrics.CPUMeter, shards int) *Server {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	s := &Server{
+		shards:    make([]*fileShard, n),
+		shardMask: uint32(n - 1),
+		chunks:    make(map[block.Strong][]byte),
+		clients:   make(map[uint32]*clientState),
+		meter:     meter,
+	}
+	for i := range s.shards {
+		s.shards[i] = newFileShard()
+	}
+	s.shard(".").dirs["."] = true
+	return s
 }
+
+// ShardCount returns the number of file-state stripes.
+func (s *Server) ShardCount() int { return len(s.shards) }
+
+// SetSyncMeter wires a fault-tolerance meter (may be nil) that counts
+// reply-cache dedup hits and outbox drops.
+func (s *Server) SetSyncMeter(m *metrics.SyncMeter) {
+	s.syncMeter.Store(m)
+}
+
+// syncM returns the wired SyncMeter (nil-safe: all its methods accept nil).
+func (s *Server) syncM() *metrics.SyncMeter { return s.syncMeter.Load() }
 
 // Meter returns the server's CPU meter.
 func (s *Server) Meter() *metrics.CPUMeter { return s.meter }
 
 // Register assigns a new client ID and creates its forwarding outbox.
 func (s *Server) Register() uint32 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.clientMu.Lock()
 	s.nextClient++
 	id := s.nextClient
-	s.outboxes[id] = nil
+	cs := s.clients[id]
+	if cs == nil {
+		cs = newClientState()
+		s.clients[id] = cs
+	}
+	fresh := !cs.registered
+	cs.registered = true
+	s.clientMu.Unlock()
+	if fresh {
+		s.registered.Add(1)
+	}
 	return id
 }
 
@@ -143,13 +170,20 @@ func (s *Server) Attach(client uint32) {
 	if client == 0 {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.clientMu.Lock()
 	if client > s.nextClient {
 		s.nextClient = client
 	}
-	if _, ok := s.outboxes[client]; !ok {
-		s.outboxes[client] = nil
+	cs := s.clients[client]
+	if cs == nil {
+		cs = newClientState()
+		s.clients[client] = cs
+	}
+	fresh := !cs.registered
+	cs.registered = true
+	s.clientMu.Unlock()
+	if fresh {
+		s.registered.Add(1)
 	}
 }
 
@@ -157,23 +191,25 @@ func (s *Server) Attach(client uint32) {
 // an experiment start from identical state). No version is assigned: the
 // file starts at the zero version, matching clients that seed the same way.
 func (s *Server) SeedFile(path string, content []byte) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.files[path] = append([]byte(nil), content...)
+	sh := s.shard(path)
+	sh.mu.Lock()
+	sh.files[path] = append([]byte(nil), content...)
+	sh.mu.Unlock()
 }
 
 // SeedChunk installs a content-addressed chunk in the server's chunk store
 // outside the measured run (matching a client primed to treat the chunk as
 // server-known).
 func (s *Server) SeedChunk(h block.Strong, data []byte) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.storeChunk(h, append([]byte(nil), data...))
+	s.chunkMu.Lock()
+	s.storeChunkLocked(h, append([]byte(nil), data...))
+	s.chunkMu.Unlock()
 }
 
-// storeChunk inserts a chunk, evicting FIFO past the budget. Re-inserting a
-// resident chunk is a no-op (matching the client-side tracker).
-func (s *Server) storeChunk(h block.Strong, data []byte) {
+// storeChunkLocked inserts a chunk, evicting FIFO past the budget. The
+// caller holds chunkMu. Re-inserting a resident chunk is a no-op (matching
+// the client-side tracker).
+func (s *Server) storeChunkLocked(h block.Strong, data []byte) {
 	if _, ok := s.chunks[h]; ok {
 		return
 	}
@@ -190,11 +226,20 @@ func (s *Server) storeChunk(h block.Strong, data []byte) {
 	}
 }
 
+// chunk returns a copy-free reference to a resident chunk.
+func (s *Server) chunk(h block.Strong) ([]byte, bool) {
+	s.chunkMu.Lock()
+	d, ok := s.chunks[h]
+	s.chunkMu.Unlock()
+	return d, ok
+}
+
 // FileContent returns a copy of the file's current content.
 func (s *Server) FileContent(path string) ([]byte, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, ok := s.files[path]
+	sh := s.shard(path)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	c, ok := sh.files[path]
 	if !ok {
 		return nil, false
 	}
@@ -203,59 +248,78 @@ func (s *Server) FileContent(path string) ([]byte, bool) {
 
 // Files returns the stored paths (unordered).
 func (s *Server) Files() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]string, 0, len(s.files))
-	for p := range s.files {
-		out = append(out, p)
+	var out []string
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for p := range sh.files {
+			out = append(out, p)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// Dirs returns the stored directory paths (unordered).
+func (s *Server) Dirs() []string {
+	var out []string
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for p := range sh.dirs {
+			out = append(out, p)
+		}
+		sh.mu.RUnlock()
 	}
 	return out
 }
 
 // AppliedLog returns the order in which operations were committed.
 func (s *Server) AppliedLog() []AppliedOp {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.appliedMu.Lock()
+	defer s.appliedMu.Unlock()
 	return append([]AppliedOp(nil), s.applied...)
 }
 
 // Head returns path's current version and existence — the metadata lookup
 // clients use to (re)synchronize their version maps after a restart.
 func (s *Server) Head(path string) (version.ID, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, ok := s.files[path]
-	return s.vers.Get(path), ok
+	sh := s.shard(path)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	_, ok := sh.files[path]
+	return sh.getVer(path), ok
 }
 
 // Version returns the current version of path.
 func (s *Server) Version(path string) version.ID {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.vers.Get(path)
+	sh := s.shard(path)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.getVer(path)
 }
 
 // Fetch returns a file's content and version.
 func (s *Server) Fetch(path string) *wire.FetchReply {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.meter.RPC(1)
-	c, ok := s.files[path]
+	sh := s.shard(path)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	c, ok := sh.files[path]
 	if !ok {
 		return &wire.FetchReply{}
 	}
 	out := append([]byte(nil), c...)
 	s.meter.Copy(int64(len(out)))
 	s.meter.Net(int64(len(out)))
-	return &wire.FetchReply{Content: out, Ver: s.vers.Get(path), Exists: true}
+	return &wire.FetchReply{Content: out, Ver: sh.getVer(path), Exists: true}
 }
 
 // FetchRange returns part of a file (clipped at EOF).
 func (s *Server) FetchRange(path string, off, n int64) ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.meter.RPC(1)
-	c, ok := s.files[path]
+	sh := s.shard(path)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	c, ok := sh.files[path]
 	if !ok {
 		return nil, fmt.Errorf("server: fetch range: %s does not exist", path)
 	}
@@ -275,16 +339,44 @@ func (s *Server) FetchRange(path string, off, n int64) ([]byte, error) {
 	return out, nil
 }
 
-// Poll drains the forwarding outbox of the given client.
+// Poll drains the forwarding outbox of the given client. The drain is an
+// O(1) slice swap under the client's own lock, so polling never contends
+// with pushes beyond that single pointer exchange.
 func (s *Server) Poll(client uint32) []*wire.Batch {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := s.outboxes[client]
-	s.outboxes[client] = nil
+	cs := s.lookupClient(client)
+	if cs == nil {
+		return nil
+	}
+	out := cs.drain()
 	for _, b := range out {
 		s.meter.Net(b.WireSize())
 	}
 	return out
+}
+
+// OutboxStats reports forwarding-outbox pressure aggregated over clients.
+type OutboxStats struct {
+	// Depth is the current total of undelivered forwarded batches.
+	Depth int
+	// Peak is the highest per-client depth observed.
+	Peak int
+	// Drops counts forwarded batches evicted past OutboxDepthLimit.
+	Drops int64
+}
+
+// OutboxStats returns the current forwarding-outbox pressure.
+func (s *Server) OutboxStats() OutboxStats {
+	var st OutboxStats
+	for _, ref := range s.clientSnapshot() {
+		ref.cs.outMu.Lock()
+		st.Depth += ref.cs.outPending
+		if ref.cs.outPeak > st.Peak {
+			st.Peak = ref.cs.outPeak
+		}
+		st.Drops += ref.cs.outDrops
+		ref.cs.outMu.Unlock()
+	}
+	return st
 }
 
 // Push applies a batch from the given client. Atomic batches are applied
@@ -292,22 +384,27 @@ func (s *Server) Poll(client uint32) []*wire.Batch {
 // current content stays the latest version and the incoming update is
 // materialized as a conflict file (for every file the batch touches, per
 // §III-E's atomic-group conflict rule).
+//
+// Concurrency: the batch's shard lock set is computed up front and taken in
+// ascending order; batches on disjoint shards run in parallel. A keyed batch
+// additionally holds its client's pushMu across check→apply→record so a
+// racing replay of the same Seq can never double-apply.
 func (s *Server) Push(from uint32, b *wire.Batch) *wire.PushReply {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-
 	s.meter.RPC(1)
 	s.meter.Net(b.WireSize())
+
+	cs := s.ensureClient(from)
 
 	// Idempotency: a keyed batch at or below the highest Seq applied for
 	// this client is a replay of an ambiguous push — answer it from the
 	// reply cache (or with an empty OK for replays past the cache window)
 	// without re-applying or re-forwarding.
 	if b.Seq != 0 {
-		rc := s.dedup[from]
-		if rc != nil && b.Seq <= rc.maxSeq {
-			s.syncMeter.DedupHit()
-			if cached, ok := rc.replies[b.Seq]; ok {
+		cs.pushMu.Lock()
+		defer cs.pushMu.Unlock()
+		if b.Seq <= cs.dedup.maxSeq {
+			s.syncM().DedupHit()
+			if cached, ok := cs.dedup.replies[b.Seq]; ok {
 				return cached
 			}
 			return &wire.PushReply{Statuses: make([]wire.ApplyStatus, len(b.Nodes))}
@@ -315,6 +412,9 @@ func (s *Server) Push(from uint32, b *wire.Batch) *wire.PushReply {
 	}
 
 	reply := &wire.PushReply{Statuses: make([]wire.ApplyStatus, len(b.Nodes))}
+
+	locks := s.lockSetFor(from, b)
+	locks.lock()
 
 	if b.Atomic {
 		s.pushAtomic(from, b, reply)
@@ -326,50 +426,69 @@ func (s *Server) Push(from uint32, b *wire.Batch) *wire.PushReply {
 
 	// Forward the batch to every other registered client (§III-D: "when
 	// the cloud receives data from a client, besides storing the data it
-	// also forwards the data to other shared clients").
-	if len(s.outboxes) > 1 {
-		for id := range s.outboxes {
-			if id != from {
-				s.outboxes[id] = append(s.outboxes[id], b)
-			}
-		}
+	// also forwards the data to other shared clients"). Forwarding happens
+	// while the shard locks are still held so two batches racing on the
+	// same file land in every outbox in their commit order.
+	if s.sharing() {
+		s.forward(from, b)
 	}
 
+	locks.unlock()
+
 	if b.Seq != 0 {
-		seqs := s.appliedSeqs[from]
-		if seqs == nil {
-			seqs = make(map[uint64]int)
-			s.appliedSeqs[from] = seqs
-		}
-		seqs[b.Seq]++
-		rc := s.dedup[from]
-		if rc == nil {
-			rc = &replyCache{replies: make(map[uint64]*wire.PushReply)}
-			s.dedup[from] = rc
-		}
-		rc.record(b.Seq, reply)
+		cs.appliedSeqs[b.Seq]++
+		cs.dedup.record(b.Seq, reply)
 	}
 	return reply
+}
+
+// forward appends b to every other registered client's outbox. The caller
+// holds the batch's shard locks; the registry read-lock is released before
+// any outbox lock is taken (lock ordering rule 3).
+func (s *Server) forward(from uint32, b *wire.Batch) {
+	s.clientMu.RLock()
+	targets := make([]*clientState, 0, len(s.clients))
+	for id, cs := range s.clients {
+		if id != from && cs.registered {
+			targets = append(targets, cs)
+		}
+	}
+	s.clientMu.RUnlock()
+	sm := s.syncM()
+	var dropped int64
+	var peak int
+	for _, cs := range targets {
+		depth, d := cs.enqueue(b)
+		dropped += d
+		if depth > peak {
+			peak = depth
+		}
+	}
+	sm.OutboxDepth(int64(peak))
+	if dropped > 0 {
+		sm.OutboxDrop(dropped)
+	}
 }
 
 // DuplicateApplies returns how many keyed batches were applied more than
 // once — the duplicate-apply tripwire chaos tests assert stays zero. The
 // count is maintained independently of the dedup logic it checks.
 func (s *Server) DuplicateApplies() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	dups := 0
-	for _, seqs := range s.appliedSeqs {
-		for _, n := range seqs {
+	for _, ref := range s.clientSnapshot() {
+		ref.cs.pushMu.Lock()
+		for _, n := range ref.cs.appliedSeqs {
 			if n > 1 {
 				dups += n - 1
 			}
 		}
+		ref.cs.pushMu.Unlock()
 	}
 	return dups
 }
 
-// applyOne applies a single (non-atomic) node.
+// applyOne applies a single (non-atomic) node. The caller holds the batch's
+// shard locks.
 func (s *Server) applyOne(from uint32, n *wire.Node, i int, reply *wire.PushReply) {
 	tx := newTxn(s)
 	err := s.applyNode(tx, n)
