@@ -1,0 +1,137 @@
+// Command deltavet is the project's multichecker: it runs the four
+// invariant analyzers (lockorder, blockunderlock, detreplay, errsync) over
+// the packages named on the command line and exits non-zero if any
+// unsuppressed finding remains. CI runs it alongside `go vet` and the
+// full-module race detector:
+//
+//	go run ./cmd/deltavet ./...
+//
+// Suppression: an inline `//deltavet:allow <analyzer> <reason>` comment on
+// the finding's line (or the line above) silences that analyzer there; the
+// deltavet.allow file at the module root records standing per-function
+// exemptions (`<analyzer> <pkgpath> <Func|Type.Method> <reason>`). Both
+// require a reason — the point is a reviewable inventory of every place the
+// invariants are intentionally bent, not a mute button.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/blockunderlock"
+	"repro/internal/analysis/detreplay"
+	"repro/internal/analysis/errsync"
+	"repro/internal/analysis/lockorder"
+)
+
+// replayScope is the set of package suffixes detreplay applies to: the
+// paths the chaos oracle and pipeline-equivalence tests replay bit-for-bit.
+var replayScope = []string{
+	"internal/rsync",
+	"internal/core",
+	"internal/chaos",
+	"internal/server",
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], ".", os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected so the integration test can
+// drive it: returns the process exit code.
+func run(args []string, dir string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("deltavet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	allowPath := fs.String("allow", "", "path to the deltavet.allow file (default: deltavet.allow at the module root, if present)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	var allows []analysis.Allow
+	path := *allowPath
+	if path == "" {
+		if root, err := moduleRoot(dir); err == nil {
+			if p := filepath.Join(root, "deltavet.allow"); fileExists(p) {
+				path = p
+			}
+		}
+	}
+	if path != "" {
+		var err error
+		allows, err = analysis.ParseAllowFile(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "deltavet: %v\n", err)
+			return 2
+		}
+	}
+
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "deltavet: %v\n", err)
+		return 2
+	}
+
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		as := analyzersFor(pkg.PkgPath)
+		ds, err := analysis.Run(pkg, as...)
+		if err != nil {
+			fmt.Fprintf(stderr, "deltavet: %v\n", err)
+			return 2
+		}
+		diags = append(diags, ds...)
+	}
+
+	kept := analysis.Suppress(pkgs, diags, allows)
+	for _, d := range kept {
+		fmt.Fprintf(stdout, "%s\n", d)
+	}
+	if len(kept) > 0 {
+		fmt.Fprintf(stderr, "deltavet: %d finding(s)\n", len(kept))
+		return 1
+	}
+	return 0
+}
+
+// analyzersFor selects the analyzers for one package: the concurrency and
+// durability checkers run everywhere; detreplay only on the replay-scoped
+// paths.
+func analyzersFor(pkgPath string) []*analysis.Analyzer {
+	as := []*analysis.Analyzer{lockorder.Analyzer, blockunderlock.Analyzer, errsync.Analyzer}
+	for _, s := range replayScope {
+		if analysis.PathSuffixMatch(pkgPath, s) {
+			as = append(as, detreplay.Analyzer)
+			break
+		}
+	}
+	return as
+}
+
+func moduleRoot(dir string) (string, error) {
+	cmd := exec.Command("go", "env", "GOMOD")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", err
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not in a module")
+	}
+	return filepath.Dir(gomod), nil
+}
+
+func fileExists(p string) bool {
+	st, err := os.Stat(p)
+	return err == nil && !st.IsDir()
+}

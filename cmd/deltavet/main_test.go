@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFlagsBadFixture runs the driver over the known-bad fixture package and
+// checks that every analyzer fires, the exit code is non-zero, and the one
+// inline-allowed finding is suppressed.
+func TestFlagsBadFixture(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"./testdata/src/badpkg/internal/server"}, ".", &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	got := out.String()
+	for _, analyzer := range []string{"lockorder", "blockunderlock", "detreplay", "errsync"} {
+		if !strings.Contains(got, analyzer) {
+			t.Errorf("no %s finding in output:\n%s", analyzer, got)
+		}
+	}
+	// BadStamp and AllowedStamp both call time.Now; only BadStamp's finding
+	// must survive the inline //deltavet:allow.
+	if n := strings.Count(got, "time.Now reads the wall clock"); n != 1 {
+		t.Errorf("time.Now findings = %d, want 1 (inline allow not honored?)\n%s", n, got)
+	}
+}
+
+// TestCleanOnTree is the acceptance gate: the real tree, with its inline
+// allows and the module-root deltavet.allow, must come back clean.
+func TestCleanOnTree(t *testing.T) {
+	root, err := moduleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errb strings.Builder
+	code := run([]string{"./internal/...", "./cmd/..."}, root, &out, &errb)
+	if code != 0 {
+		t.Fatalf("deltavet not clean on the tree (exit %d):\n%s%s", code, out.String(), errb.String())
+	}
+}

@@ -1,0 +1,299 @@
+// Package analysistest runs an analyzer over fixture packages under
+// testdata/src and checks its diagnostics against `// want "regex"`
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest closely
+// enough that fixtures read the same way.
+//
+// Fixture packages live at testdata/src/<importpath>/ relative to the test.
+// They may import each other by that relative import path, and may import
+// anything in the module's dependency closure (standard library included) —
+// those imports resolve from build-cache export data via the module root.
+// Because analyzers match project packages by import-path *suffix*, a
+// fixture at testdata/src/bad/internal/server stands in for
+// repro/internal/server.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"io"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads every fixture package under testdata/src, runs a over the
+// packages named by targets (import paths relative to testdata/src), and
+// reports mismatches between diagnostics and // want comments as test
+// errors.
+func Run(t *testing.T, a *analysis.Analyzer, targets ...string) {
+	t.Helper()
+	pkgs, err := loadFixtures("testdata/src")
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, target := range targets {
+		pkg, ok := pkgs[target]
+		if !ok {
+			t.Errorf("analysistest: no fixture package %q under testdata/src", target)
+			continue
+		}
+		diags, err := analysis.Run(pkg, a)
+		if err != nil {
+			t.Errorf("analysistest: %s: %v", target, err)
+			continue
+		}
+		checkWants(t, pkg, diags)
+	}
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+func checkWants(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.used || w.file != filepath.Base(d.Pos.Filename) || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"|` + "`([^`]*)`")
+
+func collectWants(t *testing.T, pkg *analysis.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(text[len("want "):], -1) {
+					raw := m[2]
+					if m[1] != "" || raw == "" {
+						unq, err := strconv.Unquote(`"` + m[1] + `"`)
+						if err != nil {
+							t.Fatalf("%s: bad want string: %v", pos, err)
+						}
+						raw = unq
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+					}
+					wants = append(wants, &want{
+						file: filepath.Base(pos.Filename),
+						line: pos.Line,
+						re:   re,
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// loadFixtures parses and type-checks every package under root (a
+// testdata/src directory), resolving fixture-local imports against each
+// other and everything else against the module's export data.
+func loadFixtures(root string) (map[string]*analysis.Package, error) {
+	dirs, err := fixtureDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("no fixture packages under %s", root)
+	}
+	exports, err := moduleExports()
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+
+	// Parse everything first so import edges are known.
+	type parsed struct {
+		path  string
+		dir   string
+		files []*ast.File
+	}
+	byPath := make(map[string]*parsed, len(dirs))
+	var order []string
+	for _, dir := range dirs {
+		rel, _ := filepath.Rel(root, dir)
+		importPath := filepath.ToSlash(rel)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		p := &parsed{path: importPath, dir: dir}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parse fixture %s: %w", e.Name(), err)
+			}
+			p.files = append(p.files, f)
+		}
+		if len(p.files) == 0 {
+			continue
+		}
+		byPath[importPath] = p
+		order = append(order, importPath)
+	}
+	sort.Strings(order)
+
+	fi := &fixtureImporter{
+		fallback: analysis.NewExportImporter(fset, exports),
+		types:    make(map[string]*types.Package),
+	}
+	out := make(map[string]*analysis.Package, len(byPath))
+
+	// Type-check in dependency order (DFS over fixture-local imports).
+	var check func(path string) error
+	checking := make(map[string]bool)
+	check = func(path string) error {
+		if _, done := out[path]; done {
+			return nil
+		}
+		if checking[path] {
+			return fmt.Errorf("fixture import cycle through %q", path)
+		}
+		checking[path] = true
+		defer func() { checking[path] = false }()
+		p := byPath[path]
+		for _, f := range p.files {
+			for _, imp := range f.Imports {
+				ip, _ := strconv.Unquote(imp.Path.Value)
+				if _, local := byPath[ip]; local {
+					if err := check(ip); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		info := analysis.NewTypesInfo()
+		conf := types.Config{Importer: fi, Error: func(error) {}}
+		tpkg, err := conf.Check(path, fset, p.files, info)
+		if err != nil {
+			return fmt.Errorf("typecheck fixture %s: %w", path, err)
+		}
+		fi.types[path] = tpkg
+		out[path] = &analysis.Package{
+			PkgPath:   path,
+			Dir:       p.dir,
+			Fset:      fset,
+			Files:     p.files,
+			Types:     tpkg,
+			TypesInfo: info,
+		}
+		return nil
+	}
+	for _, path := range order {
+		if err := check(path); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+type fixtureImporter struct {
+	fallback types.Importer
+	types    map[string]*types.Package
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := fi.types[path]; ok {
+		return p, nil
+	}
+	return fi.fallback.Import(path)
+}
+
+func fixtureDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dirs, nil
+}
+
+// moduleExports builds the ImportPath -> export-data map for the whole
+// module dependency closure (standard library included), so fixtures can
+// import anything the module itself uses.
+func moduleExports() (map[string]string, error) {
+	gomod, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return nil, fmt.Errorf("go env GOMOD: %w", err)
+	}
+	modRoot := filepath.Dir(strings.TrimSpace(string(gomod)))
+	cmd := exec.Command("go", "list", "-e", "-export", "-deps",
+		"-json=ImportPath,Export", "./...")
+	cmd.Dir = modRoot
+	outBytes, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list -export ./...: %w", err)
+	}
+	exports := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(outBytes))
+	for {
+		var lp struct{ ImportPath, Export string }
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decode: %w", err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+	return exports, nil
+}

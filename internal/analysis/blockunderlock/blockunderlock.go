@@ -1,0 +1,305 @@
+// Package blockunderlock flags blocking operations performed while a
+// sync.Mutex or sync.RWMutex is held: channel sends/receives, net.Conn I/O
+// and dials, file fsyncs, and calls into the wire / kvstore layers (RPCs and
+// WAL writes). Holding a lock across any of these couples unrelated clients
+// latency-wise and, in the worst case (a channel with no reader, a dead
+// peer), wedges every other holder of the lock — exactly the group-commit
+// WAL and per-client pushMu bugs PR 3's review had to fix by hand.
+//
+// Scope and precision:
+//
+//   - The analysis is intraprocedural and walks function bodies in source
+//     order, pairing X.Lock() with X.Unlock() syntactically; a deferred
+//     unlock keeps the lock held through the end of the function.
+//   - Functions whose name ends in "Locked" are analyzed as if a lock were
+//     held on entry (that suffix is the project's calling convention for
+//     "caller holds the lock").
+//   - Function literals are analyzed with a fresh lock set: goroutine and
+//     callback bodies do not inherit the creating function's locks.
+//   - A send or receive that is a select case in a select with a default
+//     clause is non-blocking and not flagged.
+//
+// Intentional violations are suppressed either per call site
+// (//deltavet:allow blockunderlock <reason>) or for every use of one mutex
+// by annotating the mutex *declaration* — e.g. the engine's e.mu, which is
+// the serial engine loop rather than a data lock, carries
+// //deltavet:allow blockunderlock on its field declaration.
+package blockunderlock
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// declMark on a mutex field or variable declaration suppresses every
+// finding where that mutex is the held lock.
+const declMark = "deltavet:allow blockunderlock"
+
+// Analyzer is the blockunderlock checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "blockunderlock",
+	Doc:  "no channel ops, conn I/O, fsync, or wire/kvstore calls while a mutex is held",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	suppressed := suppressedMutexDecls(pass)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, suppressed)
+		}
+	}
+	return nil
+}
+
+// suppressedMutexDecls collects mutex fields/vars whose declaration carries
+// the allow directive.
+func suppressedMutexDecls(pass *analysis.Pass) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	mark := func(names []*ast.Ident, groups ...*ast.CommentGroup) {
+		has := false
+		for _, g := range groups {
+			if g == nil {
+				continue
+			}
+			for _, c := range g.List {
+				if strings.Contains(c.Text, declMark) {
+					has = true
+				}
+			}
+		}
+		if !has {
+			return
+		}
+		for _, name := range names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					mark(field.Names, field.Doc, field.Comment)
+				}
+			case *ast.ValueSpec:
+				mark(n.Names, n.Doc, n.Comment)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// heldLock is one currently-held mutex.
+type heldLock struct {
+	key  string // normalized lock expression, e.g. "s.mu"
+	name string // display name for diagnostics
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, suppressed map[types.Object]bool) {
+	var held []heldLock
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		held = append(held, heldLock{key: "<caller>", name: "the caller's lock (\"Locked\" suffix contract)"})
+	}
+
+	heldName := func() string {
+		return held[len(held)-1].name
+	}
+	acquire := func(l heldLock) { held = append(held, l) }
+	release := func(key string) {
+		for i := len(held) - 1; i >= 0; i-- {
+			if held[i].key == key {
+				held = append(held[:i], held[i+1:]...)
+				return
+			}
+		}
+	}
+
+	var walk func(n ast.Node, inDefer, nonBlockingComm bool)
+	walk = func(n ast.Node, inDefer, nonBlockingComm bool) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.DeferStmt:
+			walk(n.Call, true, false)
+			return
+		case *ast.GoStmt:
+			// The spawned goroutine does not run under our locks; its
+			// argument expressions do.
+			for _, arg := range n.Call.Args {
+				walk(arg, inDefer, false)
+			}
+			walk(n.Call.Fun, inDefer, false)
+			return
+		case *ast.FuncLit:
+			saved := held
+			held = nil
+			walk(n.Body, false, false)
+			held = saved
+			return
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			for _, c := range n.Body.List {
+				cc := c.(*ast.CommClause)
+				if cc.Comm != nil {
+					walk(cc.Comm, inDefer, hasDefault)
+				}
+				for _, s := range cc.Body {
+					walk(s, inDefer, false)
+				}
+			}
+			return
+		case *ast.SendStmt:
+			walk(n.Chan, inDefer, false)
+			walk(n.Value, inDefer, false)
+			if len(held) > 0 && !nonBlockingComm {
+				pass.Reportf(n.Arrow, "channel send while %s is held: a full channel blocks every other holder", heldName())
+			}
+			return
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				walk(n.X, inDefer, false)
+				if len(held) > 0 && !nonBlockingComm {
+					pass.Reportf(n.OpPos, "channel receive while %s is held: an empty channel blocks every other holder", heldName())
+				}
+				return
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan && len(held) > 0 {
+					pass.Reportf(n.For, "range over channel while %s is held", heldName())
+				}
+			}
+		case *ast.CallExpr:
+			walk(n.Fun, inDefer, false)
+			for _, arg := range n.Args {
+				walk(arg, inDefer, false)
+			}
+			if op, lockExpr, ok := mutexOp(pass.TypesInfo, n); ok {
+				if lockRootSuppressed(pass.TypesInfo, lockExpr, suppressed) {
+					return
+				}
+				key := analysis.ExprString(lockExpr)
+				switch op {
+				case "Lock", "RLock":
+					if !inDefer {
+						acquire(heldLock{key: key, name: "mutex " + key})
+					}
+				case "Unlock", "RUnlock":
+					if !inDefer {
+						release(key)
+					}
+				}
+				return
+			}
+			if len(held) > 0 {
+				if why := blockingCall(pass.TypesInfo, n); why != "" {
+					pass.Reportf(n.Pos(), "%s while %s is held", why, heldName())
+				}
+			}
+			return
+		}
+		var children []ast.Node
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			if c != nil {
+				children = append(children, c)
+			}
+			return false
+		})
+		for _, c := range children {
+			walk(c, inDefer, false)
+		}
+	}
+	walk(fd.Body, false, false)
+}
+
+// mutexOp reports whether call is a (R)Lock/(R)Unlock on a sync mutex,
+// returning the op and the mutex expression.
+func mutexOp(info *types.Info, call *ast.CallExpr) (op string, lockExpr ast.Expr, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", nil, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", nil, false
+	}
+	tv, has := info.Types[sel.X]
+	if !has || !analysis.IsMutexType(tv.Type) {
+		return "", nil, false
+	}
+	return sel.Sel.Name, sel.X, true
+}
+
+// lockRootSuppressed reports whether the mutex expression resolves to a
+// declaration carrying the allow directive.
+func lockRootSuppressed(info *types.Info, lockExpr ast.Expr, suppressed map[types.Object]bool) bool {
+	if len(suppressed) == 0 {
+		return false
+	}
+	switch e := ast.Unparen(lockExpr).(type) {
+	case *ast.Ident:
+		return suppressed[info.Uses[e]]
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[e]; ok {
+			return suppressed[s.Obj()]
+		}
+		return suppressed[info.Uses[e.Sel]]
+	}
+	return false
+}
+
+// blockingCall classifies a call as one of the forbidden blocking
+// operations, returning a description ("" = not blocking).
+func blockingCall(info *types.Info, call *ast.CallExpr) string {
+	fn := analysis.CalleeOf(info, call)
+	if fn == nil {
+		return ""
+	}
+	pkg := analysis.PkgPathOf(fn)
+	recv := analysis.RecvTypeName(fn)
+	name := fn.Name()
+	switch {
+	case pkg == "net" && recv != "":
+		switch recv {
+		case "Conn", "TCPConn", "UDPConn", "UnixConn", "Listener", "TCPListener", "UnixListener":
+			return "net." + recv + "." + name + " (network I/O)"
+		}
+	case pkg == "net" && (strings.HasPrefix(name, "Dial") || strings.HasPrefix(name, "Listen")):
+		return "net." + name + " (network I/O)"
+	case pkg == "os" && recv == "File" && name == "Sync":
+		return "(*os.File).Sync (fsync)"
+	case analysis.PathSuffixMatch(pkg, "internal/kvstore") && recv == "Store":
+		switch name {
+		case "Put", "Delete", "Sync", "Compact", "Close":
+			return "kvstore.Store." + name + " (WAL write / fsync)"
+		}
+	case analysis.PathSuffixMatch(pkg, "internal/wire"):
+		switch {
+		case recv == "NetClient" || recv == "ResilientClient" || recv == "Endpoint":
+			return "wire RPC " + recv + "." + name
+		case recv == "" && (name == "Dial" || name == "DialWith"):
+			return "wire." + name + " (network dial)"
+		}
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package blockunderlock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/blockunderlock"
+)
+
+func TestBlockUnderLock(t *testing.T) {
+	analysistest.Run(t, blockunderlock.Analyzer, "underlock")
+}

@@ -1,0 +1,101 @@
+// Package underlock is the blockunderlock fixture: blocking operations
+// under mutexes, plus the sanctioned non-blocking and suppressed shapes.
+package underlock
+
+import (
+	"net"
+	"os"
+	"sync"
+
+	"repro/internal/kvstore"
+	"repro/internal/wire"
+)
+
+type S struct {
+	mu sync.Mutex
+
+	// loopMu stands in for the engine's serial-loop mutex: blocking under
+	// it is the design, so its declaration carries the allow directive.
+	//deltavet:allow blockunderlock serial loop, not a data lock
+	loopMu sync.Mutex
+
+	ch   chan int
+	kv   *kvstore.Store
+	conn net.Conn
+	f    *os.File
+	ep   wire.Endpoint
+}
+
+func (s *S) BadSend() {
+	s.mu.Lock()
+	s.ch <- 1 // want `channel send while mutex s.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *S) OKSendAfterUnlock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- 1
+}
+
+func (s *S) BadRecvUnderDeferredUnlock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	<-s.ch // want `channel receive while mutex s.mu is held`
+}
+
+func (s *S) OKSelectWithDefault() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 1:
+	default:
+	}
+}
+
+func (s *S) BadKVPut() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.kv.Put([]byte("k"), nil) // want `kvstore\.Store\.Put`
+}
+
+func (s *S) BadConnIO() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.conn.Close() // want `net\.Conn\.Close \(network I/O\)`
+}
+
+func (s *S) BadFsync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Sync() // want `\(\*os\.File\)\.Sync \(fsync\)`
+}
+
+func (s *S) BadWireRPC() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = s.ep.Push(nil) // want `wire RPC Endpoint\.Push`
+}
+
+// flushLocked follows the project convention: the "Locked" suffix means the
+// caller holds a lock, so blocking here blocks the caller's lock.
+func (s *S) flushLocked() error {
+	return s.f.Sync() // want `Locked.* suffix contract`
+}
+
+func (s *S) OKSuppressedDecl() {
+	s.loopMu.Lock()
+	defer s.loopMu.Unlock()
+	<-s.ch
+}
+
+func (s *S) OKGoroutineBody() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() { s.ch <- 1 }()
+}
+
+func (s *S) OKNoLock() error {
+	<-s.ch
+	return s.kv.Sync()
+}

@@ -1,0 +1,231 @@
+// Package detreplay enforces the determinism contract of the replayable
+// paths (internal/rsync, internal/core, internal/chaos, and the server
+// apply paths): identical inputs and seeds must produce byte-identical
+// ops/wire/snapshot output, which is what the chaos oracle and the
+// parallel-pipeline equivalence tests replay against.
+//
+// Three sources of nondeterminism are flagged:
+//
+//  1. wall-clock reads — time.Now / time.Since / time.Until; replayable
+//     code takes time from the seeded internal/clock (or an explicit
+//     caller-provided timestamp);
+//  2. the process-global math/rand source — rand.Intn and friends (and
+//     their math/rand/v2 forms); replayable code threads an explicit
+//     seeded *rand.Rand;
+//  3. map iteration feeding ordered output — a `for range` over a map
+//     whose body appends to an outer slice or calls a write/encode-style
+//     function. Iteration order is randomized per run, so anything it
+//     emits must go through a sort: a sort.* / slices.Sort* call after the
+//     loop in the same function exempts it (the collect-then-sort idiom),
+//     as does appending into a map entry keyed by the iteration variable
+//     (per-key state is order-independent).
+//
+// The analyzer is syntactic about which package it runs on; the deltavet
+// driver applies it only to the replay-scoped packages.
+package detreplay
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the detreplay checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "detreplay",
+	Doc:  "replayable paths must not read wall-clock time, global math/rand, or emit map-iteration order",
+	Run:  run,
+}
+
+// seededConstructors are the math/rand functions that are fine anywhere:
+// they build explicitly-seeded sources rather than touching the global one.
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCalls(pass, fd)
+			checkMapRanges(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkCalls(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeOf(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		pkg := analysis.PkgPathOf(fn)
+		switch pkg {
+		case "time":
+			switch fn.Name() {
+			case "Now", "Since", "Until":
+				pass.Reportf(call.Pos(), "time.%s reads the wall clock: replayable paths must take time from the seeded internal/clock or an explicit timestamp", fn.Name())
+			}
+		case "math/rand", "math/rand/v2":
+			if analysis.RecvTypeName(fn) == "" && !seededConstructors[fn.Name()] {
+				pass.Reportf(call.Pos(), "global %s.%s draws from the process-global source: replayable paths must thread an explicit seeded *rand.Rand", pkg, fn.Name())
+			}
+		}
+		return true
+	})
+}
+
+func checkMapRanges(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// Sort calls that can launder a collect-then-sort loop, by position.
+	var sortPositions []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := analysis.CalleeOf(pass.TypesInfo, call); fn != nil {
+			pkg := analysis.PkgPathOf(fn)
+			if pkg == "sort" || (pkg == "slices" && strings.HasPrefix(fn.Name(), "Sort")) {
+				sortPositions = append(sortPositions, call)
+			}
+		}
+		return true
+	})
+	sortedAfter := func(rng *ast.RangeStmt) bool {
+		for _, s := range sortPositions {
+			if s.Pos() > rng.Pos() {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if emit := emittingOp(pass, rng); emit != "" && !sortedAfter(rng) {
+			pass.Reportf(rng.For, "map iteration order feeds output here (%s): collect the keys and sort before emitting, or sort the result", emit)
+		}
+		return true
+	})
+}
+
+// emittingOp scans a map-range body for order-dependent output and
+// describes the first one found ("" = none).
+func emittingOp(pass *analysis.Pass, rng *ast.RangeStmt) string {
+	keyObjs := rangeVarObjs(pass.TypesInfo, rng)
+	emit := ""
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if emit != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// append(dst, ...) where dst outlives the loop.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+				dst := ast.Unparen(call.Args[0])
+				if outlivesLoop(pass.TypesInfo, dst, rng) && !indexedByRangeVar(pass.TypesInfo, dst, keyObjs) {
+					emit = "append to " + analysis.ExprString(dst)
+					return false
+				}
+			}
+			return true
+		}
+		if fn := analysis.CalleeOf(pass.TypesInfo, call); fn != nil && isWriteName(fn.Name()) {
+			emit = "call to " + fn.Name()
+			return false
+		}
+		return true
+	})
+	return emit
+}
+
+// rangeVarObjs returns the objects of the range's key/value variables.
+func rangeVarObjs(info *types.Info, rng *ast.RangeStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.Defs[id]; obj != nil {
+				out[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// outlivesLoop reports whether dst refers to storage declared outside the
+// range statement (an outer slice the loop is ordering into).
+func outlivesLoop(info *types.Info, dst ast.Expr, rng *ast.RangeStmt) bool {
+	switch dst := dst.(type) {
+	case *ast.Ident:
+		obj := info.Uses[dst]
+		if obj == nil {
+			obj = info.Defs[dst]
+		}
+		if obj == nil {
+			return false
+		}
+		return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		// Field or element storage reachable beyond the loop.
+		return true
+	default:
+		// append([]byte(nil), v...) and friends: a conversion or call
+		// produces a fresh value each iteration — a per-item copy, not
+		// ordered output.
+		return false
+	}
+}
+
+// indexedByRangeVar reports whether dst is an index expression keyed by one
+// of the loop's own variables (m[k] = append(m[k], ...) is per-key state,
+// not ordered output).
+func indexedByRangeVar(info *types.Info, dst ast.Expr, keyObjs map[types.Object]bool) bool {
+	idx, ok := dst.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(idx.Index, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && keyObjs[info.Uses[id]] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isWriteName(name string) bool {
+	l := strings.ToLower(name)
+	for _, p := range []string{"write", "encode", "marshal", "fprint", "print"} {
+		if strings.HasPrefix(l, p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,103 @@
+// Package replay is the detreplay fixture: wall-clock reads, global
+// math/rand draws, and map-iteration-ordered output, next to the
+// sanctioned seeded and collect-then-sort shapes.
+package replay
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+func BadNow() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func BadSince(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func OKExplicitTime(now time.Time) int64 {
+	return now.UnixNano()
+}
+
+func BadGlobalRand() int {
+	return rand.Intn(10) // want `global math/rand\.Intn`
+}
+
+func BadGlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand\.Shuffle`
+}
+
+func OKSeededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func BadMapAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order feeds output`
+		out = append(out, k)
+	}
+	return out
+}
+
+func OKCollectThenSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func BadMapWrite(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `map iteration order feeds output`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func OKPerKeyState(m map[string][]int) map[string][]int {
+	acc := make(map[string][]int)
+	for k, vs := range m {
+		acc[k] = append(acc[k], vs...)
+	}
+	return acc
+}
+
+func OKLocalAppend(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		local := []int{}
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+func OKFreshCopyPerIteration(m map[string][]byte) map[string][]byte {
+	acc := make(map[string][]byte)
+	for k, v := range m {
+		acc[k] = append([]byte(nil), v...)
+	}
+	return acc
+}
+
+func OKCount(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func OKSliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+// Package errsync flags discarded errors from the durability layer: kvstore
+// WAL writes, server snapshot Save/Load, undo-log appends, and integrity
+// store mutations. A dropped error from any of these silently breaks the
+// crash-consistency story — the WAL record the recovery path will replay
+// was never durable, or the snapshot the resume protocol trusts is partial.
+//
+// A call is "discarded" when it appears as a bare statement, as a `go` or
+// `defer` call, or when every error-typed result is assigned to the blank
+// identifier. Best-effort sites (e.g. the background committer's periodic
+// Sync, where the next commit retries) carry an inline
+// //deltavet:allow errsync <reason> comment, or — for genuinely advisory
+// writes — record the error in a counter instead of dropping it.
+package errsync
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the errsync checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "errsync",
+	Doc:  "errors from WAL writes, snapshot save/load, undo-log appends, and integrity mutations must not be discarded",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					report(pass, call, "ignored")
+				}
+			case *ast.DeferStmt:
+				report(pass, n.Call, "deferred with its error ignored")
+			case *ast.GoStmt:
+				report(pass, n.Call, "spawned with its error ignored")
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// report flags call if it is a durability-critical call returning an error.
+func report(pass *analysis.Pass, call *ast.CallExpr, how string) {
+	if why := criticalCall(pass.TypesInfo, call); why != "" {
+		pass.Reportf(call.Pos(), "%s %s: this error is load-bearing for crash consistency; handle it or record it", why, how)
+	}
+}
+
+// checkAssign flags a critical call whose error results all land in blanks.
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	why := criticalCall(pass.TypesInfo, call)
+	if why == "" {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return
+	}
+	// Positions of error-typed results in the call's result tuple.
+	var errIdx []int
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				errIdx = append(errIdx, i)
+			}
+		}
+	default:
+		if isErrorType(tv.Type) {
+			errIdx = []int{0}
+		}
+	}
+	if len(errIdx) == 0 {
+		return
+	}
+	for _, i := range errIdx {
+		if i >= len(as.Lhs) || !isBlank(as.Lhs[i]) {
+			return // at least one error result is captured
+		}
+	}
+	pass.Reportf(call.Pos(), "%s with its error assigned to _: this error is load-bearing for crash consistency; handle it or record it", why)
+}
+
+// criticalCall classifies a call as durability-critical, returning a
+// description ("" = not critical).
+func criticalCall(info *types.Info, call *ast.CallExpr) string {
+	fn := analysis.CalleeOf(info, call)
+	if fn == nil {
+		return ""
+	}
+	pkg := analysis.PkgPathOf(fn)
+	recv := analysis.RecvTypeName(fn)
+	name := fn.Name()
+	switch {
+	case analysis.PathSuffixMatch(pkg, "internal/kvstore") && recv == "Store":
+		switch name {
+		case "Put", "Delete", "Sync", "Compact", "Close":
+			return "kvstore WAL write Store." + name
+		}
+	case analysis.PathSuffixMatch(pkg, "internal/server") && recv == "Server":
+		switch name {
+		case "Save", "Load", "SaveFile", "LoadFile":
+			return "snapshot Server." + name
+		}
+	case analysis.PathSuffixMatch(pkg, "internal/undolog") && recv == "Log":
+		switch name {
+		case "BeforeWrite", "BeforeTruncate":
+			return "undo-log append Log." + name
+		}
+	case analysis.PathSuffixMatch(pkg, "internal/integrity") && recv == "Store":
+		switch name {
+		case "SetFile", "Rename", "Remove", "UpdateRange", "Truncate":
+			return "integrity mutation Store." + name
+		}
+	}
+	return ""
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,12 @@
+package errsync_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/errsync"
+)
+
+func TestErrSync(t *testing.T) {
+	analysistest.Run(t, errsync.Analyzer, "discards")
+}

@@ -1,0 +1,66 @@
+// Package discards is the errsync fixture: durability-critical calls whose
+// errors are dropped, next to the properly handled shapes.
+package discards
+
+import (
+	"repro/internal/integrity"
+	"repro/internal/kvstore"
+	"repro/internal/server"
+	"repro/internal/undolog"
+)
+
+type S struct {
+	kv    *kvstore.Store
+	integ *integrity.Store
+	ul    *undolog.Log
+	srv   *server.Server
+}
+
+func (s *S) BadBareStatement() {
+	s.kv.Put([]byte("k"), []byte("v")) // want `kvstore WAL write Store\.Put ignored`
+}
+
+func (s *S) BadBlankAssign() {
+	_ = s.kv.Delete([]byte("k")) // want `kvstore WAL write Store\.Delete with its error assigned to _`
+}
+
+func (s *S) BadDeferredClose() {
+	defer s.kv.Close() // want `kvstore WAL write Store\.Close deferred with its error ignored`
+}
+
+func (s *S) OKHandled() {
+	if err := s.kv.Put([]byte("k"), nil); err != nil {
+		panic(err)
+	}
+}
+
+func (s *S) OKReturned() error {
+	return s.kv.Sync()
+}
+
+func (s *S) BadIntegrityRename() {
+	_ = s.integ.Rename("a", "b") // want `integrity mutation Store\.Rename with its error assigned to _`
+}
+
+func (s *S) BadUndolog(read func(off, n int64) ([]byte, error)) {
+	_ = s.ul.BeforeWrite("p", 0, 8, read) // want `undo-log append Log\.BeforeWrite with its error assigned to _`
+}
+
+func (s *S) BadSnapshot() {
+	s.srv.SaveFile("snap") // want `snapshot Server\.SaveFile ignored`
+}
+
+func (s *S) BadLoadBlankErr() bool {
+	ok, _ := s.srv.LoadFile("snap") // want `snapshot Server\.LoadFile with its error assigned to _`
+	return ok
+}
+
+func (s *S) OKLoadCaptured() (bool, error) {
+	ok, err := s.srv.LoadFile("snap")
+	return ok, err
+}
+
+func (s *S) OKNonCritical() {
+	m := map[string]int{}
+	delete(m, "k")
+}

@@ -1,0 +1,42 @@
+package analysis
+
+import (
+	"go/ast"
+	"testing"
+)
+
+// TestLoadTypechecksModulePackage loads a real module package through the
+// export-data importer and spot-checks that type information resolved.
+func TestLoadTypechecksModulePackage(t *testing.T) {
+	pkgs, err := Load("", "repro/internal/server")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.PkgPath != "repro/internal/server" {
+		t.Fatalf("PkgPath = %q", pkg.PkgPath)
+	}
+	if len(pkg.Files) == 0 {
+		t.Fatal("no files parsed")
+	}
+	// Every method call in the package should resolve to a callee or be a
+	// legitimate non-call (conversion, func value); count resolved callees
+	// as a proxy for working import resolution.
+	resolved := 0
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if CalleeOf(pkg.TypesInfo, call) != nil {
+					resolved++
+				}
+			}
+			return true
+		})
+	}
+	if resolved < 50 {
+		t.Fatalf("only %d resolved callees; import resolution looks broken", resolved)
+	}
+}

@@ -1,0 +1,236 @@
+// Package lockorder enforces the sharded server's deadlock-freedom rule:
+// shard mutexes (fileShard.mu) are only acquired through the precomputed
+// ascending lock-set helpers, never directly and never nested.
+//
+// The invariant (internal/server/shard.go): a batch resolves every shard it
+// can touch up front, sorts the indices, and locks in ascending order.
+// Any code path that write-locks a shard directly, or takes a second shard
+// lock while one is held, can deadlock against a concurrent batch — those
+// are exactly the two shapes this analyzer flags:
+//
+//  1. a direct write Lock/Unlock on a fileShard mutex outside a helper
+//     function annotated `//deltavet:lockorder-helper` (single-shard RLock
+//     is allowed: read-only RPCs take one shared lock and release it);
+//  2. acquiring any shard lock — directly, via a helper, or by calling a
+//     same-package function that itself acquires one — while a shard lock
+//     is already held.
+//
+// Helper functions carry the annotation in their doc comment and are
+// exempt from both rules; the ascending order inside them is covered by the
+// seeded property tests, not this analyzer. The analysis is intraprocedural
+// with a one-level call summary and walks bodies in source order, which is
+// exact for the straight-line lock/unlock pairing this codebase uses.
+package lockorder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// ShardTypeName is the struct type whose mutex field is governed by the
+// ascending lock-set rule.
+const ShardTypeName = "fileShard"
+
+// helperMark in a function's doc comment exempts it as a sanctioned
+// acquisition helper.
+const helperMark = "deltavet:lockorder-helper"
+
+// Analyzer is the lockorder checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "shard mutexes may only be acquired via the ascending lock-set helpers, and never nested",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Index this package's function declarations so calls can be resolved
+	// to their doc comments (helper detection) and lock summaries.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = fd
+			}
+		}
+	}
+	helpers := make(map[*types.Func]bool)
+	for obj, fd := range decls {
+		// Scan the raw comment list: CommentGroup.Text() strips
+		// directive-style comments like //deltavet:lockorder-helper.
+		if fd.Doc != nil {
+			for _, c := range fd.Doc.List {
+				if strings.Contains(c.Text, helperMark) {
+					helpers[obj] = true
+					break
+				}
+			}
+		}
+	}
+	// One-level summary: functions that acquire a shard lock themselves
+	// (directly or through a helper call). Calling one while holding a
+	// shard lock nests acquisitions across the call edge.
+	acquires := make(map[*types.Func]bool)
+	for obj, fd := range decls {
+		if fd.Body == nil {
+			continue
+		}
+		found := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			if op, isShard := shardLockOp(pass.TypesInfo, call); isShard && (op == "Lock" || op == "RLock") {
+				found = true
+			}
+			if callee := analysis.CalleeOf(pass.TypesInfo, call); callee != nil && helpers[callee] && isAcquireName(callee.Name()) {
+				found = true
+			}
+			return !found
+		})
+		acquires[obj] = found
+	}
+
+	for obj, fd := range decls {
+		if helpers[obj] || fd.Body == nil {
+			continue
+		}
+		checkFunc(pass, fd, helpers, acquires)
+	}
+	return nil
+}
+
+// checkFunc walks one non-helper function body in source order, tracking
+// how many shard locks are held.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, helpers, acquires map[*types.Func]bool) {
+	held := 0
+	var walk func(n ast.Node, inDefer bool)
+	walk = func(n ast.Node, inDefer bool) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.DeferStmt:
+			// A deferred unlock releases at function end, not here: the
+			// lock stays held for everything after this statement. A
+			// deferred acquire would be bizarre; ignore both for held
+			// accounting but still apply rule 1 to the call itself.
+			walk(n.Call, true)
+			return
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				walk(arg, inDefer)
+			}
+			op, isShard := shardLockOp(pass.TypesInfo, n)
+			if isShard {
+				switch op {
+				case "Lock", "Unlock":
+					pass.Reportf(n.Pos(), "direct shard mutex %s outside a lock-set helper (acquire via the precomputed ascending lock-set; see internal/server/shard.go)", op)
+				}
+				switch op {
+				case "Lock", "RLock":
+					if held > 0 {
+						pass.Reportf(n.Pos(), "shard lock acquired while another shard lock is held: nested acquisition outside the ascending lock-set helper can deadlock")
+					}
+					if !inDefer {
+						held++
+					}
+				case "Unlock", "RUnlock":
+					if !inDefer && held > 0 {
+						held--
+					}
+				}
+				return
+			}
+			if callee := analysis.CalleeOf(pass.TypesInfo, n); callee != nil {
+				switch {
+				case helpers[callee] && isAcquireName(callee.Name()):
+					if held > 0 {
+						pass.Reportf(n.Pos(), "lock-set helper %s called while a shard lock is already held: nested acquisition can deadlock", callee.Name())
+					}
+					if !inDefer {
+						held++
+					}
+				case helpers[callee] && isReleaseName(callee.Name()):
+					if !inDefer && held > 0 {
+						held--
+					}
+				case acquires[callee] && held > 0:
+					pass.Reportf(n.Pos(), "call to %s (which acquires a shard lock) while a shard lock is held: nested acquisition can deadlock", callee.Name())
+				}
+			}
+			return
+		case *ast.FuncLit:
+			// A closure runs at an unknown time; analyze its body with a
+			// fresh held count rather than the current one.
+			saved := held
+			held = 0
+			walk(n.Body, false)
+			held = saved
+			return
+		}
+		// Generic children traversal in source order.
+		var children []ast.Node
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			if c != nil {
+				children = append(children, c)
+			}
+			return false
+		})
+		for _, c := range children {
+			walk(c, inDefer)
+		}
+	}
+	walk(fd.Body, false)
+}
+
+// shardLockOp reports whether call is mutexExpr.(R)Lock/(R)Unlock on a
+// mutex field reached through a fileShard value, returning the method name.
+func shardLockOp(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", false
+	}
+	// Receiver must be a sync mutex...
+	tv, ok := info.Types[sel.X]
+	if !ok || !analysis.IsMutexType(tv.Type) {
+		return "", false
+	}
+	// ...held in a field of the shard struct type.
+	muSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	xtv, ok := info.Types[muSel.X]
+	if !ok {
+		return "", false
+	}
+	if name, _ := analysis.NamedType(xtv.Type); name != ShardTypeName {
+		return "", false
+	}
+	return op, true
+}
+
+func isAcquireName(name string) bool {
+	l := strings.ToLower(name)
+	return strings.Contains(l, "lock") && !strings.Contains(l, "unlock")
+}
+
+func isReleaseName(name string) bool {
+	return strings.Contains(strings.ToLower(name), "unlock")
+}

@@ -1,0 +1,95 @@
+// Package shards is the lockorder fixture: a miniature of the sharded
+// server (internal/server/shard.go) with both sanctioned and violating
+// acquisition shapes.
+package shards
+
+import "sync"
+
+type fileShard struct {
+	mu    sync.RWMutex
+	files map[string][]byte
+}
+
+type Server struct{ shards []*fileShard }
+
+// lockAll takes every shard lock in ascending order.
+//
+//deltavet:lockorder-helper
+func (s *Server) lockAll() {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+	}
+}
+
+// unlockAll releases in reverse order.
+//
+//deltavet:lockorder-helper
+func (s *Server) unlockAll() {
+	for i := len(s.shards) - 1; i >= 0; i-- {
+		s.shards[i].mu.Unlock()
+	}
+}
+
+// BadDirect write-locks a shard outside any helper.
+func (s *Server) BadDirect() {
+	s.shards[0].mu.Lock()   // want `direct shard mutex Lock`
+	s.shards[0].mu.Unlock() // want `direct shard mutex Unlock`
+}
+
+// OKRead: a single direct RLock is the sanctioned read-only RPC shape.
+func (s *Server) OKRead() []byte {
+	sh := s.shards[1]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.files["x"]
+}
+
+// BadNested takes a second shard lock while one is held.
+func (s *Server) BadNested() {
+	a, b := s.shards[0], s.shards[1]
+	a.mu.RLock()
+	b.mu.RLock() // want `nested acquisition outside the ascending lock-set helper`
+	b.mu.RUnlock()
+	a.mu.RUnlock()
+}
+
+// BadHelperWhileHeld calls the lock-set helper with a shard lock held.
+func (s *Server) BadHelperWhileHeld() {
+	sh := s.shards[0]
+	sh.mu.RLock()
+	s.lockAll() // want `helper lockAll called while a shard lock is already held`
+	s.unlockAll()
+	sh.mu.RUnlock()
+}
+
+func (s *Server) readOne() []byte {
+	sh := s.shards[0]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.files["y"]
+}
+
+// BadCallAcquirer calls a function that itself takes a shard lock.
+func (s *Server) BadCallAcquirer() {
+	sh := s.shards[2]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	s.readOne() // want `acquires a shard lock\) while a shard lock is held`
+}
+
+// OKSequential: helper pairs and a non-overlapping direct read lock.
+func (s *Server) OKSequential() {
+	s.lockAll()
+	s.unlockAll()
+	sh := s.shards[0]
+	sh.mu.RLock()
+	sh.mu.RUnlock()
+	s.readOne()
+}
+
+// OKOtherMutex: non-shard mutexes are not lockorder's concern.
+func OKOtherMutex() {
+	var mu sync.Mutex
+	mu.Lock()
+	defer mu.Unlock()
+}

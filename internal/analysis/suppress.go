@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"os"
+	"strings"
+)
+
+// AllowMark is the inline suppression directive. A comment containing
+// "deltavet:allow <analyzer> <reason>" on the same line as a finding, or on
+// the line directly above it, suppresses that analyzer's findings there.
+const AllowMark = "deltavet:allow"
+
+// Allow is one deltavet.allow entry: a standing exemption for one analyzer
+// in one function, with a recorded reason. The file format is one entry per
+// line, `<analyzer> <pkgpath> <Func|Type.Method> <reason...>`; blank lines
+// and #-comments are skipped. PkgPath matches by import-path suffix (the
+// same rule the analyzers use), so entries survive module renames.
+type Allow struct {
+	Analyzer string
+	PkgPath  string
+	Func     string
+	Reason   string
+}
+
+// ParseAllowFile reads a deltavet.allow file. Entries without a reason are
+// rejected: an exemption nobody can justify is a finding, not an exemption.
+func ParseAllowFile(path string) ([]Allow, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []Allow
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 {
+			return nil, fmt.Errorf("%s:%d: want `<analyzer> <pkgpath> <func> <reason>`, got %q", path, i+1, line)
+		}
+		out = append(out, Allow{
+			Analyzer: f[0],
+			PkgPath:  f[1],
+			Func:     f[2],
+			Reason:   strings.Join(f[3:], " "),
+		})
+	}
+	return out, nil
+}
+
+// Suppress filters diags down to the findings not covered by an inline
+// //deltavet:allow comment or an allow-file entry. It is the driver's half
+// of the suppression contract: analyzers (and their unit tests) always see
+// raw findings.
+func Suppress(pkgs []*Package, diags []Diagnostic, allows []Allow) []Diagnostic {
+	// Inline comments: "file:line" -> analyzers allowed there. A comment
+	// covers its own line (trailing comment) and the line below (comment on
+	// the preceding line).
+	inline := make(map[string]map[string]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					idx := strings.Index(c.Text, AllowMark)
+					if idx < 0 {
+						continue
+					}
+					fields := strings.Fields(c.Text[idx+len(AllowMark):])
+					if len(fields) == 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						key := fmt.Sprintf("%s:%d", pos.Filename, line)
+						if inline[key] == nil {
+							inline[key] = make(map[string]bool)
+						}
+						inline[key][fields[0]] = true
+					}
+				}
+			}
+		}
+	}
+
+	// Allow-file entries match by enclosing function; index function spans.
+	type span struct {
+		file       string
+		start, end int
+		pkgPath    string
+		fn         string
+	}
+	var spans []span
+	if len(allows) > 0 {
+		for _, pkg := range pkgs {
+			for _, f := range pkg.Files {
+				for _, d := range f.Decls {
+					fd, ok := d.(*ast.FuncDecl)
+					if !ok || fd.Name == nil {
+						continue
+					}
+					obj, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+					if !ok {
+						continue
+					}
+					p1 := pkg.Fset.Position(fd.Pos())
+					p2 := pkg.Fset.Position(fd.End())
+					spans = append(spans, span{
+						file:    p1.Filename,
+						start:   p1.Line,
+						end:     p2.Line,
+						pkgPath: pkg.PkgPath,
+						fn:      FuncDisplayName(obj),
+					})
+				}
+			}
+		}
+	}
+	allowedByFile := func(d Diagnostic) bool {
+		for _, sp := range spans {
+			if sp.file != d.Pos.Filename || d.Pos.Line < sp.start || d.Pos.Line > sp.end {
+				continue
+			}
+			for _, al := range allows {
+				if al.Analyzer == d.Analyzer && al.Func == sp.fn && PathSuffixMatch(sp.pkgPath, al.PkgPath) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	var kept []Diagnostic
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		if inline[key][d.Analyzer] {
+			continue
+		}
+		if allowedByFile(d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

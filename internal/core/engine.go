@@ -98,6 +98,7 @@ type Stats struct {
 	RemoteConflicts int // forwarded updates that conflicted locally
 	Corruptions     int // corrupted blocks detected on read
 	Recovered       int // files recovered from the cloud
+	KVErrors        int // failed advisory KV writes (dirty-set, checksum bookkeeping)
 }
 
 // pendingBase is a deferred delta base: where the old version is preserved
@@ -114,6 +115,10 @@ type pendingBase struct {
 // bounded worker pool outside the lock and are joined back in at the next
 // operation on the same path (or before any upload).
 type Engine struct {
+	// mu serializes the bookkeeping loop itself — the engine's equivalent
+	// of a FUSE dispatch thread — so RPCs and KV writes intentionally run
+	// under it; it is a scheduling lock, not a data lock.
+	//deltavet:allow blockunderlock serial engine loop blocks by design
 	mu      sync.Mutex
 	cfg     Config
 	backing vfs.FS
@@ -154,6 +159,7 @@ type Engine struct {
 	syncMeter   *metrics.SyncMeter
 
 	stats         Stats
+	lastKVErr     error
 	conflictFiles []string
 
 	clientID uint32
@@ -286,11 +292,29 @@ func (e *Engine) ensureTracked(path string) {
 // markDirty persists path into the recently-modified set used by the
 // post-crash integrity scan.
 func (e *Engine) markDirty(path string) {
-	_ = e.kv.Put([]byte("dirty/"+path), nil)
+	e.noteKVErr(e.kv.Put([]byte("dirty/"+path), nil))
 }
 
 func (e *Engine) clearDirty(path string) {
-	_ = e.kv.Delete([]byte("dirty/" + path))
+	e.noteKVErr(e.kv.Delete([]byte("dirty/" + path)))
+}
+
+// noteKVErr records a failed advisory KV or checksum-store write. These
+// writes are best-effort by design — a stale dirty-set only makes the
+// post-crash scan do more work, never less — but failures must surface in
+// Stats instead of vanishing at the call site.
+func (e *Engine) noteKVErr(err error) {
+	if err != nil {
+		e.stats.KVErrors++
+		e.lastKVErr = err
+	}
+}
+
+// LastKVError returns the most recent advisory-write failure (nil if none).
+func (e *Engine) LastKVError() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastKVErr
 }
 
 // stamp assigns base and new versions for a node modifying path.

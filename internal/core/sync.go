@@ -335,7 +335,7 @@ func (e *Engine) applyRemoteNode(n *wire.Node) error {
 		e.vers.Rename(n.Path, n.Dst)
 		e.vers.Set(n.Dst, n.Ver)
 		if e.cfg.Checksums {
-			_ = e.integ.Rename(n.Path, n.Dst)
+			e.noteKVErr(e.integ.Rename(n.Path, n.Dst))
 		}
 		e.stats.RemoteApplied++
 		return nil
@@ -352,7 +352,7 @@ func (e *Engine) applyRemoteNode(n *wire.Node) error {
 		}
 		e.vers.Delete(n.Path)
 		if e.cfg.Checksums {
-			_ = e.integ.Remove(n.Path)
+			e.noteKVErr(e.integ.Remove(n.Path))
 		}
 		e.stats.RemoteApplied++
 		return nil
@@ -373,7 +373,7 @@ func (e *Engine) applyRemoteNode(n *wire.Node) error {
 	if e.cfg.Checksums {
 		content, err := e.backing.ReadFile(n.Path)
 		if err == nil {
-			_ = e.integ.SetFile(n.Path, content)
+			e.noteKVErr(e.integ.SetFile(n.Path, content))
 		}
 	}
 	e.stats.RemoteApplied++

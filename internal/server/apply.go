@@ -278,16 +278,17 @@ func (s *Server) applyNode(t *txn, n *wire.Node) error {
 			}
 			resolved[i] = data
 		}
+		// Store carried chunks per-stripe: no server-wide lock on the push
+		// path. The resolved slices stay valid regardless of eviction (the
+		// backing arrays outlive the map entries).
 		buf := make([]byte, 0, total)
-		s.chunkMu.Lock()
 		for i, c := range n.Chunks {
 			if c.Data != nil {
-				s.storeChunkLocked(c.Hash, append([]byte(nil), c.Data...))
+				s.storeChunk(c.Hash, append([]byte(nil), c.Data...))
 			}
 			buf = append(buf, resolved[i]...)
 			s.meter.Copy(int64(len(resolved[i])))
 		}
-		s.chunkMu.Unlock()
 		sh.files[n.Path] = buf
 
 	default:

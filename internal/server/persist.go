@@ -75,8 +75,27 @@ func (s *Server) Save(w io.Writer) error {
 	s.clientMu.RLock()
 	nextClient := s.nextClient
 	s.clientMu.RUnlock()
-	s.chunkMu.Lock()
-	defer s.chunkMu.Unlock()
+	// Quiesce the chunk store: the insert lock stops FIFO/byte changes,
+	// then each stripe lock in ascending order stops residency reads from
+	// observing the merge mid-flight.
+	s.chunkInsertMu.Lock()
+	defer s.chunkInsertMu.Unlock()
+	for i := range s.chunkStripes {
+		s.chunkStripes[i].mu.Lock()
+	}
+	defer func() {
+		for i := len(s.chunkStripes) - 1; i >= 0; i-- {
+			s.chunkStripes[i].mu.Unlock()
+		}
+	}()
+	// Merge the residency stripes into the snapshot's single chunk map; the
+	// FIFO is already global and goes out as-is.
+	chunks := make(map[block.Strong][]byte)
+	for i := range s.chunkStripes {
+		for h, d := range s.chunkStripes[i].data {
+			chunks[h] = d
+		}
+	}
 	s.appliedMu.Lock()
 	defer s.appliedMu.Unlock()
 
@@ -85,7 +104,7 @@ func (s *Server) Save(w io.Writer) error {
 		Files:       make(map[string][]byte),
 		Dirs:        make(map[string]bool),
 		Vers:        make(map[string]version.ID),
-		Chunks:      s.chunks,
+		Chunks:      chunks,
 		ChunkFIFO:   s.chunkFIFO,
 		Applied:     s.applied,
 		NextClient:  nextClient,
@@ -168,17 +187,26 @@ func (s *Server) Load(r io.Reader) error {
 	}
 	s.unlockAllShards()
 
-	s.chunkMu.Lock()
-	s.chunks = state.Chunks
-	if s.chunks == nil {
-		s.chunks = make(map[block.Strong][]byte)
+	// Restore the chunk store: the global FIFO comes back verbatim, the
+	// single snapshot map is redistributed across the residency stripes.
+	s.chunkInsertMu.Lock()
+	for i := range s.chunkStripes {
+		s.chunkStripes[i].mu.Lock()
+	}
+	for i := range s.chunkStripes {
+		s.chunkStripes[i].data = make(map[block.Strong][]byte)
+	}
+	var chunkBytes int64
+	for h, d := range state.Chunks {
+		s.chunkStripeOf(h).data[h] = d
+		chunkBytes += int64(len(d))
 	}
 	s.chunkFIFO = state.ChunkFIFO
-	s.chunkBytes = 0
-	for _, d := range s.chunks {
-		s.chunkBytes += int64(len(d))
+	s.chunkBytes.Store(chunkBytes)
+	for i := len(s.chunkStripes) - 1; i >= 0; i-- {
+		s.chunkStripes[i].mu.Unlock()
 	}
-	s.chunkMu.Unlock()
+	s.chunkInsertMu.Unlock()
 
 	s.appliedMu.Lock()
 	s.applied = state.Applied

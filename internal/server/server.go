@@ -15,6 +15,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -70,13 +71,18 @@ type Server struct {
 	shards    []*fileShard
 	shardMask uint32
 
-	// chunks is the server-wide content-addressed chunk store
-	// (Seafile/Dropbox dedup), bounded to wire.ChunkStoreBudget bytes with
-	// FIFO eviction; clients mirror the policy (baseline.ChunkTracker).
-	chunkMu    sync.Mutex
-	chunks     map[block.Strong][]byte
-	chunkFIFO  []block.Strong
-	chunkBytes int64
+	// The content-addressed chunk store (Seafile/Dropbox dedup), bounded to
+	// wire.ChunkStoreBudget bytes with global-FIFO eviction that clients
+	// mirror insert-for-insert (baseline.ChunkTracker). Residency is
+	// striped: resolving a chunk reference — the dedup hot path — takes
+	// only the owning stripe's lock. Inserts and evictions serialize on
+	// chunkInsertMu (ordering: chunkInsertMu, then one stripe.mu at a
+	// time), which keeps the eviction order exactly the client-visible
+	// global FIFO while never blocking concurrent reference resolution.
+	chunkInsertMu sync.Mutex
+	chunkFIFO     []block.Strong
+	chunkStripes  [chunkStripeCount]chunkStripe
+	chunkBytes    atomic.Int64
 
 	// clients is the per-client state registry. registered counts IDs with
 	// forwarding enabled (Register/Attach), the sharing()/forwarding gate.
@@ -118,12 +124,14 @@ func NewWithShards(meter *metrics.CPUMeter, shards int) *Server {
 	s := &Server{
 		shards:    make([]*fileShard, n),
 		shardMask: uint32(n - 1),
-		chunks:    make(map[block.Strong][]byte),
 		clients:   make(map[uint32]*clientState),
 		meter:     meter,
 	}
 	for i := range s.shards {
 		s.shards[i] = newFileShard()
+	}
+	for i := range s.chunkStripes {
+		s.chunkStripes[i].data = make(map[block.Strong][]byte)
 	}
 	s.shard(".").dirs["."] = true
 	return s
@@ -192,45 +200,77 @@ func (s *Server) Attach(client uint32) {
 // file starts at the zero version, matching clients that seed the same way.
 func (s *Server) SeedFile(path string, content []byte) {
 	sh := s.shard(path)
-	sh.mu.Lock()
+	sh.lockOne()
 	sh.files[path] = append([]byte(nil), content...)
-	sh.mu.Unlock()
+	sh.unlockOne()
+}
+
+// chunkStripeCount stripes the chunk residency maps (power of two). Purely
+// a lock-granularity knob: eviction order is global and unaffected.
+const chunkStripeCount = 8
+
+// chunkStripe is one lock stripe of the chunk store's residency map.
+type chunkStripe struct {
+	mu   sync.Mutex
+	data map[block.Strong][]byte
+}
+
+// chunkStripeOf returns the stripe owning h.
+func (s *Server) chunkStripeOf(h block.Strong) *chunkStripe {
+	return &s.chunkStripes[int(h[0])&(chunkStripeCount-1)]
 }
 
 // SeedChunk installs a content-addressed chunk in the server's chunk store
 // outside the measured run (matching a client primed to treat the chunk as
 // server-known).
 func (s *Server) SeedChunk(h block.Strong, data []byte) {
-	s.chunkMu.Lock()
-	s.storeChunkLocked(h, append([]byte(nil), data...))
-	s.chunkMu.Unlock()
+	s.storeChunk(h, append([]byte(nil), data...))
 }
 
-// storeChunkLocked inserts a chunk, evicting FIFO past the budget. The
-// caller holds chunkMu. Re-inserting a resident chunk is a no-op (matching
-// the client-side tracker).
-func (s *Server) storeChunkLocked(h block.Strong, data []byte) {
-	if _, ok := s.chunks[h]; ok {
+// storeChunk inserts a chunk, evicting global-FIFO past the budget.
+// Re-inserting a resident chunk is a no-op (matching the client-side
+// tracker). chunkInsertMu serializes inserts so the FIFO — the order the
+// client tracker replays — is exactly the insertion order the pushes
+// committed in; stripe locks are taken one at a time underneath it, only
+// around map mutation.
+func (s *Server) storeChunk(h block.Strong, data []byte) {
+	s.chunkInsertMu.Lock()
+	defer s.chunkInsertMu.Unlock()
+	st := s.chunkStripeOf(h)
+	st.mu.Lock()
+	_, resident := st.data[h]
+	if !resident {
+		st.data[h] = data
+	}
+	st.mu.Unlock()
+	if resident {
 		return
 	}
-	s.chunks[h] = data
 	s.chunkFIFO = append(s.chunkFIFO, h)
-	s.chunkBytes += int64(len(data))
-	for s.chunkBytes > wire.ChunkStoreBudget && len(s.chunkFIFO) > 0 {
+	s.chunkBytes.Add(int64(len(data)))
+	for s.chunkBytes.Load() > wire.ChunkStoreBudget && len(s.chunkFIFO) > 0 {
 		old := s.chunkFIFO[0]
 		s.chunkFIFO = s.chunkFIFO[1:]
-		if d, ok := s.chunks[old]; ok {
-			s.chunkBytes -= int64(len(d))
-			delete(s.chunks, old)
+		ost := s.chunkStripeOf(old)
+		ost.mu.Lock()
+		if d, ok := ost.data[old]; ok {
+			s.chunkBytes.Add(-int64(len(d)))
+			delete(ost.data, old)
 		}
+		ost.mu.Unlock()
 	}
 }
 
-// chunk returns a copy-free reference to a resident chunk.
+// chunk returns a copy-free reference to a resident chunk, touching only
+// the owning stripe's lock — the dedup hot path never contends with
+// inserts to other chunks. The returned slice stays valid even if the
+// chunk is evicted after the stripe lock is released: eviction drops the
+// map entry, not the backing array.
 func (s *Server) chunk(h block.Strong) ([]byte, bool) {
-	s.chunkMu.Lock()
-	d, ok := s.chunks[h]
-	s.chunkMu.Unlock()
+	st := s.chunkStripeOf(h)
+	st.mu.Lock()
+	d, ok := st.data[h]
+	st.mu.Unlock()
 	return d, ok
 }
 
@@ -246,7 +286,9 @@ func (s *Server) FileContent(path string) ([]byte, bool) {
 	return append([]byte(nil), c...), true
 }
 
-// Files returns the stored paths (unordered).
+// Files returns the stored paths in sorted order. Shard count and map
+// iteration must not leak into the result: callers (snapshots, test
+// oracles) compare these listings across configurations.
 func (s *Server) Files() []string {
 	var out []string
 	for _, sh := range s.shards {
@@ -256,10 +298,11 @@ func (s *Server) Files() []string {
 		}
 		sh.mu.RUnlock()
 	}
+	sort.Strings(out)
 	return out
 }
 
-// Dirs returns the stored directory paths (unordered).
+// Dirs returns the stored directory paths in sorted order.
 func (s *Server) Dirs() []string {
 	var out []string
 	for _, sh := range s.shards {
@@ -269,6 +312,7 @@ func (s *Server) Dirs() []string {
 		}
 		sh.mu.RUnlock()
 	}
+	sort.Strings(out)
 	return out
 }
 
@@ -446,19 +490,26 @@ func (s *Server) Push(from uint32, b *wire.Batch) *wire.PushReply {
 // holds the batch's shard locks; the registry read-lock is released before
 // any outbox lock is taken (lock ordering rule 3).
 func (s *Server) forward(from uint32, b *wire.Batch) {
+	type fwdTarget struct {
+		id uint32
+		cs *clientState
+	}
 	s.clientMu.RLock()
-	targets := make([]*clientState, 0, len(s.clients))
+	targets := make([]fwdTarget, 0, len(s.clients))
 	for id, cs := range s.clients {
 		if id != from && cs.registered {
-			targets = append(targets, cs)
+			targets = append(targets, fwdTarget{id, cs})
 		}
 	}
 	s.clientMu.RUnlock()
+	// Enqueue in client-id order so outbox contents are identical across
+	// runs regardless of registry map iteration.
+	sort.Slice(targets, func(i, j int) bool { return targets[i].id < targets[j].id })
 	sm := s.syncM()
 	var dropped int64
 	var peak int
-	for _, cs := range targets {
-		depth, d := cs.enqueue(b)
+	for _, t := range targets {
+		depth, d := t.cs.enqueue(b)
 		dropped += d
 		if depth > peak {
 			peak = depth

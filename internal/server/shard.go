@@ -30,7 +30,11 @@ import (
 //  3. Server.clientMu — registry lookup/insert/iteration only; no other
 //     lock is ever acquired while it is held.
 //  4. clientState.outMu — leaf; at most one held at a time.
-//  5. Server.chunkMu, Server.appliedMu — leaves.
+//  5. Server.chunkInsertMu, then chunkStripe.mu (one at a time under it;
+//     chunk() takes a single stripe lock with nothing above). Save/Load
+//     hold the insert lock plus every stripe in ascending order, with
+//     every earlier level already held.
+//  6. Server.appliedMu — leaf.
 
 // DefaultShards is the number of file-state stripes. Fixed and power-of-two
 // so shardFor is a mask, large enough that 16 concurrent clients on random
@@ -121,6 +125,8 @@ func (s *Server) lockSetFor(from uint32, b *wire.Batch) *batchLocks {
 
 // lock acquires the set's shard locks in ascending index order (the
 // deadlock-freedom rule for atomic batches spanning shards).
+//
+//deltavet:lockorder-helper
 func (bl *batchLocks) lock() {
 	for _, idx := range bl.idxs {
 		bl.s.shards[idx].mu.Lock()
@@ -128,6 +134,8 @@ func (bl *batchLocks) lock() {
 }
 
 // unlock releases in reverse order.
+//
+//deltavet:lockorder-helper
 func (bl *batchLocks) unlock() {
 	for i := len(bl.idxs) - 1; i >= 0; i-- {
 		bl.s.shards[bl.idxs[i]].mu.Unlock()
@@ -256,14 +264,29 @@ func (s *Server) sharing() bool { return s.registered.Load() > 1 }
 
 // lockAllShards takes every shard lock in ascending order (whole-server
 // operations: Save, Files, Load).
+//
+//deltavet:lockorder-helper
 func (s *Server) lockAllShards() {
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 	}
 }
 
+//deltavet:lockorder-helper
 func (s *Server) unlockAllShards() {
 	for i := len(s.shards) - 1; i >= 0; i-- {
 		s.shards[i].mu.Unlock()
 	}
 }
+
+// lockOne write-locks a single shard outside any batch — the entry point
+// for seeding and single-path maintenance. A lone acquisition is trivially
+// consistent with the ascending-order rule.
+//
+//deltavet:lockorder-helper
+func (sh *fileShard) lockOne() { sh.mu.Lock() }
+
+// unlockOne releases a lockOne acquisition.
+//
+//deltavet:lockorder-helper
+func (sh *fileShard) unlockOne() { sh.mu.Unlock() }

@@ -119,15 +119,29 @@ func (rc *ResilientClient) backoff(retry int) time.Duration {
 // registration) if necessary.
 func (rc *ResilientClient) conn() (*NetClient, error) {
 	rc.mu.Lock()
-	defer rc.mu.Unlock()
 	if rc.cur != nil {
-		return rc.cur, nil
+		c := rc.cur
+		rc.mu.Unlock()
+		return c, nil
 	}
 	opts := rc.opts
 	opts.AttachID = rc.id
+	rc.mu.Unlock()
+
+	// Dial with the lock released: a slow or hung dial must not wedge
+	// Close, backoff, or any other path that touches rc.mu.
 	c, err := DialWith(rc.addr, opts)
 	if err != nil {
 		return nil, err
+	}
+
+	rc.mu.Lock()
+	if rc.cur != nil {
+		// A concurrent caller connected first; keep theirs, discard ours.
+		cur := rc.cur
+		rc.mu.Unlock()
+		c.Close()
+		return cur, nil
 	}
 	if rc.id == 0 {
 		rc.id = c.id
@@ -135,16 +149,18 @@ func (rc *ResilientClient) conn() (*NetClient, error) {
 		rc.sm.Reconnect()
 	}
 	rc.cur = c
+	rc.mu.Unlock()
 	return c, nil
 }
 
 // dropConn discards c if it is still the current connection.
 func (rc *ResilientClient) dropConn(c *NetClient) {
 	rc.mu.Lock()
-	defer rc.mu.Unlock()
 	if rc.cur == c {
 		rc.cur = nil
 	}
+	rc.mu.Unlock()
+	// Close with the lock released: tearing down a dead conn can block.
 	c.Close()
 }
 
@@ -264,11 +280,11 @@ func (rc *ResilientClient) Poll() ([]*Batch, error) {
 // Close implements Endpoint.
 func (rc *ResilientClient) Close() error {
 	rc.mu.Lock()
-	defer rc.mu.Unlock()
-	if rc.cur != nil {
-		err := rc.cur.Close()
-		rc.cur = nil
-		return err
+	c := rc.cur
+	rc.cur = nil
+	rc.mu.Unlock()
+	if c != nil {
+		return c.Close()
 	}
 	return nil
 }
