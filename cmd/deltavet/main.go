@@ -1,10 +1,18 @@
-// Command deltavet is the project's multichecker: it runs the four
-// invariant analyzers (lockorder, blockunderlock, detreplay, errsync) over
-// the packages named on the command line and exits non-zero if any
-// unsuppressed finding remains. CI runs it alongside `go vet` and the
-// full-module race detector:
+// Command deltavet is the project's multichecker: it runs the six
+// invariant analyzers (lockorder, blockunderlock, detreplay, errsync,
+// crashsafe, wiretaint) over the packages named on the command line and
+// exits non-zero if any unsuppressed finding remains. CI runs it alongside
+// `go vet` and the full-module race detector:
 //
 //	go run ./cmd/deltavet ./...
+//
+// All named packages are loaded into ONE analysis.Program, so the
+// interprocedural analyzers see the whole-tree call graph — a finding in
+// package A may exist only because of a caller in package B.
+//
+// With -json the findings are emitted as a JSON array on stdout (CI uploads
+// this as an artifact); the default text form `file:line:col: analyzer:
+// message` is what the GitHub Actions problem matcher annotates.
 //
 // Suppression: an inline `//deltavet:allow <analyzer> <reason>` comment on
 // the finding's line (or the line above) silences that analyzer there; the
@@ -15,6 +23,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -25,9 +34,11 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/blockunderlock"
+	"repro/internal/analysis/crashsafe"
 	"repro/internal/analysis/detreplay"
 	"repro/internal/analysis/errsync"
 	"repro/internal/analysis/lockorder"
+	"repro/internal/analysis/wiretaint"
 )
 
 // replayScope is the set of package suffixes detreplay applies to: the
@@ -37,6 +48,27 @@ var replayScope = []string{
 	"internal/core",
 	"internal/chaos",
 	"internal/server",
+}
+
+// crashsafeScope is where the write->fsync->rename / log->sync->apply
+// discipline is load-bearing: everything that persists state.
+var crashsafeScope = []string{
+	"internal/kvstore",
+	"internal/undolog",
+	"internal/server",
+	"internal/integrity",
+	"cmd/deltacfs-server",
+}
+
+// wiretaintScope is where wire-decoded values can reach allocations,
+// slicing, or the filesystem: the codec itself plus every consumer of
+// decoded messages.
+var wiretaintScope = []string{
+	"internal/wire",
+	"internal/server",
+	"internal/core",
+	"internal/rsync",
+	"internal/kvstore",
 }
 
 func main() {
@@ -49,6 +81,7 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("deltavet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	allowPath := fs.String("allow", "", "path to the deltavet.allow file (default: deltavet.allow at the module root, if present)")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout instead of text lines")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -81,10 +114,13 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// One program over everything loaded: interprocedural facts (call
+	// graph, taint, blocking summaries) span the whole analyzed tree.
+	prog := analysis.NewProgram(pkgs)
 	var diags []analysis.Diagnostic
 	for _, pkg := range pkgs {
 		as := analyzersFor(pkg.PkgPath)
-		ds, err := analysis.Run(pkg, as...)
+		ds, err := prog.Run(pkg, as...)
 		if err != nil {
 			fmt.Fprintf(stderr, "deltavet: %v\n", err)
 			return 2
@@ -93,8 +129,15 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 	}
 
 	kept := analysis.Suppress(pkgs, diags, allows)
-	for _, d := range kept {
-		fmt.Fprintf(stdout, "%s\n", d)
+	if *jsonOut {
+		if err := writeJSON(stdout, kept); err != nil {
+			fmt.Fprintf(stderr, "deltavet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range kept {
+			fmt.Fprintf(stdout, "%s\n", d)
+		}
 	}
 	if len(kept) > 0 {
 		fmt.Fprintf(stderr, "deltavet: %d finding(s)\n", len(kept))
@@ -103,18 +146,55 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// jsonDiag is the -json wire form of one finding.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(w io.Writer, diags []analysis.Diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
 // analyzersFor selects the analyzers for one package: the concurrency and
-// durability checkers run everywhere; detreplay only on the replay-scoped
-// paths.
+// durability checkers run everywhere; detreplay, crashsafe, and wiretaint
+// only on their scoped paths.
 func analyzersFor(pkgPath string) []*analysis.Analyzer {
 	as := []*analysis.Analyzer{lockorder.Analyzer, blockunderlock.Analyzer, errsync.Analyzer}
-	for _, s := range replayScope {
-		if analysis.PathSuffixMatch(pkgPath, s) {
-			as = append(as, detreplay.Analyzer)
-			break
-		}
+	if inScope(pkgPath, replayScope) {
+		as = append(as, detreplay.Analyzer)
+	}
+	if inScope(pkgPath, crashsafeScope) {
+		as = append(as, crashsafe.Analyzer)
+	}
+	if inScope(pkgPath, wiretaintScope) {
+		as = append(as, wiretaint.Analyzer)
 	}
 	return as
+}
+
+func inScope(pkgPath string, scope []string) bool {
+	for _, s := range scope {
+		if analysis.PathSuffixMatch(pkgPath, s) {
+			return true
+		}
+	}
+	return false
 }
 
 func moduleRoot(dir string) (string, error) {

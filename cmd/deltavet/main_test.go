@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -15,15 +16,58 @@ func TestFlagsBadFixture(t *testing.T) {
 		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
 	}
 	got := out.String()
-	for _, analyzer := range []string{"lockorder", "blockunderlock", "detreplay", "errsync"} {
+	for _, analyzer := range []string{"lockorder", "blockunderlock", "detreplay", "errsync", "crashsafe", "wiretaint"} {
 		if !strings.Contains(got, analyzer) {
 			t.Errorf("no %s finding in output:\n%s", analyzer, got)
 		}
+	}
+	// Findings that exist only through the call graph: the blocking helper
+	// called under the lock, and the allocation helper fed a wire value.
+	if !strings.Contains(got, "transitive callee chain") {
+		t.Errorf("no interprocedural blockunderlock finding in output:\n%s", got)
+	}
+	if !strings.Contains(got, "wire value flows in via") {
+		t.Errorf("no interprocedural wiretaint finding in output:\n%s", got)
 	}
 	// BadStamp and AllowedStamp both call time.Now; only BadStamp's finding
 	// must survive the inline //deltavet:allow.
 	if n := strings.Count(got, "time.Now reads the wall clock"); n != 1 {
 		t.Errorf("time.Now findings = %d, want 1 (inline allow not honored?)\n%s", n, got)
+	}
+}
+
+// TestJSONOutput checks the -json mode round-trips the same findings as a
+// machine-readable array (the CI artifact format).
+func TestJSONOutput(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-json", "./testdata/src/badpkg/internal/server"}, ".", &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, errb.String())
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &diags); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("-json output has no findings")
+	}
+	seen := map[string]bool{}
+	for _, d := range diags {
+		if d.File == "" || d.Line == 0 || d.Analyzer == "" || d.Message == "" {
+			t.Errorf("incomplete JSON finding: %+v", d)
+		}
+		seen[d.Analyzer] = true
+	}
+	for _, analyzer := range []string{"lockorder", "blockunderlock", "detreplay", "errsync", "crashsafe", "wiretaint"} {
+		if !seen[analyzer] {
+			t.Errorf("no %s finding in JSON output", analyzer)
+		}
 	}
 }
 

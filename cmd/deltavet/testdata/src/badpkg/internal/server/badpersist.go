@@ -1,0 +1,48 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+
+	"repro/internal/wire"
+)
+
+// BadSnapshot violates crashsafe twice: the temp file is renamed with no
+// fsync on any path, and the rename is never made durable by a directory
+// fsync.
+func BadSnapshot(dir string, data []byte) error {
+	tmp := filepath.Join(dir, "state.tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "state"))
+}
+
+// BadWireAlloc violates wiretaint: a wire-decoded size feeds an allocation
+// with no bounds check.
+func BadWireAlloc(n *wire.Node) []byte {
+	return make([]byte, n.Size)
+}
+
+// growBuf has no wire value in sight; its finding exists only because
+// BadWireForward feeds it one — reachable only interprocedurally.
+func growBuf(n int) []byte {
+	return make([]byte, n)
+}
+
+func BadWireForward(n *wire.Node) []byte {
+	return growBuf(int(n.Size))
+}
+
+// notify does the channel send; the blockunderlock finding at the call in
+// BadNotifyUnderLock exists only via the transitive blocking summary.
+func (s *Server) notify(v string) {
+	s.ch <- v
+}
+
+// BadNotifyUnderLock calls a blocking helper while s.mu is held.
+func (s *Server) BadNotifyUnderLock(v string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.notify(v)
+}

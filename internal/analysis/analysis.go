@@ -9,10 +9,13 @@
 // (analysistest/).
 //
 // The deliberate differences from x/tools are documented where they matter:
-// analyzers here are whole-package and stateless (no Facts, no
-// cross-analyzer Requires), and suppression — `//deltavet:allow` comments
-// plus the deltavet.allow file — is applied by the driver, not the analyzer,
-// so analyzer unit tests always see the raw findings.
+// analyzers run per-package but share a Program (program.go) holding the
+// whole-load call graph (internal/analysis/callgraph), lazily built
+// per-function CFGs (internal/analysis/cfg), and memoized per-analyzer
+// program facts — a simpler substitute for x/tools Facts and Requires.
+// Suppression — `//deltavet:allow` comments plus the deltavet.allow file —
+// is applied by the driver, not the analyzer, so analyzer unit tests always
+// see the raw findings.
 package analysis
 
 import (
@@ -35,13 +38,17 @@ type Analyzer struct {
 	Run func(pass *Pass) error
 }
 
-// Pass carries one package's parse and type information to an analyzer.
+// Pass carries one package's parse and type information to an analyzer,
+// plus the shared Program context for interprocedural queries (call graph,
+// CFGs, memoized facts). Prog is always non-nil: single-package runs get a
+// one-package program.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	Prog      *Program
 
 	diags []Diagnostic
 }
@@ -66,9 +73,16 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Run executes the analyzers over pkg and returns their findings sorted by
-// position. Suppression is NOT applied here — see Suppress.
+// Run executes the analyzers over a lone package and returns their findings
+// sorted by position. It builds a single-package Program, so interprocedural
+// analyzers see only pkg-internal edges; drivers analyzing several packages
+// should build one NewProgram and use its Run method instead. Suppression is
+// NOT applied here — see Suppress.
 func Run(pkg *Package, analyzers ...*Analyzer) ([]Diagnostic, error) {
+	return runWith(NewProgram([]*Package{pkg}), pkg, analyzers...)
+}
+
+func runWith(prog *Program, pkg *Package, analyzers ...*Analyzer) ([]Diagnostic, error) {
 	var out []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -77,6 +91,7 @@ func Run(pkg *Package, analyzers ...*Analyzer) ([]Diagnostic, error) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.TypesInfo,
+			Prog:      prog,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)

@@ -34,23 +34,37 @@ import (
 	"repro/internal/analysis"
 )
 
-// Run loads every fixture package under testdata/src, runs a over the
-// packages named by targets (import paths relative to testdata/src), and
-// reports mismatches between diagnostics and // want comments as test
-// errors.
+// Run loads every fixture package under testdata/src, builds ONE Program
+// over all of them (so interprocedural analyzers see cross-fixture call
+// edges — a caller fixture in package A resolves into a sink fixture in
+// package B), runs a over the packages named by targets (import paths
+// relative to testdata/src), and reports mismatches between diagnostics and
+// // want comments as test errors. Wants are checked per target package;
+// diagnostics always land in the package being analyzed, so cross-package
+// scenarios put the // want on the caller side.
 func Run(t *testing.T, a *analysis.Analyzer, targets ...string) {
 	t.Helper()
 	pkgs, err := loadFixtures("testdata/src")
 	if err != nil {
 		t.Fatalf("analysistest: %v", err)
 	}
+	all := make([]*analysis.Package, 0, len(pkgs))
+	var order []string
+	for path := range pkgs {
+		order = append(order, path)
+	}
+	sort.Strings(order)
+	for _, path := range order {
+		all = append(all, pkgs[path])
+	}
+	prog := analysis.NewProgram(all)
 	for _, target := range targets {
 		pkg, ok := pkgs[target]
 		if !ok {
 			t.Errorf("analysistest: no fixture package %q under testdata/src", target)
 			continue
 		}
-		diags, err := analysis.Run(pkg, a)
+		diags, err := prog.Run(pkg, a)
 		if err != nil {
 			t.Errorf("analysistest: %s: %v", target, err)
 			continue

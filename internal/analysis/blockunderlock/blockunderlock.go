@@ -8,16 +8,27 @@
 //
 // Scope and precision:
 //
-//   - The analysis is intraprocedural and walks function bodies in source
-//     order, pairing X.Lock() with X.Unlock() syntactically; a deferred
-//     unlock keeps the lock held through the end of the function.
+//   - Lock tracking is intraprocedural: bodies are walked in source order,
+//     pairing X.Lock() with X.Unlock() syntactically; a deferred unlock
+//     keeps the lock held through the end of the function.
+//   - Blocking classification is interprocedural (v2): a call made while a
+//     lock is held is flagged not only when the callee itself is a known
+//     blocking operation, but when any *transitive* callee — resolved
+//     through the program call graph, interface dispatch included — does
+//     channel ops, net I/O, or fsync. The witness chain is part of the
+//     message. Edges inside `go` statements and function literals are
+//     excluded from the summary (the goroutine or the literal's eventual
+//     caller runs them, not this frame).
 //   - Functions whose name ends in "Locked" are analyzed as if a lock were
 //     held on entry (that suffix is the project's calling convention for
-//     "caller holds the lock").
+//     "caller holds the lock"). Calls *to* Locked-suffix functions are not
+//     given transitive findings: the callee is analyzed under the held-lock
+//     assumption already, so the finding is reported once, inside it.
 //   - Function literals are analyzed with a fresh lock set: goroutine and
 //     callback bodies do not inherit the creating function's locks.
 //   - A send or receive that is a select case in a select with a default
-//     clause is non-blocking and not flagged.
+//     clause is non-blocking and not flagged, both here and in the
+//     transitive summary.
 //
 // Intentional violations are suppressed either per call site
 // (//deltavet:allow blockunderlock <reason>) or for every use of one mutex
@@ -32,6 +43,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
 )
 
 // declMark on a mutex field or variable declaration suppresses every
@@ -47,16 +59,107 @@ var Analyzer = &analysis.Analyzer{
 
 func run(pass *analysis.Pass) error {
 	suppressed := suppressedMutexDecls(pass)
+	summaries := blockingSummaries(pass)
 	for _, f := range pass.Files {
 		for _, d := range f.Decls {
 			fd, ok := d.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			checkFunc(pass, fd, suppressed)
+			checkFunc(pass, fd, suppressed, summaries)
 		}
 	}
 	return nil
+}
+
+// blockingSummaries is the program-wide "transitively blocks" fact: for
+// every function reachable in the call graph, whether it — or any callee
+// chain outside go statements and function literals — performs a blocking
+// operation, with the witness chain. Memoized on the Program, so the
+// fixpoint runs once per driver invocation.
+func blockingSummaries(pass *analysis.Pass) map[*types.Func]*callgraph.Witness {
+	fact := pass.Prog.Fact(pass.Analyzer, func(prog *analysis.Program) any {
+		return prog.Graph.Transitive(
+			func(n *callgraph.Node) string {
+				if why := blockingFuncIdentity(n.Func); why != "" {
+					return why
+				}
+				if n.Decl != nil && n.Src != nil {
+					return directChanOp(n.Src.Info, n.Decl)
+				}
+				return ""
+			},
+			func(e *callgraph.Edge) bool { return e.InGo || e.InLit },
+		)
+	})
+	return fact.(map[*types.Func]*callgraph.Witness)
+}
+
+// directChanOp reports whether the function body itself performs a blocking
+// channel operation (send, receive, range over channel, or a select with no
+// default), skipping go statements and function literals.
+func directChanOp(info *types.Info, fd *ast.FuncDecl) string {
+	why := ""
+	var walk func(n ast.Node, nonBlockingComm bool)
+	walk = func(n ast.Node, nonBlockingComm bool) {
+		if why != "" || n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				why = "a blocking select"
+				return
+			}
+			for _, c := range n.Body.List {
+				for _, s := range c.(*ast.CommClause).Body {
+					walk(s, false)
+				}
+			}
+			return
+		case *ast.SendStmt:
+			why = "a channel send"
+			return
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				why = "a channel receive"
+				return
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					why = "a range over a channel"
+					return
+				}
+			}
+		}
+		children(n, func(c ast.Node) { walk(c, false) })
+	}
+	walk(fd.Body, false)
+	return why
+}
+
+// children invokes f on each direct child of n.
+func children(n ast.Node, f func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			f(c)
+		}
+		return false
+	})
 }
 
 // suppressedMutexDecls collects mutex fields/vars whose declaration carries
@@ -106,7 +209,7 @@ type heldLock struct {
 	name string // display name for diagnostics
 }
 
-func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, suppressed map[types.Object]bool) {
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, suppressed map[types.Object]bool, summaries map[*types.Func]*callgraph.Witness) {
 	var held []heldLock
 	if strings.HasSuffix(fd.Name.Name, "Locked") {
 		held = append(held, heldLock{key: "<caller>", name: "the caller's lock (\"Locked\" suffix contract)"})
@@ -210,7 +313,9 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, suppressed map[types.Objec
 			if len(held) > 0 {
 				if why := blockingCall(pass.TypesInfo, n); why != "" {
 					pass.Reportf(n.Pos(), "%s while %s is held", why, heldName())
+					return
 				}
+				reportTransitive(pass, n, heldName(), summaries)
 			}
 			return
 		}
@@ -268,10 +373,40 @@ func lockRootSuppressed(info *types.Info, lockExpr ast.Expr, suppressed map[type
 	return false
 }
 
+// reportTransitive flags a call (not itself a known blocking op) whose
+// transitive callees block, using the call-graph summary. Interface calls
+// fan out to every CHA target; the first blocking one is the witness.
+// Locked-suffix callees are exempt — they are analyzed under the held-lock
+// assumption already, so the finding is reported once, inside them.
+func reportTransitive(pass *analysis.Pass, call *ast.CallExpr, heldName string, summaries map[*types.Func]*callgraph.Witness) {
+	for _, callee := range pass.Prog.Graph.CalleesAt(call) {
+		fn := callee.Func
+		if strings.HasSuffix(fn.Name(), "Locked") {
+			continue
+		}
+		w := summaries[fn]
+		if w == nil {
+			continue
+		}
+		chain := fn.Name()
+		if c := w.Chain(); c != "" {
+			chain += " -> " + c
+		}
+		pass.Reportf(call.Pos(), "call to %s while %s is held: transitive callee chain %s does %s",
+			analysis.FuncDisplayName(fn), heldName, chain, w.Why)
+		return
+	}
+}
+
 // blockingCall classifies a call as one of the forbidden blocking
 // operations, returning a description ("" = not blocking).
 func blockingCall(info *types.Info, call *ast.CallExpr) string {
-	fn := analysis.CalleeOf(info, call)
+	return blockingFuncIdentity(analysis.CalleeOf(info, call))
+}
+
+// blockingFuncIdentity classifies a function as a known blocking operation
+// by identity ("" = not intrinsically blocking).
+func blockingFuncIdentity(fn *types.Func) string {
 	if fn == nil {
 		return ""
 	}

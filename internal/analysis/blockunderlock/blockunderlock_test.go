@@ -10,3 +10,10 @@ import (
 func TestBlockUnderLock(t *testing.T) {
 	analysistest.Run(t, blockunderlock.Analyzer, "underlock")
 }
+
+// TestInterprocedural covers the v2 summary: blocking ops reached through
+// same-package helpers, a sibling fixture package (sinkpkg), and interface
+// dispatch.
+func TestInterprocedural(t *testing.T) {
+	analysistest.Run(t, blockunderlock.Analyzer, "depths")
+}

@@ -1,0 +1,112 @@
+// Package depths exercises blockunderlock v2: blocking operations reached
+// only transitively through the call graph, including across packages and
+// through interface dispatch.
+package depths
+
+import (
+	"sync"
+
+	"sinkpkg"
+)
+
+type engine struct {
+	mu sync.Mutex
+	ch chan int
+	s  *sinkpkg.Syncer
+}
+
+// helper blocks directly (channel send) but takes no lock itself.
+func (e *engine) helper() {
+	e.ch <- 1
+}
+
+// viaHelper calls a same-package helper that blocks: only the summary sees
+// it.
+func (e *engine) viaHelper() {
+	e.mu.Lock()
+	e.helper() // want `call to engine.helper while mutex e.mu is held: transitive callee chain helper does a channel send`
+	e.mu.Unlock()
+}
+
+// viaTwoHops reaches the channel send through two frames.
+func (e *engine) middle() { e.helper() }
+
+func (e *engine) viaChain() {
+	e.mu.Lock()
+	e.middle() // want `call to engine.middle while mutex e.mu is held: transitive callee chain middle -> helper does a channel send`
+	e.mu.Unlock()
+}
+
+// viaOtherPackage calls into a sibling fixture package whose method fsyncs.
+func (e *engine) viaOtherPackage() {
+	e.mu.Lock()
+	e.s.Flush() // want `call to Syncer.Flush while mutex e.mu is held: transitive callee chain Flush -> Sync does \(\*os\.File\)\.Sync \(fsync\)`
+	e.mu.Unlock()
+}
+
+// Flusher dispatches through an interface; CHA resolves to the fixture
+// implementations.
+type Flusher interface{ Flush() }
+
+func (e *engine) viaInterface(f Flusher) {
+	e.mu.Lock()
+	f.Flush() // want `call to Syncer.Flush while mutex e.mu is held: transitive callee chain Flush -> Sync does \(\*os\.File\)\.Sync \(fsync\)`
+	e.mu.Unlock()
+}
+
+// okSpawned: the blocking op runs in a goroutine the helper spawns, not in
+// this frame — the summary skips go-stmt edges.
+func (e *engine) spawner() {
+	go e.helper()
+}
+
+func (e *engine) okSpawned() {
+	e.mu.Lock()
+	e.spawner()
+	e.mu.Unlock()
+}
+
+// okInLit: the helper only builds a closure; nothing blocks in this frame.
+func (e *engine) litBuilder() func() {
+	return func() { e.helper() }
+}
+
+func (e *engine) okInLit() {
+	e.mu.Lock()
+	_ = e.litBuilder()
+	e.mu.Unlock()
+}
+
+// okNonBlockingHelper: helper's select has a default case.
+func (e *engine) tryNotify() {
+	select {
+	case e.ch <- 1:
+	default:
+	}
+}
+
+func (e *engine) okNonBlocking() {
+	e.mu.Lock()
+	e.tryNotify()
+	e.mu.Unlock()
+}
+
+// okAfterUnlock: transitive blocking outside the critical section is fine.
+func (e *engine) okAfterUnlock() {
+	e.mu.Lock()
+	e.mu.Unlock()
+	e.helper()
+}
+
+// drainLocked follows the Locked-suffix contract: it is analyzed with the
+// caller's lock assumed held, so the finding is reported here, once.
+func (e *engine) drainLocked() {
+	e.ch <- 1 // want `channel send while the caller's lock \("Locked" suffix contract\) is held`
+}
+
+// okLockedCallee: no second (transitive) finding at the call site.
+func (e *engine) okLockedCallee() {
+	e.mu.Lock()
+	e.drainLocked()
+	e.mu.Unlock()
+}

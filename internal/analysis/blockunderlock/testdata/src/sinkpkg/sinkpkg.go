@@ -1,0 +1,15 @@
+// Package sinkpkg is the cross-package sink half of the blockunderlock v2
+// fixtures: its methods perform blocking operations, and the caller (and
+// its // want expectations) lives in package depths.
+package sinkpkg
+
+import "os"
+
+type Syncer struct {
+	f *os.File
+}
+
+// Flush fsyncs; callers holding a lock are flagged at their call site.
+func (s *Syncer) Flush() {
+	_ = s.f.Sync()
+}

@@ -1,0 +1,214 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// check parses and typechecks one package from src, resolving imports of
+// previously checked packages via deps.
+func check(t *testing.T, fset *token.FileSet, path, src string, deps map[string]*types.Package) *Source {
+	t.Helper()
+	f, err := parser.ParseFile(fset, path+".go", src, 0)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	info := &types.Info{
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+	}
+	imp := mapImporter{deps: deps, fallback: importer.Default()}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", path, err)
+	}
+	deps[path] = pkg
+	return &Source{Fset: fset, Files: []*ast.File{f}, Pkg: pkg, Info: info}
+}
+
+type mapImporter struct {
+	deps     map[string]*types.Package
+	fallback types.Importer
+}
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.deps[path]; ok {
+		return p, nil
+	}
+	return m.fallback.Import(path)
+}
+
+func findFunc(src *Source, name string) *types.Func {
+	obj := src.Pkg.Scope().Lookup(name)
+	if fn, ok := obj.(*types.Func); ok {
+		return fn
+	}
+	return nil
+}
+
+func findMethod(src *Source, typeName, method string) *types.Func {
+	tn := src.Pkg.Scope().Lookup(typeName).(*types.TypeName)
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(tn.Type()), false, src.Pkg, method)
+	return obj.(*types.Func)
+}
+
+const implSrc = `package impl
+
+type Disk struct{ n int }
+
+func (d *Disk) Flush() { d.fsync() }
+func (d *Disk) fsync() {}
+
+type Mem struct{}
+
+func (Mem) Flush() {}
+`
+
+const mainSrc = `package main
+
+import "impl"
+
+type Flusher interface{ Flush() }
+
+func UseIface(f Flusher) { f.Flush() }
+
+func UseStatic() {
+	d := &impl.Disk{}
+	d.Flush()
+}
+
+func SpawnGo() {
+	go UseStatic()
+}
+
+func InLit() func() {
+	return func() { UseStatic() }
+}
+`
+
+func buildTestGraph(t *testing.T) (*Graph, *Source, *Source) {
+	t.Helper()
+	fset := token.NewFileSet()
+	deps := make(map[string]*types.Package)
+	impl := check(t, fset, "impl", implSrc, deps)
+	main := check(t, fset, "main", mainSrc, deps)
+	g := Build([]*Source{impl, main})
+	return g, impl, main
+}
+
+func TestStaticEdge(t *testing.T) {
+	g, impl, main := buildTestGraph(t)
+	n := g.Node(findFunc(main, "UseStatic"))
+	if n == nil {
+		t.Fatal("no node for UseStatic")
+	}
+	want := findMethod(impl, "Disk", "Flush")
+	found := false
+	for _, e := range n.Out {
+		if e.Callee.Func == want && !e.ViaInterface {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("UseStatic should have a static edge to (*Disk).Flush; edges: %v", edgeNames(n))
+	}
+}
+
+func TestInterfaceCHAFanout(t *testing.T) {
+	g, impl, main := buildTestGraph(t)
+	n := g.Node(findFunc(main, "UseIface"))
+	if n == nil {
+		t.Fatal("no node for UseIface")
+	}
+	wantDisk := findMethod(impl, "Disk", "Flush")
+	wantMem := findMethod(impl, "Mem", "Flush")
+	var gotDisk, gotMem bool
+	for _, e := range n.Out {
+		if !e.ViaInterface {
+			t.Errorf("UseIface edge to %s not marked ViaInterface", e.Callee.Func.Name())
+		}
+		if e.Callee.Func == wantDisk {
+			gotDisk = true
+		}
+		if e.Callee.Func == wantMem {
+			gotMem = true
+		}
+	}
+	if !gotDisk || !gotMem {
+		t.Errorf("CHA should fan out to both Disk and Mem Flush; got %v", edgeNames(n))
+	}
+}
+
+func TestGoAndLitFlags(t *testing.T) {
+	g, _, main := buildTestGraph(t)
+	spawn := g.Node(findFunc(main, "SpawnGo"))
+	if len(spawn.Out) != 1 || !spawn.Out[0].InGo {
+		t.Errorf("SpawnGo's edge should be InGo: %+v", spawn.Out)
+	}
+	lit := g.Node(findFunc(main, "InLit"))
+	if len(lit.Out) != 1 || !lit.Out[0].InLit {
+		t.Errorf("InLit's edge should be InLit: %+v", lit.Out)
+	}
+}
+
+func TestCalleesAt(t *testing.T) {
+	g, _, main := buildTestGraph(t)
+	n := g.Node(findFunc(main, "UseIface"))
+	var call *ast.CallExpr
+	ast.Inspect(n.Decl, func(x ast.Node) bool {
+		if c, ok := x.(*ast.CallExpr); ok {
+			call = c
+		}
+		return true
+	})
+	if got := g.CalleesAt(call); len(got) != 2 {
+		t.Errorf("CalleesAt should list both CHA targets, got %d", len(got))
+	}
+}
+
+func TestTransitiveWitness(t *testing.T) {
+	g, impl, main := buildTestGraph(t)
+	fsync := findMethod(impl, "Disk", "fsync")
+	trans := g.Transitive(func(n *Node) string {
+		if n.Func == fsync {
+			return "fsyncs"
+		}
+		return ""
+	}, func(e *Edge) bool { return e.InGo || e.InLit })
+
+	// UseStatic -> (*Disk).Flush -> fsync: transitive, with a chain.
+	w := trans[findFunc(main, "UseStatic")]
+	if w == nil {
+		t.Fatal("UseStatic should transitively fsync")
+	}
+	if w.Why != "fsyncs" || len(w.Path) != 2 {
+		t.Errorf("witness = %q path %v, want fsyncs via Flush -> fsync", w.Why, w.Chain())
+	}
+	// SpawnGo reaches it only via a go statement — excluded by skip.
+	if trans[findFunc(main, "SpawnGo")] != nil {
+		t.Error("SpawnGo's go-stmt edge should be skipped")
+	}
+	// UseIface reaches fsync via the CHA edge to (*Disk).Flush.
+	if trans[findFunc(main, "UseIface")] == nil {
+		t.Error("UseIface should transitively fsync via CHA")
+	}
+	// Mem.Flush does not fsync.
+	if trans[findMethod(impl, "Mem", "Flush")] != nil {
+		t.Error("Mem.Flush should not have the property")
+	}
+}
+
+func edgeNames(n *Node) []string {
+	var out []string
+	for _, e := range n.Out {
+		out = append(out, e.Callee.Func.FullName())
+	}
+	return out
+}

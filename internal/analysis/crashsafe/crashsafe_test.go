@@ -1,0 +1,12 @@
+package crashsafe_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/crashsafe"
+)
+
+func TestCrashsafe(t *testing.T) {
+	analysistest.Run(t, crashsafe.Analyzer, "persist")
+}

@@ -1,0 +1,130 @@
+// Package persist exercises the crashsafe analyzer: write->fsync->rename
+// (plus directory fsync) for temp files, log->sync->apply for the memtable.
+package persist
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// syncDir is the sanctioned directory-fsync helper (matched by name).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// makeDurable reaches syncDir only transitively; calls to it must still
+// count as a directory fsync.
+func makeDurable(dir string) error {
+	return syncDir(dir)
+}
+
+// flushAll reaches (*os.File).Sync only transitively; calls to it must
+// still satisfy the must-sync obligation.
+func flushAll(f *os.File) error {
+	return f.Sync()
+}
+
+func OKWriteSyncRename(dir string, data []byte) error {
+	tmp := filepath.Join(dir, "snap.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "snap")); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// OKSyncViaHelper satisfies must-sync through the flushAll wrapper and the
+// directory fsync through makeDurable — both only visible interprocedurally.
+func OKSyncViaHelper(dir string, f *os.File) error {
+	tmp := dir + "/y.tmp"
+	if err := flushAll(f); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, dir+"/y"); err != nil {
+		return err
+	}
+	return makeDurable(dir)
+}
+
+func BadRenameUnsynced(dir string, data []byte) error {
+	tmp := filepath.Join(dir, "snap.tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "snap")); err != nil { // want "temp file renamed without an fsync on every path"
+		return err
+	}
+	return syncDir(dir)
+}
+
+// BadSyncOneBranch syncs on only one of two paths; the rename is not
+// protected on every path.
+func BadSyncOneBranch(dir string, f *os.File, fast bool) error {
+	tmp := dir + "/z.tmp"
+	if !fast {
+		if err := f.Sync(); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(tmp, dir+"/z"); err != nil { // want "temp file renamed without an fsync on every path"
+		return err
+	}
+	return syncDir(dir)
+}
+
+// BadSyncAfterRename has the classic inversion: the fsync lands after the
+// rename already published the unsynced temp file.
+func BadSyncAfterRename(dir string, f *os.File) error {
+	tmp := dir + "/x.tmp"
+	if err := os.WriteFile(tmp, nil, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, dir+"/x"); err != nil { // want "temp file renamed without an fsync on every path"
+		return err
+	}
+	if err := f.Sync(); err != nil { // want "fsync after an unsynced temp rename"
+		return err
+	}
+	return syncDir(dir)
+}
+
+// BadNoDirSync writes and syncs the temp file correctly but never fsyncs
+// the parent directory, so the rename itself may not survive a crash.
+func BadNoDirSync(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path) // want "temp-file rename is never made durable"
+}

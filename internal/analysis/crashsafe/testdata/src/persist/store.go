@@ -1,0 +1,106 @@
+package persist
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+type store struct {
+	dir   string
+	wal   *os.File
+	table map[string][]byte
+}
+
+func writeRecord(w io.Writer, key, val []byte) error {
+	_, err := w.Write(append(append([]byte{}, key...), val...))
+	return err
+}
+
+// OKLogThenApply appends to the WAL before mutating the memtable.
+func (s *store) OKLogThenApply(key, val []byte) error {
+	if err := writeRecord(s.wal, key, val); err != nil {
+		return err
+	}
+	s.table[string(key)] = val
+	return nil
+}
+
+// BadApplyFirst mutates the memtable while its WAL record is still ahead:
+// a crash between the two replays a log that never saw the mutation.
+func (s *store) BadApplyFirst(key, val []byte) error {
+	s.table[string(key)] = val // want "state applied to the memtable before its WAL record is appended"
+	return writeRecord(s.wal, key, val)
+}
+
+// BadDeleteFirst is the delete-builtin flavor of the same inversion.
+func (s *store) BadDeleteFirst(key []byte) error {
+	delete(s.table, string(key)) // want "state applied to the memtable before its WAL record is appended"
+	return writeRecord(s.wal, key, nil)
+}
+
+// OKSnapshotApply replays a snapshot record into the memtable with no WAL
+// append anywhere ahead — recovery-path applies are fine.
+func (s *store) OKSnapshotApply(key, val []byte) {
+	s.table[string(key)] = val
+}
+
+// OKSnapshotWriter uses the same writeRecord helper against a snapshot
+// writer; that is not a WAL append and must not satisfy the log-first rule
+// for a later apply.
+func (s *store) OKSnapshotWriter(w io.Writer, key, val []byte) error {
+	return writeRecord(w, key, val)
+}
+
+// BadCompact truncates the WAL after renaming the new snapshot into place
+// without fsyncing the directory: a crash can lose the rename and the
+// truncated log together.
+func (s *store) BadCompact(data []byte) error {
+	tmp := filepath.Join(s.dir, "snapshot.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, "snapshot")); err != nil { // want "temp-file rename is never made durable"
+		return err
+	}
+	return s.wal.Truncate(0) // want "truncate after a rename with no directory fsync in between"
+}
+
+// OKCompact fsyncs the directory between the rename and the WAL truncate.
+func (s *store) OKCompact(data []byte) error {
+	tmp := filepath.Join(s.dir, "snapshot.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, "snapshot")); err != nil {
+		return err
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	return s.wal.Truncate(0)
+}

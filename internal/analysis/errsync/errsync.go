@@ -49,7 +49,7 @@ func run(pass *analysis.Pass) error {
 
 // report flags call if it is a durability-critical call returning an error.
 func report(pass *analysis.Pass, call *ast.CallExpr, how string) {
-	if why := criticalCall(pass.TypesInfo, call); why != "" {
+	if why := criticalCall(pass, call); why != "" {
 		pass.Reportf(call.Pos(), "%s %s: this error is load-bearing for crash consistency; handle it or record it", why, how)
 	}
 }
@@ -63,7 +63,7 @@ func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
 	if !ok {
 		return
 	}
-	why := criticalCall(pass.TypesInfo, call)
+	why := criticalCall(pass, call)
 	if why == "" {
 		return
 	}
@@ -97,9 +97,24 @@ func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
 }
 
 // criticalCall classifies a call as durability-critical, returning a
-// description ("" = not critical).
-func criticalCall(info *types.Info, call *ast.CallExpr) string {
-	fn := analysis.CalleeOf(info, call)
+// description ("" = not critical). Besides direct calls, a call through an
+// interface whose CHA-resolved concrete target is critical is flagged too
+// (e.g. dropping the error of an interface-typed store whose implementation
+// is the kvstore).
+func criticalCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	if why := classifyCritical(analysis.CalleeOf(pass.TypesInfo, call)); why != "" {
+		return why
+	}
+	for _, n := range pass.Prog.Graph.CalleesAt(call) {
+		if why := classifyCritical(n.Func); why != "" {
+			return why + " (via interface dispatch)"
+		}
+	}
+	return ""
+}
+
+// classifyCritical classifies one resolved function by identity.
+func classifyCritical(fn *types.Func) string {
 	if fn == nil {
 		return ""
 	}

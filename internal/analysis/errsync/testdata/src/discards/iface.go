@@ -1,0 +1,21 @@
+package discards
+
+import (
+	fixkv "fix/internal/kvstore"
+)
+
+// putter is satisfied by the fixture kvstore.Store; a discarded error on a
+// call through it is caught by CHA resolution, not direct callee identity.
+type putter interface {
+	Put(k, v []byte) error
+}
+
+func BadViaInterface(p putter) {
+	p.Put([]byte("k"), []byte("v")) // want `kvstore WAL write Store\.Put \(via interface dispatch\) ignored`
+}
+
+func OKViaInterface(p putter) error {
+	return p.Put([]byte("k"), nil)
+}
+
+var _ putter = (*fixkv.Store)(nil)

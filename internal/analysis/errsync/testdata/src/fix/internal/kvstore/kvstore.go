@@ -1,0 +1,11 @@
+// Package kvstore is a fixture stand-in for repro/internal/kvstore (the
+// analyzers match project packages by import-path suffix). It exists so the
+// errsync interface-dispatch case has a CHA candidate inside the analyzed
+// fixture set — imported packages contribute no CHA targets.
+package kvstore
+
+type Store struct{}
+
+func (s *Store) Put(k, v []byte) error { return nil }
+
+func (s *Store) Sync() error { return nil }

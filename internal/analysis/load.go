@@ -37,9 +37,16 @@ type listedPkg struct {
 
 // Load lists the packages matching patterns (relative to dir; "" = cwd) with
 // `go list -export -deps -json` and type-checks the non-dependency matches
-// from source. Dependencies — both standard library and module-internal —
-// are resolved from the compiler export data the build cache already holds,
-// so loading works fully offline and never re-typechecks the world.
+// from source. True dependencies — standard library and DepOnly module
+// packages — are resolved from the compiler export data the build cache
+// already holds, so loading works fully offline and never re-typechecks the
+// world. Analyzed packages that import each other resolve to the SAME
+// source-checked *types.Package: `go list -deps` emits packages in
+// dependency order, and the importer prefers already-checked source
+// packages over export data. Without that, a *types.Func reached from a
+// sibling package would be a distinct export-data object and every
+// cross-package interprocedural fact (call-graph edges, taint, blocking
+// summaries) would silently miss.
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	listed, err := goList(dir, patterns...)
 	if err != nil {
@@ -52,7 +59,10 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		}
 	}
 	fset := token.NewFileSet()
-	imp := NewExportImporter(fset, exports)
+	imp := &sourceFirstImporter{
+		src:      make(map[string]*types.Package),
+		fallback: NewExportImporter(fset, exports),
+	}
 	var out []*Package
 	for _, lp := range listed {
 		if lp.DepOnly {
@@ -65,9 +75,25 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		imp.src[lp.ImportPath] = pkg.Types
 		out = append(out, pkg)
 	}
 	return out, nil
+}
+
+// sourceFirstImporter resolves analyzed packages to their source-checked
+// instance and everything else from export data, keeping object identity
+// consistent across the whole loaded program.
+type sourceFirstImporter struct {
+	src      map[string]*types.Package
+	fallback types.Importer
+}
+
+func (si *sourceFirstImporter) Import(path string) (*types.Package, error) {
+	if p, ok := si.src[path]; ok {
+		return p, nil
+	}
+	return si.fallback.Import(path)
 }
 
 func goList(dir string, patterns ...string) ([]listedPkg, error) {

@@ -17,9 +17,12 @@
 //
 // Helper functions carry the annotation in their doc comment and are
 // exempt from both rules; the ascending order inside them is covered by the
-// seeded property tests, not this analyzer. The analysis is intraprocedural
-// with a one-level call summary and walks bodies in source order, which is
-// exact for the straight-line lock/unlock pairing this codebase uses.
+// seeded property tests, not this analyzer. Lock tracking walks bodies in
+// source order, which is exact for the straight-line lock/unlock pairing
+// this codebase uses; the "callee acquires a shard lock" summary is
+// transitive over the program call graph (cross-package, with the witness
+// chain in the message), excluding edges inside go statements and function
+// literals.
 package lockorder
 
 import (
@@ -28,6 +31,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
 )
 
 // ShardTypeName is the struct type whose mutex field is governed by the
@@ -45,71 +49,117 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
+// shardFact is the program-wide lockorder fact: which functions are
+// sanctioned acquisition helpers (directive in their doc comment), and
+// which functions acquire a shard lock — directly, via a helper, or
+// through any transitive callee chain.
+type shardFact struct {
+	helpers  map[*types.Func]bool
+	acquires map[*types.Func]*callgraph.Witness
+}
+
+func buildFact(prog *analysis.Program) *shardFact {
+	f := &shardFact{helpers: make(map[*types.Func]bool)}
+	for _, n := range prog.Graph.Nodes() {
+		// Scan the raw comment list: CommentGroup.Text() strips
+		// directive-style comments like //deltavet:lockorder-helper.
+		if n.Decl == nil || n.Decl.Doc == nil {
+			continue
+		}
+		for _, c := range n.Decl.Doc.List {
+			if strings.Contains(c.Text, helperMark) {
+				f.helpers[n.Func] = true
+				break
+			}
+		}
+	}
+	// Transitive summary: a function acquires a shard lock if its own body
+	// does (directly or through an acquire-helper call), or if any callee
+	// outside go statements and function literals does. Helpers themselves
+	// stay unmarked — call sites into them are checked by the dedicated
+	// helper rule, with held-count bookkeeping.
+	f.acquires = prog.Graph.Transitive(
+		func(n *callgraph.Node) string {
+			if n.Decl == nil || n.Decl.Body == nil || n.Src == nil || f.helpers[n.Func] {
+				return ""
+			}
+			return directAcquire(n.Src.Info, n.Decl, f.helpers)
+		},
+		func(e *callgraph.Edge) bool {
+			return e.InGo || e.InLit || f.helpers[e.Caller.Func]
+		},
+	)
+	return f
+}
+
+// directAcquire reports whether the body itself takes a shard lock,
+// skipping go statements and function literals.
+func directAcquire(info *types.Info, fd *ast.FuncDecl, helpers map[*types.Func]bool) string {
+	why := ""
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		if why != "" || n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return
+		case *ast.CallExpr:
+			if op, isShard := shardLockOp(info, n); isShard && (op == "Lock" || op == "RLock") {
+				why = "a direct shard " + op
+				return
+			}
+			if callee := analysis.CalleeOf(info, n); callee != nil && helpers[callee] && isAcquireName(callee.Name()) {
+				why = "the lock-set helper " + callee.Name()
+				return
+			}
+		}
+		children(n, walk)
+	}
+	walk(fd.Body)
+	return why
+}
+
+// children invokes f on each direct child of n.
+func children(n ast.Node, f func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			f(c)
+		}
+		return false
+	})
+}
+
 func run(pass *analysis.Pass) error {
-	// Index this package's function declarations so calls can be resolved
-	// to their doc comments (helper detection) and lock summaries.
-	decls := make(map[*types.Func]*ast.FuncDecl)
+	fact := pass.Prog.Fact(pass.Analyzer, func(prog *analysis.Program) any {
+		return buildFact(prog)
+	}).(*shardFact)
+
 	for _, f := range pass.Files {
 		for _, d := range f.Decls {
 			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Name == nil {
+			if !ok || fd.Name == nil || fd.Body == nil {
 				continue
 			}
-			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
-				decls[obj] = fd
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok || fact.helpers[obj] {
+				continue
 			}
+			checkFunc(pass, fd, fact)
 		}
-	}
-	helpers := make(map[*types.Func]bool)
-	for obj, fd := range decls {
-		// Scan the raw comment list: CommentGroup.Text() strips
-		// directive-style comments like //deltavet:lockorder-helper.
-		if fd.Doc != nil {
-			for _, c := range fd.Doc.List {
-				if strings.Contains(c.Text, helperMark) {
-					helpers[obj] = true
-					break
-				}
-			}
-		}
-	}
-	// One-level summary: functions that acquire a shard lock themselves
-	// (directly or through a helper call). Calling one while holding a
-	// shard lock nests acquisitions across the call edge.
-	acquires := make(map[*types.Func]bool)
-	for obj, fd := range decls {
-		if fd.Body == nil {
-			continue
-		}
-		found := false
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok || found {
-				return !found
-			}
-			if op, isShard := shardLockOp(pass.TypesInfo, call); isShard && (op == "Lock" || op == "RLock") {
-				found = true
-			}
-			if callee := analysis.CalleeOf(pass.TypesInfo, call); callee != nil && helpers[callee] && isAcquireName(callee.Name()) {
-				found = true
-			}
-			return !found
-		})
-		acquires[obj] = found
-	}
-
-	for obj, fd := range decls {
-		if helpers[obj] || fd.Body == nil {
-			continue
-		}
-		checkFunc(pass, fd, helpers, acquires)
 	}
 	return nil
 }
 
 // checkFunc walks one non-helper function body in source order, tracking
 // how many shard locks are held.
-func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, helpers, acquires map[*types.Func]bool) {
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, fact *shardFact) {
+	helpers := fact.helpers
 	held := 0
 	var walk func(n ast.Node, inDefer bool)
 	walk = func(n ast.Node, inDefer bool) {
@@ -122,6 +172,14 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, helpers, acquires map[*typ
 			// deferred acquire would be bizarre; ignore both for held
 			// accounting but still apply rule 1 to the call itself.
 			walk(n.Call, true)
+			return
+		case *ast.GoStmt:
+			// The spawned goroutine does not run under our shard locks;
+			// its argument expressions do.
+			for _, arg := range n.Call.Args {
+				walk(arg, inDefer)
+			}
+			walk(n.Call.Fun, inDefer)
 			return
 		case *ast.CallExpr:
 			for _, arg := range n.Args {
@@ -161,8 +219,14 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, helpers, acquires map[*typ
 					if !inDefer && held > 0 {
 						held--
 					}
-				case acquires[callee] && held > 0:
-					pass.Reportf(n.Pos(), "call to %s (which acquires a shard lock) while a shard lock is held: nested acquisition can deadlock", callee.Name())
+				default:
+					if w := fact.acquires[callee]; w != nil && held > 0 {
+						via := ""
+						if c := w.Chain(); c != "" {
+							via = " (via " + callee.Name() + " -> " + c + ")"
+						}
+						pass.Reportf(n.Pos(), "call to %s (which acquires a shard lock) while a shard lock is held: nested acquisition can deadlock%s", callee.Name(), via)
+					}
 				}
 			}
 			return

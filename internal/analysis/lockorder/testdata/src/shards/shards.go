@@ -87,6 +87,27 @@ func (s *Server) OKSequential() {
 	s.readOne()
 }
 
+// wrapsReadOne acquires only transitively: readOne takes the lock.
+func (s *Server) wrapsReadOne() []byte { return s.readOne() }
+
+// BadCallTransitiveAcquirer reaches the acquisition through two frames;
+// only the call-graph summary sees it, and the chain names the witness.
+func (s *Server) BadCallTransitiveAcquirer() {
+	sh := s.shards[3]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	s.wrapsReadOne() // want `acquires a shard lock\) while a shard lock is held: nested acquisition can deadlock \(via wrapsReadOne -> readOne\)`
+}
+
+// OKSpawnAcquirer: the acquiring callee runs in a goroutine, not under the
+// caller's shard lock.
+func (s *Server) OKSpawnAcquirer() {
+	sh := s.shards[4]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	go s.readOne()
+}
+
 // OKOtherMutex: non-shard mutexes are not lockorder's concern.
 func OKOtherMutex() {
 	var mu sync.Mutex

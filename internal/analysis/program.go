@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/callgraph"
+	"repro/internal/analysis/cfg"
+)
+
+// Program is the whole-analysis view: every loaded package plus the
+// interprocedural facts built over them — the CHA call graph, lazily built
+// per-function CFGs, and memoized per-analyzer program-wide facts (e.g.
+// blockunderlock's "transitively blocks" summary). One Program is built per
+// driver invocation and shared by every per-package Pass, so summaries are
+// computed once however many packages are analyzed.
+type Program struct {
+	Packages []*Package
+	Graph    *callgraph.Graph
+
+	cfgs  map[*ast.FuncDecl]*cfg.Graph
+	facts map[*Analyzer]any
+	byPkg map[*types.Package]*Package
+}
+
+// NewProgram builds the call graph over pkgs and returns the shared
+// program context. The driver (and the analysistest harness) call this once
+// over every package they load, so interprocedural analyzers see callees in
+// sibling packages.
+func NewProgram(pkgs []*Package) *Program {
+	srcs := make([]*callgraph.Source, 0, len(pkgs))
+	byPkg := make(map[*types.Package]*Package, len(pkgs))
+	for _, p := range pkgs {
+		srcs = append(srcs, &callgraph.Source{
+			Fset:  p.Fset,
+			Files: p.Files,
+			Pkg:   p.Types,
+			Info:  p.TypesInfo,
+		})
+		byPkg[p.Types] = p
+	}
+	return &Program{
+		Packages: pkgs,
+		Graph:    callgraph.Build(srcs),
+		cfgs:     make(map[*ast.FuncDecl]*cfg.Graph),
+		facts:    make(map[*Analyzer]any),
+		byPkg:    byPkg,
+	}
+}
+
+// CFG returns the (cached) control-flow graph of a function declaration.
+func (p *Program) CFG(fd *ast.FuncDecl) *cfg.Graph {
+	if g, ok := p.cfgs[fd]; ok {
+		return g
+	}
+	g := cfg.New(fd.Body)
+	p.cfgs[fd] = g
+	return g
+}
+
+// Fact returns the analyzer's memoized program-wide fact, building it on
+// first use. Analyzers use this for summaries that are a property of the
+// whole program rather than one package (transitive blocking, taint
+// signatures), so the fixpoint runs once even though Run is per-package.
+func (p *Program) Fact(a *Analyzer, build func(*Program) any) any {
+	if f, ok := p.facts[a]; ok {
+		return f
+	}
+	f := build(p)
+	p.facts[a] = f
+	return f
+}
+
+// PackageOf maps a types.Package back to its loaded Package, or nil for
+// imported (non-analyzed) packages.
+func (p *Program) PackageOf(t *types.Package) *Package { return p.byPkg[t] }
+
+// Run executes the analyzers over one of the program's packages, with the
+// program context on the pass. Findings come back sorted by position;
+// suppression is NOT applied here — see Suppress.
+func (p *Program) Run(pkg *Package, analyzers ...*Analyzer) ([]Diagnostic, error) {
+	return runWith(p, pkg, analyzers...)
+}

@@ -1,0 +1,129 @@
+// Package msgs exercises the wiretaint analyzer: wire-decoded lengths,
+// offsets, and paths must be validated before allocation, slicing, or
+// filesystem use.
+package msgs
+
+import (
+	"os"
+	"path/filepath"
+
+	"sinks"
+	"taint/internal/wire"
+)
+
+const maxLen = 1 << 20
+
+func BadAlloc(d *wire.Delta) []byte {
+	return make([]byte, d.TargetLen) // want "wire-derived length d.TargetLen used to size an allocation"
+}
+
+func OKAllocChecked(d *wire.Delta) []byte {
+	if d.TargetLen > maxLen {
+		return nil
+	}
+	return make([]byte, d.TargetLen)
+}
+
+// OKLenLaunders: the decoded buffer's actual length is ground truth, not a
+// peer-claimed size.
+func OKLenLaunders(d *wire.Delta) []byte {
+	return make([]byte, len(d.Data))
+}
+
+// BadViaLocal: taint survives assignment through a local.
+func BadViaLocal(d *wire.Delta) []byte {
+	n := int(d.TargetLen)
+	return make([]byte, n) // want "wire-derived length n used to size an allocation"
+}
+
+func BadSliceBound(n *wire.Node, data []byte) []byte {
+	return data[:n.Size] // want "wire-derived value n.Size used as a slice bound"
+}
+
+func OKSliceChecked(n *wire.Node, data []byte) []byte {
+	if n.Size > int64(len(data)) {
+		return nil
+	}
+	return data[:n.Size]
+}
+
+func BadIndex(n *wire.Node, data []byte) byte {
+	return data[n.Off] // want "wire-derived value n.Off used as an index"
+}
+
+func OKIndexChecked(n *wire.Node, data []byte) byte {
+	if n.Off < 0 || n.Off >= int64(len(data)) {
+		return 0
+	}
+	return data[n.Off]
+}
+
+// OKMaskedIndex: a bitmask bounds the index no matter what the peer sent
+// (the stripe-index idiom); modulo likewise.
+func OKMaskedIndex(n *wire.Node, stripes [8]int) int {
+	return stripes[n.Off&7]
+}
+
+func OKModIndex(n *wire.Node, data []byte) byte {
+	return data[n.Off%int64(len(data))]
+}
+
+// BadEqualityCheck: an equality comparison does not bound magnitude — a
+// huge claimed length passes a != consistency check just fine.
+func BadEqualityCheck(d *wire.Delta) []byte {
+	out := make([]byte, 0, d.TargetLen) // want "wire-derived length d.TargetLen used to size an allocation"
+	if int64(len(out)) != int64(d.TargetLen) {
+		return nil
+	}
+	return out
+}
+
+// OKMapIndex: maps cannot over-allocate or panic on a hostile key.
+func OKMapIndex(n *wire.Node, m map[string][]byte) []byte {
+	return m[n.Path]
+}
+
+func BadOpen(n *wire.Node) (*os.File, error) {
+	return os.Open(n.Path) // want "wire-derived path n.Path passed to Open without validation"
+}
+
+func validatePath(p string) error {
+	if p != filepath.Clean(p) {
+		return os.ErrInvalid
+	}
+	return nil
+}
+
+func OKOpenValidated(n *wire.Node) (*os.File, error) {
+	if err := validatePath(n.Path); err != nil {
+		return nil, err
+	}
+	return os.Open(n.Path)
+}
+
+// OKBatchValidated: a Validate call on the wire struct sanitizes all of its
+// fields for the rest of the function.
+func OKBatchValidated(b *wire.Batch) []wire.Node {
+	if err := b.Validate(); err != nil {
+		return nil
+	}
+	return make([]wire.Node, 0, b.Count)
+}
+
+// alloc has no wire import in sight; the finding inside it is reachable
+// only through the parameter-taint fixpoint over the call graph.
+func alloc(n int) []byte {
+	return make([]byte, n) // want `wire-derived length n used to size an allocation without a bounds check: a hostile peer controls this allocation \[wire value flows in via BadForward -> alloc\]`
+}
+
+func BadForward(d *wire.Delta) []byte {
+	return alloc(int(d.TargetLen))
+}
+
+func BadCrossPackage(d *wire.Delta) []byte {
+	return sinks.Alloc(int(d.TargetLen))
+}
+
+func OKCrossPackage(d *wire.Delta) []byte {
+	return sinks.AllocChecked(int(d.TargetLen))
+}

@@ -1,0 +1,16 @@
+// Package sinks holds allocation helpers with no wire import of their own;
+// taint reaches them only through the cross-package call graph.
+package sinks
+
+func Alloc(n int) []byte {
+	return make([]byte, n) // want "wire-derived length n used to size an allocation"
+}
+
+// AllocChecked bounds its parameter before allocating; callers may feed it
+// wire values freely.
+func AllocChecked(n int) []byte {
+	if n < 0 || n > 1<<20 {
+		return nil
+	}
+	return make([]byte, n)
+}

@@ -1,0 +1,24 @@
+// Package wire is a fixture stand-in for repro/internal/wire (analyzers
+// match project packages by import-path suffix): its struct fields are the
+// taint sources wiretaint tracks.
+package wire
+
+type Delta struct {
+	TargetLen uint32
+	Data      []byte
+}
+
+type Node struct {
+	Path string
+	Size int64
+	Off  int64
+}
+
+type Batch struct {
+	Count uint32
+	Path  string
+	Nodes []Node
+}
+
+// Validate is the sanctioned whole-message sanitizer.
+func (b *Batch) Validate() error { return nil }

@@ -1,0 +1,12 @@
+package wiretaint_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/wiretaint"
+)
+
+func TestWiretaint(t *testing.T) {
+	analysistest.Run(t, wiretaint.Analyzer, "msgs", "sinks")
+}

@@ -289,6 +289,12 @@ func (e *Engine) pollForwarded() {
 // concurrent local edits: the forwarded content is materialized as a
 // conflict file and the user resolves it (§III-C/§III-D).
 func (e *Engine) applyRemote(b *wire.Batch) {
+	// Forwarded batches are wire input too: the server validates pushes,
+	// but a client cannot assume the forwarding server is honest. Reject
+	// malformed batches whole before applying any node to the local tree.
+	if err := b.Validate(); err != nil {
+		return
+	}
 	for _, n := range b.Nodes {
 		if err := e.applyRemoteNode(n); err != nil {
 			continue
@@ -402,6 +408,9 @@ func (e *Engine) remoteContent(n *wire.Node) ([]byte, error) {
 		}
 		buf := append([]byte(nil), base...)
 		for _, ext := range n.Extents {
+			if ext.Off < 0 {
+				return nil, fmt.Errorf("core: %s: negative extent offset %d", n.Path, ext.Off)
+			}
 			if end := ext.Off + int64(len(ext.Data)); end > int64(len(buf)) {
 				grown := make([]byte, end)
 				copy(grown, buf)

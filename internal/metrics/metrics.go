@@ -266,9 +266,10 @@ type SyncMeter struct {
 	retries       atomic.Int64
 	reconnects    atomic.Int64
 	dedupHits     atomic.Int64
-	degradedNanos atomic.Int64
-	outboxDrops   atomic.Int64
-	outboxPeak    atomic.Int64
+	degradedNanos   atomic.Int64
+	outboxDrops     atomic.Int64
+	outboxPeak      atomic.Int64
+	outboxThrottles atomic.Int64
 }
 
 // SyncStats is a snapshot of a SyncMeter, in report-friendly units.
@@ -282,6 +283,10 @@ type SyncStats struct {
 	// observed. Both are zero unless the server is wired to this meter.
 	OutboxDrops int64 `json:"outbox_drops,omitempty"`
 	OutboxPeak  int64 `json:"outbox_peak,omitempty"`
+	// OutboxThrottles counts pushes answered with PushReply.Throttled —
+	// backpressure signaled to the pusher because a peer's outbox was at
+	// its bound.
+	OutboxThrottles int64 `json:"outbox_throttles,omitempty"`
 }
 
 // Retry records one retried RPC attempt.
@@ -311,6 +316,21 @@ func (m *SyncMeter) OutboxDrop(n int64) {
 	if m != nil && n > 0 {
 		m.outboxDrops.Add(n)
 	}
+}
+
+// OutboxThrottle records one push answered with a backpressure signal.
+func (m *SyncMeter) OutboxThrottle() {
+	if m != nil {
+		m.outboxThrottles.Add(1)
+	}
+}
+
+// OutboxThrottles returns the backpressure-signaled push count.
+func (m *SyncMeter) OutboxThrottles() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.outboxThrottles.Load()
 }
 
 // OutboxDepth records an observed per-client outbox depth, keeping the peak.
@@ -394,6 +414,7 @@ func (m *SyncMeter) Snapshot() SyncStats {
 		DegradedSeconds: m.Degraded().Seconds(),
 		OutboxDrops:     m.outboxDrops.Load(),
 		OutboxPeak:      m.outboxPeak.Load(),
+		OutboxThrottles: m.outboxThrottles.Load(),
 	}
 }
 

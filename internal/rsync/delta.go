@@ -246,11 +246,24 @@ func (d *Delta) Release() {
 	d.Ops = d.Ops[:0]
 }
 
+// maxPatchPrealloc caps how much memory Patch commits up front on the word
+// of a wire-decoded TargetLen. A hostile delta claiming a huge target gets a
+// bounded initial buffer and then has to actually send the ops to grow it;
+// the final equality check against TargetLen still runs on the real length.
+const maxPatchPrealloc = 1 << 26 // 64 MiB
+
 // Patch applies d to base and returns the reconstructed target. It validates
 // every copy range against the base and the final length against
 // d.TargetLen. The meter is charged for the bytes materialized.
 func Patch(base []byte, d *Delta, meter *metrics.CPUMeter) ([]byte, error) {
-	out := make([]byte, 0, d.TargetLen)
+	if d.TargetLen < 0 {
+		return nil, fmt.Errorf("rsync: negative target length %d", d.TargetLen)
+	}
+	prealloc := d.TargetLen
+	if prealloc > maxPatchPrealloc {
+		prealloc = maxPatchPrealloc
+	}
+	out := make([]byte, 0, prealloc)
 	for i, op := range d.Ops {
 		switch op.Kind {
 		case OpCopy:

@@ -278,6 +278,23 @@ func TestPatchRejectsWrongLength(t *testing.T) {
 	}
 }
 
+func TestPatchRejectsNegativeTargetLen(t *testing.T) {
+	d := &Delta{TargetLen: -1}
+	if _, err := Patch(nil, d, nil); err == nil {
+		t.Fatal("Patch accepted negative target length")
+	}
+}
+
+func TestPatchBoundsHostilePrealloc(t *testing.T) {
+	// A delta claiming a petabyte target must not commit a petabyte up
+	// front: the preallocation is capped and the lie is caught by the final
+	// length check after only the real op bytes were materialized.
+	d := &Delta{TargetLen: 1 << 50, Ops: []Op{{Kind: OpData, Data: []byte("abc")}}}
+	if _, err := Patch(nil, d, nil); err == nil {
+		t.Fatal("Patch accepted a target length its ops never produced")
+	}
+}
+
 func TestPatchRejectsUnknownOp(t *testing.T) {
 	d := &Delta{TargetLen: 0, Ops: []Op{{Kind: 99}}}
 	if _, err := Patch(nil, d, nil); err == nil {

@@ -159,6 +159,9 @@ func (s *Server) applyNode(t *txn, n *wire.Node) error {
 	case wire.NWrite:
 		var maxEnd int64
 		for _, e := range n.Extents {
+			if e.Off < 0 {
+				return fmt.Errorf("write %s: negative extent offset %d", n.Path, e.Off)
+			}
 			if end := e.Off + int64(len(e.Data)); end > maxEnd {
 				maxEnd = end
 			}
@@ -255,10 +258,6 @@ func (s *Server) applyNode(t *txn, n *wire.Node) error {
 
 	case wire.NCDC:
 		t.touch(n.Path)
-		var total int64
-		for _, c := range n.Chunks {
-			total += c.Len
-		}
 		// Resolve every reference before storing any carried chunk: the
 		// client built its references against the store's state at push
 		// time, and inserting new chunks first could evict a chunk a later
@@ -277,6 +276,14 @@ func (s *Server) applyNode(t *txn, n *wire.Node) error {
 				return fmt.Errorf("cdc: chunk %x length %d != %d", c.Hash[:4], len(data), c.Len)
 			}
 			resolved[i] = data
+		}
+		// Size the assembly buffer from the verified chunk lengths, not the
+		// wire-claimed ones: by this point every resolved[i] has had its
+		// actual length checked, so the sum cannot be inflated by a hostile
+		// ChunkRef.Len.
+		var total int64
+		for i := range resolved {
+			total += int64(len(resolved[i]))
 		}
 		// Store carried chunks per-stripe: no server-wide lock on the push
 		// path. The resolved slices stay valid regardless of eviction (the
@@ -382,6 +389,9 @@ func (s *Server) applyToContent(base []byte, n *wire.Node) ([]byte, error) {
 	case wire.NWrite:
 		buf := append([]byte(nil), base...)
 		for _, e := range n.Extents {
+			if e.Off < 0 {
+				return nil, fmt.Errorf("write %s: negative extent offset %d", n.Path, e.Off)
+			}
 			if end := e.Off + int64(len(e.Data)); end > int64(len(buf)) {
 				grown := make([]byte, end)
 				copy(grown, buf)

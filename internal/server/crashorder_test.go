@@ -1,0 +1,55 @@
+package server
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSaveFileDirSyncOrdering locks in the crash-ordering fix deltavet's
+// crashsafe analyzer found: SaveFile must fsync the parent directory after
+// the rename, or a crash can forget the rename entirely.
+func TestSaveFileDirSyncOrdering(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.snap")
+	s := New(nil)
+
+	calls := 0
+	syncDirHook = func(d string) error {
+		calls++
+		if d != dir {
+			t.Errorf("directory fsync on %q, want %q", d, dir)
+		}
+		if _, err := os.Stat(path); err != nil {
+			t.Errorf("directory fsync before the rename: %v", err)
+		}
+		if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+			t.Errorf("temp file still present at directory-fsync time: err=%v", err)
+		}
+		return nil
+	}
+	defer func() { syncDirHook = nil }()
+
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("directory fsyncs = %d, want 1", calls)
+	}
+
+	// A failed directory fsync must surface: the caller cannot treat the
+	// snapshot as durable.
+	boom := errors.New("injected crash at directory fsync")
+	syncDirHook = func(string) error { return boom }
+	if err := s.SaveFile(path); !errors.Is(err, boom) {
+		t.Fatalf("SaveFile error = %v, want the injected crash", err)
+	}
+	syncDirHook = nil
+
+	// The file that was renamed into place is still loadable.
+	s2 := New(nil)
+	if ok, err := s2.LoadFile(path); err != nil || !ok {
+		t.Fatalf("LoadFile = %v, %v; want true, nil", ok, err)
+	}
+}

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rsync"
+	"repro/internal/wire"
+)
+
+// Hostile-input tests: a peer speaking the wire protocol but lying in every
+// field it controls. The server must reject at the Push boundary — no
+// partial application, no panic, no unbounded allocation.
+
+func hostilePush(t *testing.T, s *Server, from uint32, nodes ...*wire.Node) *wire.PushReply {
+	t.Helper()
+	return s.Push(from, &wire.Batch{Client: from, Nodes: nodes})
+}
+
+func wantRejected(t *testing.T, r *wire.PushReply, frag string) {
+	t.Helper()
+	if r.Err == "" || !strings.Contains(r.Err, frag) {
+		t.Fatalf("reply err = %q, want mention of %q", r.Err, frag)
+	}
+	for i, st := range r.Statuses {
+		if st != wire.StatusError {
+			t.Fatalf("node %d status = %d, want StatusError", i, st)
+		}
+	}
+}
+
+func TestPushRejectsTraversalPath(t *testing.T) {
+	s := New(nil)
+	cli := s.Register()
+	r := hostilePush(t, s, cli,
+		&wire.Node{Kind: wire.NCreate, Path: "ok", Ver: v(cli, 1)},
+		&wire.Node{Kind: wire.NCreate, Path: "../../etc/cron.d/x", Ver: v(cli, 2)},
+	)
+	wantRejected(t, r, "escapes")
+	// Rejection is atomic: the well-formed first node must not have landed.
+	if _, ok := s.FileContent("ok"); ok {
+		t.Fatal("node applied from a rejected batch")
+	}
+}
+
+func TestPushRejectsAbsolutePath(t *testing.T) {
+	s := New(nil)
+	cli := s.Register()
+	wantRejected(t, hostilePush(t, s, cli,
+		&wire.Node{Kind: wire.NCreate, Path: "/etc/passwd", Ver: v(cli, 1)},
+	), "absolute")
+}
+
+func TestPushRejectsNegativeExtentOffset(t *testing.T) {
+	s := New(nil)
+	cli := s.Register()
+	wantRejected(t, hostilePush(t, s, cli,
+		&wire.Node{Kind: wire.NWrite, Path: "f", Ver: v(cli, 1),
+			Extents: []wire.Extent{{Off: -8, Data: []byte("underflow")}}},
+	), "negative offset")
+}
+
+func TestPushRejectsLyingChunkLength(t *testing.T) {
+	s := New(nil)
+	cli := s.Register()
+	wantRejected(t, hostilePush(t, s, cli,
+		&wire.Node{Kind: wire.NCDC, Path: "f", Ver: v(cli, 1),
+			Chunks: []wire.ChunkRef{{Len: 1 << 40, Data: []byte("tiny")}}},
+	), "claims")
+}
+
+func TestPushRejectsHugeDeltaTarget(t *testing.T) {
+	s := New(nil)
+	cli := s.Register()
+	wantRejected(t, hostilePush(t, s, cli,
+		&wire.Node{Kind: wire.NDelta, Path: "f", Ver: v(cli, 1),
+			Delta: &rsync.Delta{TargetLen: -1}},
+	), "negative delta target")
+}
+
+func TestPushRejectionLeavesNoDedupState(t *testing.T) {
+	s := New(nil)
+	cli := s.Register()
+	bad := &wire.Batch{Client: cli, Seq: 7, Nodes: []*wire.Node{
+		{Kind: wire.NCreate, Path: "/abs", Ver: v(cli, 1)},
+	}}
+	if r := s.Push(cli, bad); r.Err == "" {
+		t.Fatal("malformed batch accepted")
+	}
+	// The same Seq with a well-formed batch must apply normally — the
+	// rejected attempt must not have been recorded as Seq 7's outcome.
+	good := &wire.Batch{Client: cli, Seq: 7, Nodes: []*wire.Node{
+		{Kind: wire.NCreate, Path: "f", Ver: v(cli, 1)},
+	}}
+	mustOK(t, s.Push(cli, good))
+	if _, ok := s.FileContent("f"); !ok {
+		t.Fatal("well-formed retry of a rejected Seq did not apply")
+	}
+}

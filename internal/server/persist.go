@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"repro/internal/block"
 	"repro/internal/version"
@@ -246,7 +247,8 @@ func (s *Server) Load(r io.Reader) error {
 	return nil
 }
 
-// SaveFile writes the state to path atomically (write temp, fsync, rename).
+// SaveFile writes the state to path atomically (write temp, fsync, rename,
+// fsync the directory so the rename itself survives a crash).
 func (s *Server) SaveFile(path string) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -269,7 +271,29 @@ func (s *Server) SaveFile(path string) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDirHook, when non-nil, replaces the directory fsync. Crash-ordering
+// tests intercept it to observe the rename -> dir-fsync sequence.
+var syncDirHook func(dir string) error
+
+// syncDir makes a completed rename in dir durable: until the parent
+// directory's metadata is fsynced, a crash may forget the rename and
+// resurrect the previous snapshot under the final name.
+func syncDir(dir string) error {
+	if syncDirHook != nil {
+		return syncDirHook(dir)
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // LoadFile restores state from path. A missing file is not an error (fresh

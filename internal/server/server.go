@@ -437,6 +437,17 @@ func (s *Server) Push(from uint32, b *wire.Batch) *wire.PushReply {
 	s.meter.RPC(1)
 	s.meter.Net(b.WireSize())
 
+	// Trust boundary: everything in b is attacker-controlled until it
+	// passes shape validation. Reject before touching dedup state or any
+	// shard — a malformed batch must leave no trace.
+	if err := b.Validate(); err != nil {
+		statuses := make([]wire.ApplyStatus, len(b.Nodes))
+		for i := range statuses {
+			statuses[i] = wire.StatusError
+		}
+		return &wire.PushReply{Statuses: statuses, Err: err.Error()}
+	}
+
 	cs := s.ensureClient(from)
 
 	// Idempotency: a keyed batch at or below the highest Seq applied for
@@ -474,7 +485,14 @@ func (s *Server) Push(from uint32, b *wire.Batch) *wire.PushReply {
 	// while the shard locks are still held so two batches racing on the
 	// same file land in every outbox in their commit order.
 	if s.sharing() {
-		s.forward(from, b)
+		dropped, peak := s.forward(from, b)
+		// Backpressure: tell the pusher when a peer's outbox is at its
+		// bound (evicting, or one more forward away from it) instead of
+		// dropping forwards silently. The push itself still succeeded.
+		if dropped > 0 || (OutboxDepthLimit > 0 && peak >= OutboxDepthLimit) {
+			reply.Throttled = true
+			s.syncM().OutboxThrottle()
+		}
 	}
 
 	locks.unlock()
@@ -486,10 +504,11 @@ func (s *Server) Push(from uint32, b *wire.Batch) *wire.PushReply {
 	return reply
 }
 
-// forward appends b to every other registered client's outbox. The caller
-// holds the batch's shard locks; the registry read-lock is released before
-// any outbox lock is taken (lock ordering rule 3).
-func (s *Server) forward(from uint32, b *wire.Batch) {
+// forward appends b to every other registered client's outbox, reporting
+// how many batches the enqueues evicted and the deepest outbox seen. The
+// caller holds the batch's shard locks; the registry read-lock is released
+// before any outbox lock is taken (lock ordering rule 3).
+func (s *Server) forward(from uint32, b *wire.Batch) (int64, int) {
 	type fwdTarget struct {
 		id uint32
 		cs *clientState
@@ -519,6 +538,7 @@ func (s *Server) forward(from uint32, b *wire.Batch) {
 	if dropped > 0 {
 		sm.OutboxDrop(dropped)
 	}
+	return dropped, peak
 }
 
 // DuplicateApplies returns how many keyed batches were applied more than

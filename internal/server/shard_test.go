@@ -454,6 +454,63 @@ func TestOutboxBoundedEviction(t *testing.T) {
 	}
 }
 
+// Outbox backpressure (ROADMAP follow-on): a pusher whose forwards are
+// filling a slow peer's bounded outbox is told so on the reply instead of
+// the forwards being dropped silently, and the signals are counted on the
+// SyncMeter. Draining the outbox clears the signal.
+func TestOutboxBackpressureSignaled(t *testing.T) {
+	old := OutboxDepthLimit
+	OutboxDepthLimit = 4
+	defer func() { OutboxDepthLimit = old }()
+
+	s := New(nil)
+	sm := &metrics.SyncMeter{}
+	s.SetSyncMeter(sm)
+	pusher := s.Register()
+	idle := s.Register() // slow poller
+
+	pushOne := func(i int) *wire.PushReply {
+		t.Helper()
+		r := s.Push(pusher, &wire.Batch{Client: pusher, Nodes: []*wire.Node{{
+			Kind: wire.NFull, Path: fmt.Sprintf("f%d", i),
+			Ver:  version.ID{Client: pusher, Count: uint64(i)},
+			Full: []byte("x"),
+		}}})
+		if r.Statuses[0] != wire.StatusOK {
+			t.Fatalf("push %d: status %d (%s)", i, r.Statuses[0], r.Err)
+		}
+		return r
+	}
+
+	// Below the bound: no backpressure.
+	for i := 1; i <= 3; i++ {
+		if pushOne(i).Throttled {
+			t.Fatalf("push %d throttled at depth %d (limit 4)", i, i)
+		}
+	}
+	// At the bound (one forward away from evicting) and past it: every
+	// reply carries the signal.
+	for i := 4; i <= 10; i++ {
+		if !pushOne(i).Throttled {
+			t.Fatalf("push %d not throttled with the outbox at its bound", i)
+		}
+	}
+	if got := sm.OutboxThrottles(); got != 7 {
+		t.Fatalf("OutboxThrottles = %d, want 7", got)
+	}
+	if stats := sm.Snapshot(); stats.OutboxThrottles != 7 {
+		t.Fatalf("SyncStats.OutboxThrottles = %d, want 7", stats.OutboxThrottles)
+	}
+
+	// Once the slow peer catches up, pushes flow without the signal.
+	if got := s.Poll(idle); len(got) != 4 {
+		t.Fatalf("Poll drained %d batches, want 4", len(got))
+	}
+	if pushOne(11).Throttled {
+		t.Fatal("push throttled after the peer drained its outbox")
+	}
+}
+
 // NewWithShards must round up to a power of two and never go below 1.
 func TestNewWithShardsRounding(t *testing.T) {
 	for _, tc := range []struct{ in, want int }{

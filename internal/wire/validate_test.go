@@ -1,0 +1,96 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rsync"
+)
+
+func TestValidatePath(t *testing.T) {
+	good := []string{"a", "a.txt", "dir/file", "deep/ly/nest/ed", ".hidden", "..dots", "a..b"}
+	for _, p := range good {
+		if err := ValidatePath(p); err != nil {
+			t.Errorf("ValidatePath(%q) = %v, want nil", p, err)
+		}
+	}
+	bad := map[string]string{
+		"":                         "empty",
+		"/etc/passwd":              "absolute",
+		"..":                       "escapes",
+		"../sibling":               "escapes",
+		"a/../../b":                "unclean",
+		"a//b":                     "unclean",
+		"a/./b":                    "unclean",
+		"dir/":                     "unclean",
+		"a\x00b":                   "NUL",
+		strings.Repeat("x", 4097):  "exceeds",
+	}
+	for p, frag := range bad {
+		err := ValidatePath(p)
+		if err == nil {
+			t.Errorf("ValidatePath(%q) = nil, want error", p)
+			continue
+		}
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("ValidatePath(%q) = %q, want mention of %q", p, err, frag)
+		}
+	}
+}
+
+func TestNodeValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		n    *Node
+		frag string // "" = valid
+	}{
+		{"ok write", &Node{Kind: NWrite, Path: "f", Extents: []Extent{{Off: 0, Data: []byte("x")}}}, ""},
+		{"ok rename", &Node{Kind: NRename, Path: "a", Dst: "b"}, ""},
+		{"ok delta", &Node{Kind: NDelta, Path: "f", Delta: &rsync.Delta{TargetLen: 3}}, ""},
+		{"ok cdc", &Node{Kind: NCDC, Path: "f", Chunks: []ChunkRef{{Len: 2, Data: []byte("ab")}, {Len: 9}}}, ""},
+		{"zero kind", &Node{Path: "f"}, "unknown node kind"},
+		{"kind out of range", &Node{Kind: NCDC + 1, Path: "f"}, "unknown node kind"},
+		{"traversal path", &Node{Kind: NCreate, Path: "../x"}, "escapes"},
+		{"bad rename dst", &Node{Kind: NRename, Path: "a", Dst: "/b"}, "destination"},
+		{"bad base path", &Node{Kind: NDelta, Path: "f", BasePath: "../b", Delta: &rsync.Delta{}}, "delta base"},
+		{"negative extent off", &Node{Kind: NWrite, Path: "f", Extents: []Extent{{Off: -1}}}, "negative offset"},
+		{"negative size", &Node{Kind: NTruncate, Path: "f", Size: -5}, "negative size"},
+		{"delta without delta", &Node{Kind: NDelta, Path: "f"}, "without a delta"},
+		{"negative target len", &Node{Kind: NDelta, Path: "f", Delta: &rsync.Delta{TargetLen: -1}}, "negative delta target"},
+		{"negative chunk len", &Node{Kind: NCDC, Path: "f", Chunks: []ChunkRef{{Len: -1}}}, "negative length"},
+		{"lying chunk len", &Node{Kind: NCDC, Path: "f", Chunks: []ChunkRef{{Len: 1 << 40, Data: []byte("ab")}}}, "claims"},
+	}
+	for _, tc := range cases {
+		err := tc.n.Validate()
+		if tc.frag == "" {
+			if err != nil {
+				t.Errorf("%s: Validate() = %v, want nil", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("%s: Validate() = %v, want mention of %q", tc.name, err, tc.frag)
+		}
+	}
+}
+
+func TestBatchValidate(t *testing.T) {
+	ok := &Batch{Nodes: []*Node{{Kind: NCreate, Path: "f"}}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid batch rejected: %v", err)
+	}
+	if err := (&Batch{Nodes: []*Node{nil}}).Validate(); err == nil || !strings.Contains(err.Error(), "nil") {
+		t.Fatalf("nil node: %v", err)
+	}
+	bad := &Batch{Nodes: []*Node{
+		{Kind: NCreate, Path: "f"},
+		{Kind: NCreate, Path: "/abs"},
+	}}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "node 1") {
+		t.Fatalf("bad node not attributed: %v", err)
+	}
+	huge := &Batch{Nodes: make([]*Node, MaxBatchNodes+1)}
+	if err := huge.Validate(); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("oversized batch: %v", err)
+	}
+}

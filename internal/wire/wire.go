@@ -172,6 +172,12 @@ type PushReply struct {
 	// Conflicts lists the conflict-file paths created, parallel to the
 	// StatusConflict entries.
 	Conflicts []string
+	// Throttled signals forwarding backpressure: when this batch was
+	// forwarded, at least one sharing peer's outbox was at its depth bound
+	// (forwarded batches were, or are about to be, evicted). The batch
+	// itself was applied normally; pushers should slow down so slow
+	// pollers can catch up instead of silently losing forwards.
+	Throttled bool
 	Err       string
 }
 
