@@ -4,8 +4,10 @@
 //
 // Usage:
 //
-//	benchall [-scale 1.0] [-exp all|fig1|fig2|table2|fig8|fig9|table3|table4|chaos|scaling]
+//	benchall [-scale 1.0] [-exp all|fig1|fig2|table2|fig8|fig9|table3|table4|chaos|scaling|loadsweep]
 //	         [-chaos-seeds 5] [-clients 1,2,4,8,16] [-json report.json]
+//	         [-load-clients 64,512,2048,10000] [-load-ops 40000] [-group-size 4]
+//	         [-commit-windows 0,1ms,5ms,20ms]
 //	         [-cpuprofile cpu.pprof] [-mutexprofile mutex.pprof] [-blockprofile block.pprof]
 //
 // Scale 1.0 reproduces the paper's trace dimensions (a 131 MB SQLite file,
@@ -23,17 +25,37 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/loadgen"
 )
 
+// loadWorkerArg re-invokes this binary as a loadsweep client worker: big
+// rungs split their client herd across subprocesses so the descriptor
+// budget fits (each loopback connection costs two fds in one process).
+const loadWorkerArg = "__loadworker"
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == loadWorkerArg {
+		if err := loadgen.WorkerMain(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "benchall %s: %v\n", loadWorkerArg, err)
+			os.Exit(1)
+		}
+		return
+	}
 	scale := flag.Float64("scale", 1.0, "trace scale (1.0 = paper dimensions)")
-	exp := flag.String("exp", "all", "experiment: all|fig1|fig2|table2|fig8|fig9|table3|table4|chaos|scaling")
+	exp := flag.String("exp", "all", "experiment: all|fig1|fig2|table2|fig8|fig9|table3|table4|chaos|scaling|loadsweep")
 	iters := flag.Int("filebench-iters", 2000, "filebench iterations per personality")
 	chaosSeeds := flag.Int("chaos-seeds", 5, "chaos schedules per fault profile")
 	clients := flag.String("clients", "1,2,4,8,16", "client counts for the -exp scaling throughput sweep")
 	scalingOps := flag.Int("scaling-ops", 1500, "pushes per client in the -exp scaling sweep")
+	loadClients := flag.String("load-clients", "64,512,2048,10000", "client counts for the -exp loadsweep TCP sweep")
+	loadOps := flag.Int("load-ops", 40000, "total pushes per loadsweep rung (split across clients)")
+	loadReps := flag.Int("load-reps", 2, "runs per loadsweep configuration (best kept; alternating order)")
+	groupSize := flag.Int("group-size", 4, "clients per sharing group in the loadsweep")
+	commitWindows := flag.String("commit-windows", "0,1ms,5ms,20ms",
+		"journal commit windows for the loadsweep durability sweep (empty = skip)")
 	jsonPath := flag.String("json", "", "also write the assembled numbers as JSON to this path")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	mutexProf := flag.String("mutexprofile", "", "write a mutex-contention profile to this path")
@@ -45,7 +67,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
 		os.Exit(1)
 	}
-	runErr := run(*exp, *scale, *iters, *chaosSeeds, *clients, *scalingOps, *jsonPath)
+	runErr := run(runOpts{
+		exp: *exp, scale: *scale, iters: *iters, chaosSeeds: *chaosSeeds,
+		clients: *clients, scalingOps: *scalingOps,
+		loadClients: *loadClients, loadOps: *loadOps, loadReps: *loadReps, groupSize: *groupSize,
+		commitWindows: *commitWindows, jsonPath: *jsonPath,
+	})
 	if err := stop(); err != nil {
 		fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
 		os.Exit(1)
@@ -125,7 +152,46 @@ func parseClients(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(exp string, scale float64, iters, chaosSeeds int, clients string, scalingOps int, jsonPath string) error {
+// runOpts carries the parsed flags into run.
+type runOpts struct {
+	exp           string
+	scale         float64
+	iters         int
+	chaosSeeds    int
+	clients       string
+	scalingOps    int
+	loadClients   string
+	loadOps       int
+	loadReps      int
+	groupSize     int
+	commitWindows string
+	jsonPath      string
+}
+
+// parseWindows parses the -commit-windows list ("0,1ms,5ms,20ms").
+func parseWindows(s string) ([]time.Duration, error) {
+	var out []time.Duration
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if part == "0" {
+			out = append(out, 0)
+			continue
+		}
+		d, err := time.ParseDuration(part)
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("invalid -commit-windows entry %q", part)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+func run(o runOpts) error {
+	exp, scale, iters, chaosSeeds := o.exp, o.scale, o.iters, o.chaosSeeds
+	clients, scalingOps, jsonPath := o.clients, o.scalingOps, o.jsonPath
 	out := os.Stdout
 	needMatrix := exp == "all" || exp == "table2" || exp == "fig8" || exp == "fig9"
 	rep := &experiment.Report{Scale: scale}
@@ -218,11 +284,61 @@ func run(exp string, scale float64, iters, chaosSeeds int, clients string, scali
 		fmt.Fprintln(out)
 		rep.Scaling = rs
 	}
+	// The load sweep is opt-in for the same reason, and goes further: it
+	// drives real loopback TCP connections through the bounded transport,
+	// striped applied log vs the 1-stripe baseline, plus the journal
+	// commit-window sweep. A rung that fails to converge or sees client
+	// errors fails the run; throughput itself is reported, never asserted.
+	if exp == "loadsweep" {
+		counts, err := parseClients(o.loadClients)
+		if err != nil {
+			return err
+		}
+		workerCmd := []string{selfExe(), loadWorkerArg}
+		rs, err := experiment.LoadSweep(experiment.LoadSweepConfig{
+			ClientCounts: counts,
+			TotalOps:     o.loadOps,
+			GroupSize:    o.groupSize,
+			WorkerCmd:    workerCmd,
+			Repeat:       o.loadReps,
+		})
+		if err != nil {
+			return err
+		}
+		experiment.PrintLoad(out, rs)
+		fmt.Fprintln(out)
+		rep.Load = rs
+		windows, err := parseWindows(o.commitWindows)
+		if err != nil {
+			return err
+		}
+		if len(windows) > 0 {
+			cw, err := experiment.CommitWindowSweep(windows, 64, 6400, workerCmd)
+			if err != nil {
+				return err
+			}
+			experiment.PrintCommitWindows(out, cw)
+			fmt.Fprintln(out)
+			rep.CommitWindows = cw
+		}
+		if err := experiment.CheckLoad(rs); err != nil {
+			return err
+		}
+	}
 	if jsonPath != "" {
+		rep.Meta = experiment.NewRunMeta()
 		if err := rep.WriteFile(jsonPath); err != nil {
 			return fmt.Errorf("writing %s: %w", jsonPath, err)
 		}
 		fmt.Fprintf(out, "wrote JSON report to %s\n", jsonPath)
 	}
 	return nil
+}
+
+// selfExe is the path workers are spawned from: the running binary itself.
+func selfExe() string {
+	if exe, err := os.Executable(); err == nil {
+		return exe
+	}
+	return os.Args[0]
 }

@@ -5,10 +5,17 @@
 // Usage:
 //
 //	deltacfs-server [-addr :7420] [-tls] [-state state.db] [-snapshot 60s]
+//	                [-journal dir] [-commit-window 5ms] [-workers N]
 //
 // With -state the server loads its durable state from the given file at
 // startup (if present), snapshots to it periodically and on SIGINT/SIGTERM
 // — the minimal durable-server design the paper leaves to future work.
+// With -journal (defaults to <state>.journal when -state is set) every push
+// is additionally recorded in a write-ahead journal before it is applied,
+// and replayed over the snapshot at startup, so acknowledged pushes survive
+// a crash between snapshots. -commit-window tunes the journal's group
+// durability: pushes share one fsync per window (0 = fsync per push). The
+// default comes from the benchall commit-window sweep (BENCH_6.json).
 // With -tls the server generates an in-memory self-signed certificate.
 package main
 
@@ -23,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/kvstore"
 	"repro/internal/metrics"
 	"repro/internal/server"
 	"repro/internal/wire"
@@ -33,6 +41,10 @@ func main() {
 	useTLS := flag.Bool("tls", false, "serve TLS with a self-signed certificate")
 	statePath := flag.String("state", "", "durable state file (empty = in-memory only)")
 	snapshotEvery := flag.Duration("snapshot", time.Minute, "periodic snapshot interval (with -state)")
+	journalDir := flag.String("journal", "", "push journal directory (default <state>.journal; \"off\" disables)")
+	commitWindow := flag.Duration("commit-window", kvstore.DefaultCommitWindow,
+		"journal group-commit window (0 = fsync per push)")
+	workers := flag.Int("workers", 0, "connection worker pool size (0 = auto)")
 	flag.Parse()
 
 	meter := metrics.NewCPUMeter(metrics.PC)
@@ -47,6 +59,30 @@ func main() {
 			fmt.Printf("deltacfs-server: restored state from %s (%d files)\n",
 				*statePath, len(srv.Files()))
 		}
+	}
+
+	// The push journal closes the snapshot durability gap: snapshot, then
+	// replay everything journaled since. Replay goes through Push, so
+	// batches the snapshot already applied are absorbed by the restored
+	// idempotency state.
+	var journal *server.Journal
+	if *journalDir == "" && *statePath != "" {
+		*journalDir = *statePath + ".journal"
+	}
+	if *journalDir != "" && *journalDir != "off" {
+		j, err := server.OpenJournal(*journalDir, *commitWindow)
+		if err != nil {
+			log.Fatalf("deltacfs-server: %v", err)
+		}
+		replayed, err := j.Replay(srv)
+		if err != nil {
+			log.Fatalf("deltacfs-server: journal replay: %v", err)
+		}
+		if replayed > 0 {
+			fmt.Printf("deltacfs-server: replayed %d journaled pushes\n", replayed)
+		}
+		srv.SetJournal(j)
+		journal = j
 	}
 
 	lis, err := net.Listen("tcp", *addr)
@@ -68,6 +104,14 @@ func main() {
 		save := func(reason string) {
 			if err := srv.SaveFile(*statePath); err != nil {
 				log.Printf("deltacfs-server: snapshot (%s): %v", reason, err)
+				return
+			}
+			// The snapshot covers every journaled push up to its boundary;
+			// drop them so the journal stays short and replay stays fast.
+			if journal != nil {
+				if _, err := journal.TruncateSnapshotted(); err != nil {
+					log.Printf("deltacfs-server: journal truncate (%s): %v", reason, err)
+				}
 			}
 		}
 		go func() {
@@ -80,12 +124,15 @@ func main() {
 		go func() {
 			<-sig
 			save("shutdown")
+			if journal != nil {
+				journal.Close()
+			}
 			lis.Close()
 			os.Exit(0)
 		}()
 	}
 
-	if err := wire.Serve(lis, srv); err != nil {
+	if err := wire.ServeWith(lis, srv, wire.ServeConfig{Workers: *workers}); err != nil {
 		log.Fatalf("deltacfs-server: %v", err)
 	}
 }

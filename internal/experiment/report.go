@@ -11,6 +11,9 @@ import (
 // figure number in one JSON document, so the perf trajectory can be tracked
 // across revisions without scraping the human-oriented tables.
 type Report struct {
+	// Meta pins the report to the revision and machine that produced it.
+	Meta *RunMeta `json:"meta,omitempty"`
+
 	Scale float64 `json:"scale"`
 
 	// MatrixPC and MatrixMobile are the Table II / Fig 8 / Fig 9 source
@@ -32,6 +35,15 @@ type Report struct {
 	// server push throughput per client count (not a paper artifact; tracks
 	// the server's concurrency headroom across revisions).
 	Scaling []ScalingResult `json:"scaling,omitempty"`
+
+	// Load is the real-TCP load sweep (-exp loadsweep): striped applied log
+	// vs 1-stripe baseline per client count, over actual loopback
+	// connections through the bounded transport.
+	Load []LoadResult `json:"load,omitempty"`
+
+	// CommitWindows is the journal group-commit sweep that backs the
+	// server's -commit-window default.
+	CommitWindows []CommitWindowResult `json:"commit_windows,omitempty"`
 }
 
 // AddMatrix records the evaluation matrix in the report.

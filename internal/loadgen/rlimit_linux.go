@@ -1,0 +1,35 @@
+//go:build linux
+
+package loadgen
+
+import "syscall"
+
+// fdLimit raises the soft descriptor limit toward `need` (best effort —
+// past the hard limit only when privileged) and returns the effective soft
+// limit. Callers decide whether the returned budget fits in one process or
+// the run must split across workers; a 10k-client loopback run costs two
+// descriptors per connection when both ends live in the same process.
+func fdLimit(need uint64) (uint64, error) {
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return 0, err
+	}
+	if need > 0 && lim.Cur < need {
+		want := lim
+		want.Cur = need
+		if want.Max < need {
+			want.Max = need
+		}
+		if err := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &want); err == nil {
+			return want.Cur, nil
+		}
+		// Unprivileged: settle for the hard limit.
+		if lim.Max > lim.Cur {
+			want = syscall.Rlimit{Cur: lim.Max, Max: lim.Max}
+			if err := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &want); err == nil {
+				return want.Cur, nil
+			}
+		}
+	}
+	return lim.Cur, nil
+}

@@ -21,6 +21,10 @@ var debugConflicts = false
 // holds the batch's shard locks (batchLocks) for every path the txn touches.
 type txn struct {
 	s *Server
+	// sharing reports whether the pusher's group has more than one member;
+	// it gates conflict-history retention. Sampled once by Push, before the
+	// shard locks are taken.
+	sharing bool
 	// ops collects applied operations, appended to the server log on
 	// commit only.
 	ops []AppliedOp
@@ -36,9 +40,10 @@ type prevFile struct {
 	existed bool
 }
 
-func newTxn(s *Server) *txn {
+func newTxn(s *Server, sharing bool) *txn {
 	return &txn{
 		s:         s,
+		sharing:   sharing,
 		prevFiles: make(map[string]prevFile),
 		prevVers:  make(map[string]version.ID),
 		prevDirs:  make(map[string]bool),
@@ -81,16 +86,14 @@ func (t *txn) rollback() {
 	}
 }
 
-// commit finalizes the transaction, appending to the server's applied-op
-// log and recording history snapshots for conflict resolution when multiple
-// clients are registered.
+// commit finalizes the transaction, appending to the server's striped
+// applied-op log and recording history snapshots for conflict resolution
+// when the pusher's sharing group has multiple members. The caller still
+// holds the batch's shard locks, which is what makes the assigned commit
+// sequence numbers agree with per-path commit order (applied.go).
 func (t *txn) commit() {
-	if len(t.ops) > 0 {
-		t.s.appliedMu.Lock()
-		t.s.applied = append(t.s.applied, t.ops...)
-		t.s.appliedMu.Unlock()
-	}
-	if !t.s.sharing() {
+	t.s.applied.append(t.ops)
+	if !t.sharing {
 		return
 	}
 	for p := range t.prevFiles {

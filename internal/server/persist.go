@@ -53,9 +53,13 @@ type snapshotState struct {
 	NextClient  uint32
 	Dedup       map[uint32]snapshotReplyCache
 	AppliedSeqs map[uint32]map[uint64]int
+
+	// Version 3 field: sharing-group membership (client ID → group ID) for
+	// every registered client, so forwarding scope survives a restart.
+	Groups map[uint32]uint32
 }
 
-const snapshotVersion = 2
+const snapshotVersion = 3
 
 // Save writes the server's durable state to w. It quiesces the server for
 // the duration: per-client push locks are taken in ascending client-ID
@@ -75,6 +79,12 @@ func (s *Server) Save(w io.Writer) error {
 	defer s.unlockAllShards()
 	s.clientMu.RLock()
 	nextClient := s.nextClient
+	groups := make(map[uint32]uint32)
+	for gid, gi := range s.groups {
+		for id := range gi.members {
+			groups[id] = gid
+		}
+	}
 	s.clientMu.RUnlock()
 	// Quiesce the chunk store: the insert lock stops FIFO/byte changes,
 	// then each stripe lock in ascending order stops residency reads from
@@ -97,9 +107,6 @@ func (s *Server) Save(w io.Writer) error {
 			chunks[h] = d
 		}
 	}
-	s.appliedMu.Lock()
-	defer s.appliedMu.Unlock()
-
 	state := snapshotState{
 		Version:     snapshotVersion,
 		Files:       make(map[string][]byte),
@@ -107,10 +114,11 @@ func (s *Server) Save(w io.Writer) error {
 		Vers:        make(map[string]version.ID),
 		Chunks:      chunks,
 		ChunkFIFO:   s.chunkFIFO,
-		Applied:     s.applied,
+		Applied:     s.applied.snapshot(),
 		NextClient:  nextClient,
 		Dedup:       make(map[uint32]snapshotReplyCache, len(refs)),
 		AppliedSeqs: make(map[uint32]map[uint64]int, len(refs)),
+		Groups:      groups,
 	}
 	for _, sh := range s.shards {
 		for p, c := range sh.files {
@@ -140,6 +148,18 @@ func (s *Server) Save(w io.Writer) error {
 	if err := gob.NewEncoder(w).Encode(&state); err != nil {
 		return fmt.Errorf("server: save: %w", err)
 	}
+	// The quiesce set is still held: every batch the snapshot captured has
+	// been journaled (Record runs under shard locks before apply), and no
+	// batch can commit until Save returns. Marking the journal boundary here
+	// means TruncateSnapshotted drops exactly the entries the snapshot
+	// covers — nothing the snapshot missed.
+	if j := s.journal.Load(); j != nil {
+		// Capturing the boundary under the quiesce set is the correctness
+		// condition: no batch can journal or commit until Save releases, so
+		// the boundary covers exactly what the snapshot holds.
+		//deltavet:allow blockunderlock journal boundary must be captured while the snapshot quiesce set is held
+		j.markSnapshot()
+	}
 	return nil
 }
 
@@ -152,8 +172,9 @@ func (s *Server) Load(r io.Reader) error {
 	}
 	// Version 1 snapshots (pre idempotency) load fine: the dedup state
 	// simply rebuilds empty, which is safe — at worst one ambiguous replay
-	// from before the upgrade re-applies.
-	if state.Version != 1 && state.Version != snapshotVersion {
+	// from before the upgrade re-applies. Version 2 (pre sharing-group)
+	// snapshots rebuild with no memberships; clients rejoin on Attach.
+	if state.Version < 1 || state.Version > snapshotVersion {
 		return fmt.Errorf("server: load: unsupported snapshot version %d", state.Version)
 	}
 	// Registration check first, on its own (clientMu is never held while
@@ -209,9 +230,7 @@ func (s *Server) Load(r io.Reader) error {
 	}
 	s.chunkInsertMu.Unlock()
 
-	s.appliedMu.Lock()
-	s.applied = state.Applied
-	s.appliedMu.Unlock()
+	s.applied.replace(state.Applied)
 
 	s.clientMu.Lock()
 	defer s.clientMu.Unlock()
@@ -243,6 +262,19 @@ func (s *Server) Load(r io.Reader) error {
 		if seqs != nil {
 			cs.appliedSeqs = seqs
 		}
+	}
+	// Restore sharing-group membership (v3). Members come back registered so
+	// forwarding scope — and the sharing gate for conflict history — matches
+	// the pre-restart state even before every client reattaches.
+	for id, gid := range state.Groups {
+		cs := s.clients[id]
+		if cs == nil {
+			cs = newClientState()
+			s.clients[id] = cs
+		}
+		fresh := !cs.registered
+		cs.registered = true
+		s.joinGroupLocked(id, cs, gid, fresh)
 	}
 	return nil
 }

@@ -84,26 +84,51 @@ type Server struct {
 	chunkStripes  [chunkStripeCount]chunkStripe
 	chunkBytes    atomic.Int64
 
-	// clients is the per-client state registry. registered counts IDs with
-	// forwarding enabled (Register/Attach), the sharing()/forwarding gate.
+	// clients is the per-client state registry; groups indexes the sharing
+	// groups (forwarding scope) by group ID. Both are guarded by clientMu.
 	clientMu   sync.RWMutex
 	clients    map[uint32]*clientState
+	groups     map[uint32]*groupInfo
 	nextClient uint32
-	registered atomic.Int32
 
 	// applied records the order in which content-bearing nodes were
-	// committed, for the upload-ordering experiment (Table IV).
-	appliedMu sync.Mutex
-	applied   []AppliedOp
+	// committed, for the upload-ordering experiment (Table IV). Striped
+	// (applied.go) so commits never funnel through one global mutex.
+	applied *appliedLog
+
+	// journal, when set, is the durable push WAL: every batch is recorded
+	// before it is applied, under the batch's shard locks, so a replay
+	// after a crash re-applies in commit order (journal.go).
+	journal atomic.Pointer[Journal]
 
 	meter     *metrics.CPUMeter
 	syncMeter atomic.Pointer[metrics.SyncMeter]
+}
+
+// groupInfo is one sharing group: the registered members that receive each
+// other's forwarded batches. size is read lock-free on the push hot path
+// (the sharing gate); members is guarded by Server.clientMu.
+type groupInfo struct {
+	size    atomic.Int32
+	members map[uint32]*clientState
 }
 
 // AppliedOp is one committed operation in server order.
 type AppliedOp struct {
 	Kind wire.NodeKind
 	Path string
+}
+
+// Options tunes a server's concurrency structure.
+type Options struct {
+	// Shards is the file-state stripe count (0 → DefaultShards, rounded up
+	// to a power of two, minimum 1).
+	Shards int
+	// AppliedStripes is the applied-op log stripe count (0 → same as the
+	// resolved Shards). 1 reproduces the historical global-appliedMu
+	// behavior: every commit appends under one mutex — the baseline the
+	// loadsweep compares the striped log against.
+	AppliedStripes int
 }
 
 // New returns an empty server with DefaultShards stripes, charging CPU work
@@ -115,16 +140,36 @@ func New(meter *metrics.CPUMeter) *Server {
 // NewWithShards returns an empty server with the given stripe count (rounded
 // up to a power of two, minimum 1). A 1-shard server serializes every batch
 // on a single lock — the global-lock configuration the property tests use as
-// oracle and the throughput sweep uses as baseline.
+// oracle and the throughput sweep uses as baseline; it also gets a 1-stripe
+// applied log, completing the "one global mutex" oracle shape.
 func NewWithShards(meter *metrics.CPUMeter, shards int) *Server {
+	if shards < 1 {
+		shards = 1
+	}
+	return NewWithOptions(meter, Options{Shards: shards, AppliedStripes: shards})
+}
+
+// NewWithOptions returns an empty server with an explicit concurrency
+// configuration.
+func NewWithOptions(meter *metrics.CPUMeter, o Options) *Server {
+	shards := o.Shards
+	if shards <= 0 {
+		shards = DefaultShards
+	}
 	n := 1
 	for n < shards {
 		n <<= 1
+	}
+	appliedStripes := o.AppliedStripes
+	if appliedStripes <= 0 {
+		appliedStripes = n
 	}
 	s := &Server{
 		shards:    make([]*fileShard, n),
 		shardMask: uint32(n - 1),
 		clients:   make(map[uint32]*clientState),
+		groups:    make(map[uint32]*groupInfo),
+		applied:   newAppliedLog(appliedStripes),
 		meter:     meter,
 	}
 	for i := range s.shards {
@@ -152,8 +197,17 @@ func (s *Server) syncM() *metrics.SyncMeter { return s.syncMeter.Load() }
 // Meter returns the server's CPU meter.
 func (s *Server) Meter() *metrics.CPUMeter { return s.meter }
 
-// Register assigns a new client ID and creates its forwarding outbox.
-func (s *Server) Register() uint32 {
+// Register assigns a new client ID in the default sharing group (group 0 —
+// the historical "everyone shares with everyone" namespace) and creates its
+// forwarding outbox.
+func (s *Server) Register() uint32 { return s.RegisterGroup(0) }
+
+// RegisterGroup assigns a new client ID in the given sharing group. Batches
+// are forwarded only to other registered members of the pusher's group, and
+// conflict history is retained only while a group has more than one member —
+// the multi-tenant scope that keeps forwarding O(group) instead of
+// O(all clients) when thousands of unrelated tenants share one server.
+func (s *Server) RegisterGroup(group uint32) uint32 {
 	s.clientMu.Lock()
 	s.nextClient++
 	id := s.nextClient
@@ -164,16 +218,30 @@ func (s *Server) Register() uint32 {
 	}
 	fresh := !cs.registered
 	cs.registered = true
+	s.joinGroupLocked(id, cs, group, fresh)
 	s.clientMu.Unlock()
-	if fresh {
-		s.registered.Add(1)
-	}
 	return id
+}
+
+// joinGroupLocked binds cs to its sharing group's registry. The caller holds
+// clientMu.
+func (s *Server) joinGroupLocked(id uint32, cs *clientState, group uint32, fresh bool) {
+	gi := s.groups[group]
+	if gi == nil {
+		gi = &groupInfo{members: make(map[uint32]*clientState)}
+		s.groups[group] = gi
+	}
+	gi.members[id] = cs
+	cs.group.Store(gi)
+	if fresh {
+		gi.size.Add(1)
+	}
 }
 
 // Attach re-binds a reconnecting transport to an existing client ID: the
 // outbox (and any idempotency state) survives, and the ID space stays
-// collision-free even if the ID was minted before a server restart.
+// collision-free even if the ID was minted before a server restart. A fresh
+// ID (minted before a restart the server forgot) lands in the default group.
 func (s *Server) Attach(client uint32) {
 	if client == 0 {
 		return
@@ -189,10 +257,14 @@ func (s *Server) Attach(client uint32) {
 	}
 	fresh := !cs.registered
 	cs.registered = true
-	s.clientMu.Unlock()
-	if fresh {
-		s.registered.Add(1)
+	group := uint32(0)
+	if gi := cs.group.Load(); gi != nil && !fresh {
+		// Already a member; nothing to rebind.
+		s.clientMu.Unlock()
+		return
 	}
+	s.joinGroupLocked(client, cs, group, fresh)
+	s.clientMu.Unlock()
 }
 
 // SeedFile installs initial content outside the measured run (both sides of
@@ -316,11 +388,10 @@ func (s *Server) Dirs() []string {
 	return out
 }
 
-// AppliedLog returns the order in which operations were committed.
+// AppliedLog returns the order in which operations were committed (merged
+// across the applied-log stripes, sorted by commit sequence).
 func (s *Server) AppliedLog() []AppliedOp {
-	s.appliedMu.Lock()
-	defer s.appliedMu.Unlock()
-	return append([]AppliedOp(nil), s.applied...)
+	return s.applied.snapshot()
 }
 
 // Head returns path's current version and existence — the metadata lookup
@@ -468,24 +539,49 @@ func (s *Server) Push(from uint32, b *wire.Batch) *wire.PushReply {
 
 	reply := &wire.PushReply{Statuses: make([]wire.ApplyStatus, len(b.Nodes))}
 
+	// The sharing gate — forwarding and conflict-history retention — is
+	// scoped to the pusher's sharing group: a lock-free size read, so ten
+	// thousand single-tenant clients never pay for each other's pushes.
+	gi := cs.group.Load()
+	if gi == nil {
+		gi = s.defaultGroup(cs)
+	}
+	share := gi != nil && gi.size.Load() > 1
+
 	locks := s.lockSetFor(from, b)
 	locks.lock()
 
-	if b.Atomic {
-		s.pushAtomic(from, b, reply)
-	} else {
-		for i, n := range b.Nodes {
-			s.applyOne(from, n, i, reply)
+	// Durability: record the batch in the push journal (when wired) while
+	// holding the batch's shard locks and before applying — WAL discipline;
+	// replay re-applies journaled batches in exactly this commit order.
+	if j := s.journal.Load(); j != nil {
+		//deltavet:allow blockunderlock WAL-before-apply: the journal append must happen inside the batch's lock scope so replay order is commit order; the fsync is group-committed
+		if err := j.Record(from, b); err != nil {
+			locks.unlock()
+			for i := range reply.Statuses {
+				reply.Statuses[i] = wire.StatusError
+			}
+			reply.Err = fmt.Sprintf("journal: %v", err)
+			return reply
 		}
 	}
 
-	// Forward the batch to every other registered client (§III-D: "when
-	// the cloud receives data from a client, besides storing the data it
-	// also forwards the data to other shared clients"). Forwarding happens
-	// while the shard locks are still held so two batches racing on the
-	// same file land in every outbox in their commit order.
-	if s.sharing() {
-		dropped, peak := s.forward(from, b)
+	if b.Atomic {
+		s.pushAtomic(from, b, reply, share)
+	} else {
+		for i, n := range b.Nodes {
+			s.applyOne(from, n, i, reply, share)
+		}
+	}
+
+	// Forward the batch to every other registered member of the pusher's
+	// sharing group (§III-D: "when the cloud receives data from a client,
+	// besides storing the data it also forwards the data to other shared
+	// clients"). Forwarding happens while the shard locks are still held so
+	// two batches racing on the same file land in every outbox in their
+	// commit order.
+	if share {
+		dropped, peak := s.forward(from, gi, b)
 		// Backpressure: tell the pusher when a peer's outbox is at its
 		// bound (evicting, or one more forward away from it) instead of
 		// dropping forwards silently. The push itself still succeeded.
@@ -504,18 +600,33 @@ func (s *Server) Push(from uint32, b *wire.Batch) *wire.PushReply {
 	return reply
 }
 
-// forward appends b to every other registered client's outbox, reporting
-// how many batches the enqueues evicted and the deepest outbox seen. The
-// caller holds the batch's shard locks; the registry read-lock is released
-// before any outbox lock is taken (lock ordering rule 3).
-func (s *Server) forward(from uint32, b *wire.Batch) (int64, int) {
+// defaultGroup resolves the default sharing group for a client that pushed
+// without registering (bare pushers get idempotency state but no explicit
+// group). The lookup is cached on the client state so subsequent pushes
+// skip the registry lock.
+func (s *Server) defaultGroup(cs *clientState) *groupInfo {
+	s.clientMu.RLock()
+	gi := s.groups[0]
+	s.clientMu.RUnlock()
+	if gi != nil {
+		cs.group.Store(gi)
+	}
+	return gi
+}
+
+// forward appends b to the outbox of every other registered member of the
+// pusher's sharing group, reporting how many batches the enqueues evicted
+// and the deepest outbox seen. The caller holds the batch's shard locks; the
+// registry read-lock is released before any outbox lock is taken (lock
+// ordering rule 3).
+func (s *Server) forward(from uint32, gi *groupInfo, b *wire.Batch) (int64, int) {
 	type fwdTarget struct {
 		id uint32
 		cs *clientState
 	}
 	s.clientMu.RLock()
-	targets := make([]fwdTarget, 0, len(s.clients))
-	for id, cs := range s.clients {
+	targets := make([]fwdTarget, 0, len(gi.members))
+	for id, cs := range gi.members {
 		if id != from && cs.registered {
 			targets = append(targets, fwdTarget{id, cs})
 		}
@@ -560,8 +671,8 @@ func (s *Server) DuplicateApplies() int {
 
 // applyOne applies a single (non-atomic) node. The caller holds the batch's
 // shard locks.
-func (s *Server) applyOne(from uint32, n *wire.Node, i int, reply *wire.PushReply) {
-	tx := newTxn(s)
+func (s *Server) applyOne(from uint32, n *wire.Node, i int, reply *wire.PushReply, share bool) {
+	tx := newTxn(s, share)
 	err := s.applyNode(tx, n)
 	switch {
 	case errors.Is(err, errConflict):
@@ -583,8 +694,8 @@ func (s *Server) applyOne(from uint32, n *wire.Node, i int, reply *wire.PushRepl
 // and every content-bearing file in the group gets a conflict copy. Version
 // checks run during application, so bases chaining within the batch (node
 // k's base is node k-1's version) resolve correctly.
-func (s *Server) pushAtomic(from uint32, b *wire.Batch, reply *wire.PushReply) {
-	tx := newTxn(s)
+func (s *Server) pushAtomic(from uint32, b *wire.Batch, reply *wire.PushReply, share bool) {
+	tx := newTxn(s, share)
 	for i, n := range b.Nodes {
 		err := s.applyNode(tx, n)
 		if err == nil {

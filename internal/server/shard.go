@@ -4,6 +4,7 @@ import (
 	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/version"
 	"repro/internal/wire"
@@ -34,7 +35,12 @@ import (
 //     chunk() takes a single stripe lock with nothing above). Save/Load
 //     hold the insert lock plus every stripe in ascending order, with
 //     every earlier level already held.
-//  6. Server.appliedMu — leaf.
+//  6. appliedStripe.mu — leaf; at most one held at a time (append takes
+//     exactly one stripe; snapshot/replace take one at a time, never
+//     nested — applied.go).
+//  7. Journal.mu — leaf; taken under the batch's shard locks on the push
+//     path (WAL-before-apply) and with the full quiesce set held during
+//     Save's journal-boundary capture.
 
 // DefaultShards is the number of file-state stripes. Fixed and power-of-two
 // so shardFor is a mask, large enough that 16 concurrent clients on random
@@ -167,7 +173,13 @@ type clientState struct {
 	// registered reports whether the ID was minted by Register or bound by
 	// Attach (and therefore receives forwarded batches); a bare pusher that
 	// skipped registration gets idempotency state but no outbox.
+	// Guarded by Server.clientMu.
 	registered bool
+
+	// group points at the client's sharing group (nil for a bare pusher
+	// until its first push resolves the default group). Atomic so the push
+	// hot path reads it without the registry lock.
+	group atomic.Pointer[groupInfo]
 
 	outMu      sync.Mutex
 	outbox     []*wire.Batch
@@ -257,10 +269,6 @@ type clientRef struct {
 	id uint32
 	cs *clientState
 }
-
-// sharing reports whether more than one client is registered — the gate for
-// forwarding and for recording conflict-resolution history.
-func (s *Server) sharing() bool { return s.registered.Load() > 1 }
 
 // lockAllShards takes every shard lock in ascending order (whole-server
 // operations: Save, Files, Load).

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// startTCP serves s on a loopback listener and returns its address plus the
+// transport stats.
+func startTCP(t *testing.T, s *Server, cfg wire.ServeConfig) (string, *wire.ServeStats) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	stats := &wire.ServeStats{}
+	cfg.Stats = stats
+	go wire.ServeWith(lis, s, cfg)
+	return lis.Addr().String(), stats
+}
+
+// Throttle end-to-end over real TCP (the backpressure satellite): a pusher
+// and a slow poller share a group; once the poller's outbox hits its depth
+// bound the pusher's replies carry Throttled=true. When the slow client
+// finally drains its queue, pushing is smooth again and both sides converge
+// on the last content.
+func TestThrottleBackpressureTCP(t *testing.T) {
+	old := OutboxDepthLimit
+	OutboxDepthLimit = 8
+	defer func() { OutboxDepthLimit = old }()
+
+	s := New(nil)
+	addr, _ := startTCP(t, s, wire.ServeConfig{})
+
+	const group = 7
+	pusher, err := wire.DialWith(addr, wire.DialOpts{Group: group, OpTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pusher.Close()
+	poller, err := wire.DialWith(addr, wire.DialOpts{Group: group, OpTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer poller.Close()
+
+	// The slow phase: the poller never polls, so forwarded batches pile up
+	// in its outbox past the (shrunken) depth bound and the pusher must see
+	// the throttle signal.
+	var last []byte
+	throttled := 0
+	for i := 1; i <= 3*int(OutboxDepthLimit); i++ {
+		content := []byte(fmt.Sprintf("v%d", i))
+		n := &wire.Node{
+			Kind: wire.NFull, Path: "shared/f", Full: content,
+			Ver: v(1, uint64(i)),
+		}
+		if i > 1 {
+			n.Base = v(1, uint64(i-1))
+		}
+		r, err := pusher.Push(&wire.Batch{Seq: uint64(i), Nodes: []*wire.Node{n}})
+		if err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+		if r.Statuses[0] != wire.StatusOK {
+			t.Fatalf("push %d: %+v", i, r)
+		}
+		last = content
+		if r.Throttled {
+			throttled++
+		}
+	}
+	if throttled == 0 {
+		t.Fatal("no push was throttled despite an unpolled peer past the outbox bound")
+	}
+
+	// The drain phase: the slow client catches up. Eviction means it gets at
+	// most the bounded tail, and afterwards its queue is empty.
+	got, err := poller.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || len(got) > int(OutboxDepthLimit) {
+		t.Fatalf("drained %d batches, want 1..%d (bounded tail)", len(got), OutboxDepthLimit)
+	}
+	if again, err := poller.Poll(); err != nil || len(again) != 0 {
+		t.Fatalf("second poll: %d batches, err %v; want empty", len(again), err)
+	}
+
+	// With the queue drained, pushing is throttle-free again.
+	r, err := pusher.Push(&wire.Batch{Seq: uint64(3*OutboxDepthLimit + 1), Nodes: []*wire.Node{{
+		Kind: wire.NFull, Path: "shared/f", Full: []byte("final"),
+		Base: v(1, uint64(3*OutboxDepthLimit)), Ver: v(1, uint64(3*OutboxDepthLimit+1)),
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Throttled {
+		t.Fatalf("push after drain still throttled: %+v", r)
+	}
+	last = []byte("final")
+
+	// Convergence: the slow side fetches the file and sees the last write.
+	fr, err := poller.Fetch("shared/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fr.Exists || !bytes.Equal(fr.Content, last) {
+		t.Fatalf("poller sees %q, want %q", fr.Content, last)
+	}
+}
+
+// Sharing groups over TCP: forwarding stays inside the group — a client in
+// another group polls nothing — and group members see each other's pushes.
+func TestGroupScopedForwardingTCP(t *testing.T) {
+	s := New(nil)
+	addr, _ := startTCP(t, s, wire.ServeConfig{})
+
+	a1, err := wire.DialWith(addr, wire.DialOpts{Group: 1, OpTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a1.Close()
+	a2, err := wire.DialWith(addr, wire.DialOpts{Group: 1, OpTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+	b1, err := wire.DialWith(addr, wire.DialOpts{Group: 2, OpTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b1.Close()
+
+	if r, err := a1.Push(&wire.Batch{Seq: 1, Nodes: []*wire.Node{{
+		Kind: wire.NFull, Path: "doc", Full: []byte("from-a1"), Ver: v(1, 1),
+	}}}); err != nil || r.Statuses[0] != wire.StatusOK {
+		t.Fatalf("push: %+v, %v", r, err)
+	}
+
+	if got, err := a2.Poll(); err != nil || len(got) != 1 {
+		t.Fatalf("group peer polled %d batches (%v), want 1", len(got), err)
+	}
+	if got, err := b1.Poll(); err != nil || len(got) != 0 {
+		t.Fatalf("out-of-group client polled %d batches (%v), want 0", len(got), err)
+	}
+}

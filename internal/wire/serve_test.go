@@ -1,0 +1,133 @@
+package wire
+
+import (
+	"crypto/tls"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Bounded transport: on Linux, plain-TCP connections are multiplexed onto
+// the poller and a fixed worker pool — N idle connections must not cost N
+// goroutines — and the stats must say so.
+func TestServePolledConnectionsBounded(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	stats := &ServeStats{}
+	backend := newFakeBackend()
+	go ServeWith(lis, backend, ServeConfig{Workers: 4, Stats: stats})
+
+	const conns = 64
+	before := runtime.NumGoroutine()
+	var clients []*NetClient
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	for i := 0; i < conns; i++ {
+		c, err := DialWith(lis.Addr().String(), DialOpts{OpTimeout: time.Minute})
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		clients = append(clients, c)
+	}
+
+	if got := stats.Conns(); got != conns {
+		t.Fatalf("Conns = %d, want %d", got, conns)
+	}
+	if got := stats.PeakConns(); got != conns {
+		t.Fatalf("PeakConns = %d, want %d", got, conns)
+	}
+	if runtime.GOOS == "linux" {
+		if got := stats.Polled(); got != conns {
+			t.Fatalf("Polled = %d, want %d (plain TCP must take the poller path)", got, conns)
+		}
+		if got := stats.Fallback(); got != 0 {
+			t.Fatalf("Fallback = %d, want 0", got)
+		}
+		// The boundedness claim: goroutine growth is the worker pool plus
+		// runtime slack, not one per connection.
+		if grew := runtime.NumGoroutine() - before; grew >= conns {
+			t.Fatalf("goroutines grew by %d for %d idle conns; transport is not bounded", grew, conns)
+		}
+	}
+
+	// Every multiplexed connection still works, including concurrently.
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *NetClient) {
+			defer wg.Done()
+			path := fmt.Sprintf("f%d", i)
+			if _, err := c.Push(&Batch{Nodes: []*Node{{Kind: NFull, Path: path, Full: []byte{byte(i)}}}}); err != nil {
+				errs <- fmt.Errorf("push %d: %w", i, err)
+				return
+			}
+			fr, err := c.Fetch(path)
+			if err != nil || !fr.Exists || len(fr.Content) != 1 || fr.Content[0] != byte(i) {
+				errs <- fmt.Errorf("fetch %d: %+v, %v", i, fr, err)
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := stats.Requests(); got < conns*3 {
+		t.Fatalf("Requests = %d, want >= %d (register+push+fetch per conn)", got, conns*3)
+	}
+
+	// Closing the clients drains the server's connection count.
+	for _, c := range clients {
+		c.Close()
+	}
+	clients = nil
+	deadline := time.Now().Add(5 * time.Second)
+	for stats.Conns() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("Conns = %d after close, want 0", stats.Conns())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TLS connections cannot expose a raw fd, so they must take the fallback
+// (goroutine-per-conn) path and still work end to end.
+func TestServeTLSFallsBack(t *testing.T) {
+	serverConf, clientConf, err := SelfSignedTLS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	stats := &ServeStats{}
+	backend := newFakeBackend()
+	go ServeWith(tls.NewListener(lis, serverConf), backend, ServeConfig{Stats: stats})
+
+	c, err := DialWith(lis.Addr().String(), DialOpts{TLS: clientConf, OpTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Push(&Batch{Nodes: []*Node{{Kind: NFull, Path: "f", Full: []byte("x")}}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.Fallback(); got != 1 {
+		t.Fatalf("Fallback = %d, want 1 (TLS conns cannot be polled)", got)
+	}
+	if got := stats.Polled(); got != 0 {
+		t.Fatalf("Polled = %d, want 0", got)
+	}
+}

@@ -24,7 +24,9 @@ import (
 // into (implemented by internal/server.Server). It mirrors Endpoint with an
 // explicit client ID.
 type Backend interface {
-	Register() uint32
+	// RegisterGroup assigns a new client ID in the given sharing group
+	// (group 0 is the default everyone-shares namespace).
+	RegisterGroup(group uint32) uint32
 	// Attach re-binds a reconnecting transport to an already-registered
 	// client ID, so reconnects keep version stamps and idempotency keys
 	// stable instead of minting a fresh identity.
@@ -40,6 +42,7 @@ type Backend interface {
 type request struct {
 	Op     string // "register", "attach", "push", "fetch", "head", "fetchrange", "poll"
 	Client uint32 // attach: the ID to re-bind
+	Group  uint32 // register: the sharing group to join
 	B      *Batch
 	Path   string
 	Off    int64
@@ -61,14 +64,21 @@ type response struct {
 // ServeConfig tunes per-connection robustness of Serve.
 type ServeConfig struct {
 	// WriteTimeout bounds each response write. Without it, a half-dead peer
-	// that stops reading wedges its handler goroutine forever inside
-	// gob.Encode (the kernel send buffer fills and the write never
-	// returns). Default 30s; negative disables.
+	// that stops reading wedges its handler forever inside gob.Encode (the
+	// kernel send buffer fills and the write never returns). It also bounds
+	// each request read once the first byte has arrived, so a trickling
+	// client cannot pin a pool worker. Default 30s; negative disables.
 	WriteTimeout time.Duration
 	// IdleTimeout bounds the wait for the next request on an established
 	// connection. Zero means no idle bound (clients legitimately sit idle
 	// between sync cycles).
 	IdleTimeout time.Duration
+	// Workers fixes the size of the shared worker pool that serves
+	// multiplexed (readiness-polled) connections. 0 → defaultServeWorkers.
+	Workers int
+	// Stats, when non-nil, receives the transport's connection and request
+	// counters (load harnesses read them to prove goroutine boundedness).
+	Stats *ServeStats
 }
 
 // DefaultWriteTimeout is the response-write deadline Serve applies when the
@@ -82,11 +92,20 @@ func Serve(lis net.Listener, backend Backend) error {
 	return ServeWith(lis, backend, ServeConfig{})
 }
 
-// ServeWith is Serve with an explicit per-connection configuration.
+// ServeWith is Serve with an explicit configuration. Connections are served
+// by a bounded worker/accept model (serve.go): plain TCP connections are
+// multiplexed onto an OS readiness poller and a fixed worker pool, so ten
+// thousand idle clients cost file descriptors — not ten thousand goroutine
+// stacks; connections the poller cannot take (TLS and other wrapped
+// net.Conns, platforms without a poller) fall back to a dedicated goroutine
+// each. ServeWith returns when lis closes; connections already admitted
+// keep being served until they close, after which the pool shuts down.
 func ServeWith(lis net.Listener, backend Backend, cfg ServeConfig) error {
 	if cfg.WriteTimeout == 0 {
 		cfg.WriteTimeout = DefaultWriteTimeout
 	}
+	srv := newServeState(backend, cfg)
+	defer srv.listenerClosed()
 	for {
 		conn, err := lis.Accept()
 		if err != nil {
@@ -95,16 +114,16 @@ func ServeWith(lis net.Listener, backend Backend, cfg ServeConfig) error {
 			}
 			return err
 		}
-		go serveConn(conn, backend, cfg)
+		srv.admit(conn)
 	}
 }
 
-// serveConn runs one connection's request loop. It returns (closing the
-// connection) on the first decode or response-write failure: a gob stream
-// cannot resynchronize after a short write, so continuing would desynchronize
-// every later exchange. The returned error reports why the connection ended
-// (nil for a clean EOF).
-func serveConn(conn net.Conn, backend Backend, cfg ServeConfig) error {
+// serveConn runs one fallback connection's request loop on its own
+// goroutine. It returns (closing the connection) on the first decode or
+// response-write failure: a gob stream cannot resynchronize after a short
+// write, so continuing would desynchronize every later exchange. The
+// returned error reports why the connection ended (nil for a clean EOF).
+func serveConn(conn net.Conn, backend Backend, cfg ServeConfig, stats *ServeStats) error {
 	defer conn.Close()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
@@ -113,51 +132,67 @@ func serveConn(conn net.Conn, backend Backend, cfg ServeConfig) error {
 		if cfg.IdleTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(cfg.IdleTimeout))
 		}
-		var req request
-		if err := dec.Decode(&req); err != nil {
+		if err := serveOne(conn, dec, enc, backend, cfg, stats, &client); err != nil {
 			if errors.Is(err, io.EOF) {
 				return nil
 			}
-			return fmt.Errorf("wire: serve: read: %w", err)
-		}
-		var resp response
-		switch req.Op {
-		case "register":
-			client = backend.Register()
-			resp.Client = client
-		case "attach":
-			client = req.Client
-			backend.Attach(client)
-			resp.Client = client
-		case "push":
-			req.B.Client = client
-			resp.Push = backend.Push(client, req.B)
-		case "fetch":
-			resp.Fetch = backend.Fetch(req.Path)
-		case "head":
-			resp.Ver, resp.Exists = backend.Head(req.Path)
-		case "fetchrange":
-			data, err := backend.FetchRange(req.Path, req.Off, req.N)
-			if err != nil {
-				resp.Err = err.Error()
-			}
-			resp.Data = data
-		case "poll":
-			resp.Batches = backend.Poll(client)
-		default:
-			resp.Err = fmt.Sprintf("unknown op %q", req.Op)
-		}
-		if cfg.WriteTimeout > 0 {
-			conn.SetWriteDeadline(time.Now().Add(cfg.WriteTimeout))
-		}
-		err := enc.Encode(&resp)
-		if cfg.WriteTimeout > 0 {
-			conn.SetWriteDeadline(time.Time{})
-		}
-		if err != nil {
-			return fmt.Errorf("wire: serve: write: %w", err)
+			return fmt.Errorf("wire: serve: %w", err)
 		}
 	}
+}
+
+// serveOne decodes and answers exactly one request — the dispatch shared by
+// the fallback per-connection loop and the pool workers. A clean peer
+// shutdown surfaces as io.EOF.
+func serveOne(conn net.Conn, dec *gob.Decoder, enc *gob.Encoder, backend Backend, cfg ServeConfig, stats *ServeStats, client *uint32) error {
+	var req request
+	if err := dec.Decode(&req); err != nil {
+		if errors.Is(err, io.EOF) {
+			return io.EOF
+		}
+		return fmt.Errorf("read: %w", err)
+	}
+	if stats != nil {
+		stats.requests.Add(1)
+	}
+	var resp response
+	switch req.Op {
+	case "register":
+		*client = backend.RegisterGroup(req.Group)
+		resp.Client = *client
+	case "attach":
+		*client = req.Client
+		backend.Attach(*client)
+		resp.Client = *client
+	case "push":
+		req.B.Client = *client
+		resp.Push = backend.Push(*client, req.B)
+	case "fetch":
+		resp.Fetch = backend.Fetch(req.Path)
+	case "head":
+		resp.Ver, resp.Exists = backend.Head(req.Path)
+	case "fetchrange":
+		data, err := backend.FetchRange(req.Path, req.Off, req.N)
+		if err != nil {
+			resp.Err = err.Error()
+		}
+		resp.Data = data
+	case "poll":
+		resp.Batches = backend.Poll(*client)
+	default:
+		resp.Err = fmt.Sprintf("unknown op %q", req.Op)
+	}
+	if cfg.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(cfg.WriteTimeout))
+	}
+	err := enc.Encode(&resp)
+	if cfg.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Time{})
+	}
+	if err != nil {
+		return fmt.Errorf("write: %w", err)
+	}
+	return nil
 }
 
 // TransportError tags a transport-level failure with the phase of the RPC
@@ -229,6 +264,15 @@ type DialOpts struct {
 	// AttachID, when nonzero, re-binds this connection to an existing
 	// client ID instead of registering a new one — the reconnect path.
 	AttachID uint32
+	// Group is the sharing group to register into (0 = the default
+	// everyone-shares group). Forwarding and conflict history are scoped to
+	// the group, which is what lets one server host many isolated tenants.
+	Group uint32
+	// HardClose makes Close reset the connection (SO_LINGER 0) instead of
+	// lingering in TIME_WAIT. Load harnesses churn tens of thousands of
+	// loopback connections per run and would otherwise exhaust the local
+	// port and TIME_WAIT tables, skewing back-to-back measurements.
+	HardClose bool
 }
 
 // Dial connects to a Serve listener and registers a new client. tlsConf may
@@ -246,6 +290,11 @@ func DialWith(addr string, o DialOpts) (*NetClient, error) {
 	conn, err := net.DialTimeout("tcp", addr, o.OpTimeout)
 	if err != nil {
 		return nil, &TransportError{Phase: "dial", Err: fmt.Errorf("%s: %w", addr, err)}
+	}
+	if o.HardClose {
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetLinger(0)
+		}
 	}
 	if o.TLS != nil {
 		if o.OpTimeout > 0 {
@@ -267,7 +316,7 @@ func DialWith(addr string, o DialOpts) (*NetClient, error) {
 		traffic: o.Traffic,
 		meter:   o.Meter,
 	}
-	req := request{Op: "register"}
+	req := request{Op: "register", Group: o.Group}
 	if o.AttachID != 0 {
 		req = request{Op: "attach", Client: o.AttachID}
 	}

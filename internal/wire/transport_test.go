@@ -18,6 +18,7 @@ type fakeBackend struct {
 	files   map[string][]byte
 	vers    map[string]version.ID
 	outbox  map[uint32][]*Batch
+	groups  map[uint32]uint32
 	pushed  []*Batch
 	pushErr string
 }
@@ -27,13 +28,15 @@ func newFakeBackend() *fakeBackend {
 		files:  make(map[string][]byte),
 		vers:   make(map[string]version.ID),
 		outbox: make(map[uint32][]*Batch),
+		groups: make(map[uint32]uint32),
 	}
 }
 
-func (f *fakeBackend) Register() uint32 {
+func (f *fakeBackend) RegisterGroup(group uint32) uint32 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.nextID++
+	f.groups[f.nextID] = group
 	return f.nextID
 }
 

@@ -15,16 +15,16 @@ func TestValidatePath(t *testing.T) {
 		}
 	}
 	bad := map[string]string{
-		"":                         "empty",
-		"/etc/passwd":              "absolute",
-		"..":                       "escapes",
-		"../sibling":               "escapes",
-		"a/../../b":                "unclean",
-		"a//b":                     "unclean",
-		"a/./b":                    "unclean",
-		"dir/":                     "unclean",
-		"a\x00b":                   "NUL",
-		strings.Repeat("x", 4097):  "exceeds",
+		"":                        "empty",
+		"/etc/passwd":             "absolute",
+		"..":                      "escapes",
+		"../sibling":              "escapes",
+		"a/../../b":               "unclean",
+		"a//b":                    "unclean",
+		"a/./b":                   "unclean",
+		"dir/":                    "unclean",
+		"a\x00b":                  "NUL",
+		strings.Repeat("x", 4097): "exceeds",
 	}
 	for p, frag := range bad {
 		err := ValidatePath(p)
