@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	benchall [-scale 1.0] [-exp all|fig1|fig2|table2|fig8|fig9|table3|table4|chaos|scaling|loadsweep]
-//	         [-chaos-seeds 5] [-clients 1,2,4,8,16] [-json report.json]
+//	benchall [-scale 1.0] [-exp all|fig1|fig2|table2|fig8|fig9|table3|table4|chaos|crashstorm|scaling|loadsweep]
+//	         [-chaos-seeds 5] [-storm-seeds 5] [-clients 1,2,4,8,16] [-json report.json] [-allow-dirty]
 //	         [-load-clients 64,512,2048,10000] [-load-ops 40000] [-group-size 4]
 //	         [-commit-windows 0,1ms,5ms,20ms]
 //	         [-cpuprofile cpu.pprof] [-mutexprofile mutex.pprof] [-blockprofile block.pprof]
@@ -45,9 +45,11 @@ func main() {
 		return
 	}
 	scale := flag.Float64("scale", 1.0, "trace scale (1.0 = paper dimensions)")
-	exp := flag.String("exp", "all", "experiment: all|fig1|fig2|table2|fig8|fig9|table3|table4|chaos|scaling|loadsweep")
+	exp := flag.String("exp", "all", "experiment: all|fig1|fig2|table2|fig8|fig9|table3|table4|chaos|crashstorm|scaling|loadsweep")
 	iters := flag.Int("filebench-iters", 2000, "filebench iterations per personality")
 	chaosSeeds := flag.Int("chaos-seeds", 5, "chaos schedules per fault profile")
+	stormSeeds := flag.Int("storm-seeds", 5, "crash-storm seeds per storage fault profile")
+	allowDirty := flag.Bool("allow-dirty", false, "permit -json output from a dirty working tree")
 	clients := flag.String("clients", "1,2,4,8,16", "client counts for the -exp scaling throughput sweep")
 	scalingOps := flag.Int("scaling-ops", 1500, "pushes per client in the -exp scaling sweep")
 	loadClients := flag.String("load-clients", "64,512,2048,10000", "client counts for the -exp loadsweep TCP sweep")
@@ -68,10 +70,10 @@ func main() {
 		os.Exit(1)
 	}
 	runErr := run(runOpts{
-		exp: *exp, scale: *scale, iters: *iters, chaosSeeds: *chaosSeeds,
+		exp: *exp, scale: *scale, iters: *iters, chaosSeeds: *chaosSeeds, stormSeeds: *stormSeeds,
 		clients: *clients, scalingOps: *scalingOps,
 		loadClients: *loadClients, loadOps: *loadOps, loadReps: *loadReps, groupSize: *groupSize,
-		commitWindows: *commitWindows, jsonPath: *jsonPath,
+		commitWindows: *commitWindows, jsonPath: *jsonPath, allowDirty: *allowDirty,
 	})
 	if err := stop(); err != nil {
 		fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
@@ -158,6 +160,7 @@ type runOpts struct {
 	scale         float64
 	iters         int
 	chaosSeeds    int
+	stormSeeds    int
 	clients       string
 	scalingOps    int
 	loadClients   string
@@ -166,6 +169,7 @@ type runOpts struct {
 	groupSize     int
 	commitWindows string
 	jsonPath      string
+	allowDirty    bool
 }
 
 // parseWindows parses the -commit-windows list ("0,1ms,5ms,20ms").
@@ -195,6 +199,17 @@ func run(o runOpts) error {
 	out := os.Stdout
 	needMatrix := exp == "all" || exp == "table2" || exp == "fig8" || exp == "fig9"
 	rep := &experiment.Report{Scale: scale}
+
+	// A committed BENCH_*.json claiming to be "commit X" while the tree had
+	// uncommitted edits is a corrupted trajectory point. Refuse up front —
+	// before any long experiment runs — unless the caller opts in.
+	if jsonPath != "" {
+		rep.Meta = experiment.NewRunMeta()
+		if rep.Meta.Dirty && !o.allowDirty {
+			return fmt.Errorf("-json refused: working tree is dirty, so the report would not be " +
+				"attributable to a commit; commit first or pass -allow-dirty")
+		}
+	}
 
 	var m *experiment.Matrix
 	if needMatrix {
@@ -268,6 +283,22 @@ func run(o runOpts) error {
 		fmt.Fprintln(out)
 		rep.Chaos = rs
 	}
+	// The crash-storm sweep is opt-in: every-prefix crash exploration across
+	// the storage failure modes plus the composed network+storage profile.
+	// Coverage counters go into the report; any recovery-invariant violation
+	// fails the run (unlike throughput, crash consistency is asserted).
+	if exp == "crashstorm" {
+		rs, err := experiment.CrashStormSweep(o.stormSeeds)
+		if err != nil {
+			return err
+		}
+		experiment.PrintCrashStorm(out, rs)
+		fmt.Fprintln(out)
+		rep.CrashStorm = rs
+		if err := experiment.CheckCrashStorm(rs); err != nil {
+			return err
+		}
+	}
 	// The scaling sweep is likewise opt-in: it reports wall-clock throughput,
 	// which varies with machine and core count, so it would break the
 	// byte-diff determinism of the default output.
@@ -326,7 +357,6 @@ func run(o runOpts) error {
 		}
 	}
 	if jsonPath != "" {
-		rep.Meta = experiment.NewRunMeta()
 		if err := rep.WriteFile(jsonPath); err != nil {
 			return fmt.Errorf("writing %s: %w", jsonPath, err)
 		}

@@ -34,6 +34,16 @@ func TestFlagsBadFixture(t *testing.T) {
 	if n := strings.Count(got, "time.Now reads the wall clock"); n != 1 {
 		t.Errorf("time.Now findings = %d, want 1 (inline allow not honored?)\n%s", n, got)
 	}
+	// The storagefault layer must be recognized as a first-class source of
+	// crash-ordering and durability events: BadStorageSnapshot renames a
+	// temp file through the FS interface with no fsync, BadStorageSyncDrop
+	// discards a File.Sync error.
+	if !strings.Contains(got, "badstorage.go") || !strings.Contains(got, "temp file renamed without an fsync") {
+		t.Errorf("no crashsafe finding for the storagefault temp rename:\n%s", got)
+	}
+	if !strings.Contains(got, "storage fsync") {
+		t.Errorf("no errsync finding for the dropped storagefault Sync error:\n%s", got)
+	}
 }
 
 // TestJSONOutput checks the -json mode round-trips the same findings as a

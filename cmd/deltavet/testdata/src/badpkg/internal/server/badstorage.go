@@ -1,0 +1,35 @@
+package server
+
+import (
+	"path/filepath"
+
+	"repro/internal/storagefault"
+)
+
+// BadStorageSnapshot violates crashsafe through the storagefault layer: the
+// temp file is renamed with no fsync on any path, and the rename is never
+// made durable with a directory fsync. The analyzer must see fsys.Rename —
+// an interface call — exactly as it sees os.Rename.
+func BadStorageSnapshot(fsys storagefault.FS, dir string, data []byte) error {
+	tmp := filepath.Join(dir, "state.tmp")
+	f, err := storagefault.Create(fsys, tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fsys.Rename(tmp, filepath.Join(dir, "state"))
+}
+
+// BadStorageSyncDrop violates errsync: the Sync error through the
+// storagefault File interface is discarded — the fsyncgate bug (a failed
+// fsync nobody observes means the kernel marked the pages clean and the
+// data is simply gone).
+func BadStorageSyncDrop(f storagefault.File) {
+	f.Sync()
+}

@@ -16,22 +16,27 @@
 //
 // Event classification (project conventions, documented in DESIGN.md §12):
 //
-//   - fsync: (*os.File).Sync by identity, or any function that transitively
-//     reaches it (excluding directory-sync helpers, which are their own
-//     event class).
+//   - fsync: (*os.File).Sync by identity, or any Sync method from the
+//     internal/storagefault layer (the File interface and its
+//     implementations — all persistence sites now write through it), or
+//     any function that transitively reaches one (excluding directory-sync
+//     helpers, which are their own event class).
 //   - directory fsync: a call to a function whose name contains "syncdir"
 //     (case-insensitive; e.g. syncDir, fsyncDir), or one transitively
 //     reaching such a function. Renaming gives a file its durable name;
 //     only the parent directory's fsync makes the *name* durable.
-//   - rename: os.Rename by identity. The source argument is "a temp file"
-//     when it mentions a ".tmp" literal or a variable assigned from one.
+//   - rename: os.Rename by identity, or a Rename method from
+//     internal/storagefault (FS interface and implementations). The source
+//     argument is "a temp file" when it mentions a ".tmp" literal or a
+//     variable assigned from one.
 //   - WAL append: a direct call to a writeRecord/appendRecord-style
 //     function whose destination argument mentions the WAL (an identifier
 //     containing "wal") — the same helper writing snapshot records is not
 //     a WAL append.
 //   - apply: an assignment into (or delete from) a map field named "table",
 //     the kvstore's memtable convention.
-//   - truncate: (*os.File).Truncate or os.Truncate by identity.
+//   - truncate: (*os.File).Truncate or os.Truncate by identity, or a
+//     Truncate method from internal/storagefault.
 //
 // Reported shapes:
 //
@@ -348,14 +353,18 @@ func classifyCall(pass *analysis.Pass, call *ast.CallExpr, fact *syncFact, tmpOb
 	recv := analysis.RecvTypeName(fn)
 	name := fn.Name()
 	var out []ev
+	// The os package and the storagefault layer share primitive names
+	// (Rename, Truncate): both namespaces carry crash-ordering events.
+	primitiveNS := (pkg == "os" && recv == "") || isStorageFaultFn(fn)
 	switch {
-	case pkg == "os" && recv == "" && name == "Rename" && len(call.Args) >= 1:
+	case primitiveNS && name == "Rename" && len(call.Args) >= 1:
 		out = append(out, ev{kind: evRename, pos: call, tmp: isTmpExpr(info, call.Args[0], tmpObjs)})
 	case isDirSyncName(name) || fact.dirsyncs[fn] != nil:
 		out = append(out, ev{kind: evDirSync, pos: call})
 	case isFileSync(fn) || fact.syncs[fn] != nil:
 		out = append(out, ev{kind: evSync, pos: call})
-	case pkg == "os" && name == "Truncate" && (recv == "File" || recv == ""):
+	case (primitiveNS && name == "Truncate") ||
+		(pkg == "os" && name == "Truncate" && recv == "File"):
 		out = append(out, ev{kind: evTrunc, pos: call})
 	case isWALAppendName(name) && len(call.Args) > 0 && mentionsWAL(call.Args[0]):
 		out = append(out, ev{kind: evWALAppend, pos: call})
@@ -364,8 +373,24 @@ func classifyCall(pass *analysis.Pass, call *ast.CallExpr, fact *syncFact, tmpOb
 }
 
 func isFileSync(fn *types.Func) bool {
-	return fn != nil && analysis.PkgPathOf(fn) == "os" &&
-		analysis.RecvTypeName(fn) == "File" && fn.Name() == "Sync"
+	if fn == nil {
+		return false
+	}
+	if analysis.PkgPathOf(fn) == "os" &&
+		analysis.RecvTypeName(fn) == "File" && fn.Name() == "Sync" {
+		return true
+	}
+	// The storagefault File interface (and every implementation) is the
+	// project's fsync source: persistence sites call Sync through it.
+	return isStorageFaultFn(fn) && fn.Name() == "Sync"
+}
+
+// isStorageFaultFn reports whether fn belongs to the internal/storagefault
+// package — the file-IO layer all persistence sites write through. Calls
+// resolve here both directly (concrete SimDisk/Injector/osFS methods) and
+// through the FS/File interfaces.
+func isStorageFaultFn(fn *types.Func) bool {
+	return fn != nil && analysis.PathSuffixMatch(analysis.PkgPathOf(fn), "internal/storagefault")
 }
 
 func isDirSyncName(name string) bool {

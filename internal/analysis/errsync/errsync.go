@@ -1,6 +1,7 @@
 // Package errsync flags discarded errors from the durability layer: kvstore
-// WAL writes, server snapshot Save/Load, undo-log appends, and integrity
-// store mutations. A dropped error from any of these silently breaks the
+// WAL writes, server snapshot Save/Load, undo-log appends and snapshots,
+// integrity store mutations, and the storagefault layer's fsync/rename/
+// dirsync primitives. A dropped error from any of these silently breaks the
 // crash-consistency story — the WAL record the recovery path will replay
 // was never durable, or the snapshot the resume protocol trusts is partial.
 //
@@ -136,6 +137,21 @@ func classifyCritical(fn *types.Func) string {
 		switch name {
 		case "BeforeWrite", "BeforeTruncate":
 			return "undo-log append Log." + name
+		case "SaveTo":
+			return "undo-log snapshot Log." + name
+		}
+	case analysis.PathSuffixMatch(pkg, "internal/storagefault"):
+		// The storage layer's durability primitives: a dropped Sync error
+		// is the fsyncgate bug itself (the kernel marked the dirty pages
+		// clean; nobody will retry), and a dropped Rename/SyncDir error
+		// leaves an atomic replace half-published.
+		switch name {
+		case "Sync", "SyncDir":
+			return "storage fsync " + recv + "." + name
+		case "Rename":
+			if recv != "" {
+				return "storage rename " + recv + "." + name
+			}
 		}
 	case analysis.PathSuffixMatch(pkg, "internal/integrity") && recv == "Store":
 		switch name {

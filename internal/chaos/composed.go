@@ -1,0 +1,277 @@
+package chaos
+
+// Composed network + storage fault runs: the randomized network-fault chaos
+// harness (TCP + TLS through a seeded NetPlan) pointed at a server whose
+// push journal lives on a simulated disk. Midway through the script the
+// server's machine "dies": the disk is forked and crashed (dropping
+// everything not yet fsynced), every live connection is severed, and a
+// recovered server — snapshot load, WAL replay, journal replay — is swapped
+// in behind the same listener address. The client rides it out with its
+// normal retry/degradation machinery. After the script, all network faults
+// heal and the drained client must converge with the fault-free reference
+// stack, with zero duplicate applies on the recovered server: the journal's
+// idempotency state, rebuilt from disk, absorbs every ambiguous replay that
+// straddled the crash.
+
+import (
+	"crypto/tls"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/metrics"
+	"repro/internal/server"
+	"repro/internal/storagefault"
+	"repro/internal/version"
+	"repro/internal/vfs"
+	"repro/internal/wire"
+)
+
+// ComposedConfig parameterizes one composed run.
+type ComposedConfig struct {
+	// Seed drives the script, the network fault schedule, and the storage
+	// fork point.
+	Seed int64
+	// Ops is the script length (default 40).
+	Ops int
+	// Faults is the network fault profile (Seed overridden with Seed).
+	Faults faultinject.NetFaultConfig
+	// DrainAttempts bounds post-heal drain retries (default 10).
+	DrainAttempts int
+}
+
+// ComposedResult reports one composed run.
+type ComposedResult struct {
+	Seed             int64                     `json:"seed"`
+	Converged        bool                      `json:"converged"`
+	Mismatch         string                    `json:"mismatch,omitempty"`
+	Files            int                       `json:"files"`
+	StorageCrashes   int                       `json:"storage_crashes"`
+	JournalReplayed  int                       `json:"journal_replayed"`
+	DuplicateApplies int                       `json:"duplicate_applies"`
+	Sync             metrics.SyncStats         `json:"sync"`
+	Faults           faultinject.NetFaultStats `json:"faults"`
+}
+
+// swapBackend is a wire.Backend whose target server can be replaced at
+// runtime — the "same address, new process" shape of a server restart.
+type swapBackend struct {
+	mu  sync.RWMutex
+	cur *server.Server
+}
+
+func (b *swapBackend) load() *server.Server {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.cur
+}
+
+func (b *swapBackend) swap(s *server.Server) {
+	b.mu.Lock()
+	b.cur = s
+	b.mu.Unlock()
+}
+
+func (b *swapBackend) RegisterGroup(group uint32) uint32 { return b.load().RegisterGroup(group) }
+func (b *swapBackend) Attach(client uint32)              { b.load().Attach(client) }
+func (b *swapBackend) Push(from uint32, batch *wire.Batch) *wire.PushReply {
+	return b.load().Push(from, batch)
+}
+func (b *swapBackend) Fetch(path string) *wire.FetchReply { return b.load().Fetch(path) }
+func (b *swapBackend) Head(path string) (version.ID, bool) {
+	return b.load().Head(path)
+}
+func (b *swapBackend) FetchRange(path string, off, n int64) ([]byte, error) {
+	return b.load().FetchRange(path, off, n)
+}
+func (b *swapBackend) Poll(client uint32) []*wire.Batch { return b.load().Poll(client) }
+
+var _ wire.Backend = (*swapBackend)(nil)
+
+// trackListener records accepted connections so a simulated machine crash
+// can sever them all.
+type trackListener struct {
+	net.Listener
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func (l *trackListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		l.mu.Lock()
+		l.conns = append(l.conns, c)
+		l.mu.Unlock()
+	}
+	return c, err
+}
+
+// sever closes every connection accepted so far (closing an already-closed
+// conn is harmless).
+func (l *trackListener) sever() {
+	l.mu.Lock()
+	conns := l.conns
+	l.conns = nil
+	l.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// RunComposed executes one composed network+storage fault run.
+func RunComposed(cfg ComposedConfig) (*ComposedResult, error) {
+	if cfg.Ops <= 0 {
+		cfg.Ops = 40
+	}
+	if cfg.DrainAttempts <= 0 {
+		cfg.DrainAttempts = 10
+	}
+	ops := script(cfg.Seed, cfg.Ops)
+
+	// Reference stack: loopback, fault-free.
+	refSrv := server.New(nil)
+	refClk := &clock.Clock{}
+	refEng, err := core.New(core.Config{
+		Backing:  vfs.NewMemFS(),
+		Endpoint: server.NewLoopback(refSrv, nil, nil),
+		Clock:    refClk,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: composed reference engine: %w", err)
+	}
+	replay(refEng, refClk, ops)
+	refClk.Advance(time.Minute)
+	refEng.Tick(refClk.Now())
+	if err := refEng.Drain(); err != nil {
+		return nil, fmt.Errorf("chaos: composed reference drain: %w", err)
+	}
+
+	// Faulty stack: server with a sync-mode journal on a SimDisk, behind a
+	// swappable backend, behind TLS over the network fault plan.
+	disk := storagefault.NewSimDisk()
+	srv := server.NewWithOptions(nil, server.Options{FS: disk})
+	j, err := server.OpenJournalFS(disk, "journal", 0)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: composed journal: %w", err)
+	}
+	srv.SetJournal(j)
+	backend := &swapBackend{}
+	backend.swap(srv)
+
+	serverConf, clientConf, err := tlsConfigs()
+	if err != nil {
+		return nil, err
+	}
+	rawLis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("chaos: composed listen: %w", err)
+	}
+	defer rawLis.Close()
+	tracked := &trackListener{Listener: rawLis}
+	faults := cfg.Faults
+	faults.Seed = cfg.Seed
+	plan := faultinject.NewNetPlan(faults)
+	go wire.Serve(tls.NewListener(plan.Listener(tracked), serverConf), backend)
+
+	sm := &metrics.SyncMeter{}
+	srv.SetSyncMeter(sm)
+	partOps := cfg.Faults.PartitionOps
+	if partOps <= 0 {
+		partOps = 20
+	}
+	policy := wire.RetryPolicy{
+		MaxAttempts: partOps + 10,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    8 * time.Millisecond,
+		Seed:        cfg.Seed,
+		OpTimeout:   2 * time.Second,
+	}
+	var ep *wire.ResilientClient
+	for attempt := 0; ; attempt++ {
+		ep, err = wire.DialResilient(nil, rawLis.Addr().String(),
+			wire.DialOpts{TLS: clientConf}, policy, sm)
+		if err == nil {
+			break
+		}
+		if attempt == 5 {
+			return nil, fmt.Errorf("chaos: composed dial: %w", err)
+		}
+	}
+	defer ep.Close()
+
+	clk := &clock.Clock{}
+	eng, err := core.New(core.Config{
+		Backing:   vfs.NewMemFS(),
+		Endpoint:  ep,
+		Clock:     clk,
+		SyncMeter: sm,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: composed engine: %w", err)
+	}
+
+	// First half of the script, then the machine dies: fork the disk at its
+	// current trace length and crash the fork (un-fsynced data gone), sever
+	// every connection, recover a fresh server from the crashed disk, and
+	// swap it in behind the same address.
+	half := len(ops) / 2
+	replay(eng, clk, ops[:half])
+
+	crashed := disk.Fork(disk.Ops())
+	crashed.Crash()
+	j.Close()
+	srv2 := server.NewWithOptions(nil, server.Options{FS: crashed})
+	srv2.SetSyncMeter(sm)
+	if _, err := srv2.LoadFile(stormSnap); err != nil {
+		return nil, fmt.Errorf("chaos: composed recovery load: %w", err)
+	}
+	j2, err := server.OpenJournalFS(crashed, "journal", 0)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: composed recovery journal: %w", err)
+	}
+	replayed, err := j2.Replay(srv2)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: composed recovery replay: %w", err)
+	}
+	srv2.SetJournal(j2)
+	backend.swap(srv2)
+	tracked.sever()
+
+	// Second half rides the recovered server through the same fault plan.
+	replay(eng, clk, ops[half:])
+
+	plan.Heal()
+	var drainErr error
+	for i := 0; i < cfg.DrainAttempts; i++ {
+		clk.Advance(time.Minute)
+		eng.Tick(clk.Now())
+		if drainErr = eng.Drain(); drainErr == nil {
+			break
+		}
+	}
+	if drainErr != nil {
+		return nil, fmt.Errorf("chaos: composed seed %d: drain after heal: %w", cfg.Seed, drainErr)
+	}
+
+	res := &ComposedResult{
+		Seed:             cfg.Seed,
+		StorageCrashes:   1,
+		JournalReplayed:  replayed,
+		DuplicateApplies: srv2.DuplicateApplies(),
+		Sync:             sm.Snapshot(),
+		Faults:           plan.Stats(),
+	}
+	res.Converged, res.Mismatch = compare(refSrv, srv2)
+	res.Files = len(refSrv.Files())
+	if res.DuplicateApplies != 0 {
+		res.Converged = false
+		if res.Mismatch == "" {
+			res.Mismatch = fmt.Sprintf("%d duplicate applies", res.DuplicateApplies)
+		}
+	}
+	return res, nil
+}

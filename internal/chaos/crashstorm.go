@@ -1,0 +1,375 @@
+package chaos
+
+// Crash-point exploration for the persistence stack, in the style of ALICE
+// (OSDI'14 "All File Systems Are Not Created Equal"): run a workload against
+// a simulated disk that records its ordered IO trace, then for EVERY prefix
+// of that trace fork the disk, crash it (discard everything not yet durable
+// under POSIX fsync/dirsync rules), run the full recovery path — snapshot
+// load, kvstore WAL reopen (each record CRC-checked: the integrity scan),
+// journal replay through Push — and assert the recovered server is a
+// consistent, acknowledged-prefix state of the original run. On top of the
+// every-prefix sweep, the storm re-runs the workload live under injected
+// fsync failure at each fsync point (fsyncgate semantics: the WAL poisons,
+// the server degrades to read-only) and under an ENOSPC write budget,
+// asserting the acked-⇒-durable contract holds at every failure point too.
+//
+// The invariants, per crash point:
+//
+//  1. No acknowledged batch is lost: the recovered state includes every
+//     batch acked before the crash point.
+//  2. No torn state is visible: the recovered state equals EXACTLY one of
+//     the oracle states the original run passed through — never a blend.
+//  3. The restored dedup cache still absorbs covered batches: re-pushing
+//     the full workload converges to the final oracle state with zero
+//     duplicate applies.
+//  4. Per-path version order is intact: each path's recovered head version
+//     matches the oracle state it recovered to.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/server"
+	"repro/internal/storagefault"
+	"repro/internal/version"
+	"repro/internal/wire"
+)
+
+// StormConfig parameterizes one crash-point storm.
+type StormConfig struct {
+	// Seed drives the workload (paths, contents, clients) and torn-write
+	// choices.
+	Seed int64
+	// Batches is the number of pushes in the workload (default 6). The
+	// workload also snapshots + truncates the journal midway and at the
+	// end, so the trace covers the push, save, and compact paths.
+	Batches int
+	// Torn additionally explores a torn-append crash (seeded partial
+	// suffix) at every prefix.
+	Torn bool
+	// FsyncFailures re-runs the workload live once per fsync point with
+	// that fsync failing (and the file poisoned after it).
+	FsyncFailures bool
+	// NoSpace re-runs the workload under a byte write budget chosen to
+	// exhaust mid-run.
+	NoSpace bool
+}
+
+// StormResult reports one storm, JSON-able for the experiment artifact.
+type StormResult struct {
+	Seed        int64 `json:"seed"`
+	Ops         int   `json:"ops"`          // IO trace length of the clean run
+	Syncs       int   `json:"syncs"`        // fsync points in the clean run
+	Acked       int   `json:"acked"`        // batches acknowledged in the clean run
+	CrashPoints int   `json:"crash_points"` // clean-crash prefixes explored
+	TornPoints  int   `json:"torn_points"`  // torn-crash prefixes explored
+	FsyncPoints int   `json:"fsync_points"` // live fsync-failure runs
+	NoSpaceRuns int   `json:"nospace_runs"` // live ENOSPC runs
+	Recoveries  int   `json:"recoveries"`   // total successful recoveries
+	// Violations lists every invariant breach; empty means the storm passed.
+	Violations []string `json:"violations,omitempty"`
+}
+
+// pathState is one file's oracle entry.
+type pathState struct {
+	content []byte
+	ver     version.ID
+}
+
+// oracleState is the full visible server state at one ack point.
+type oracleState map[string]pathState
+
+// ackPoint marks one acknowledged batch: the IO-trace length at ack time
+// and the oracle state the server held.
+type ackPoint struct {
+	ops   int
+	state oracleState
+}
+
+// stormBatch is one scripted push, replayable against a recovered server.
+type stormBatch struct {
+	from  uint32
+	batch *wire.Batch
+}
+
+const stormSnap = "state.snap"
+
+// buildWorkload generates the deterministic batch script for a seed.
+func buildWorkload(seed int64, n int) []stormBatch {
+	rng := rand.New(rand.NewSource(seed))
+	paths := []string{"a/f", "a/g", "b/h", "doc"}
+	lastVer := map[string]version.ID{}
+	perClientCount := map[uint32]uint64{}
+	var out []stormBatch
+	for i := 0; i < n; i++ {
+		cli := uint32(1 + rng.Intn(2))
+		p := paths[rng.Intn(len(paths))]
+		content := make([]byte, 64+rng.Intn(448))
+		rng.Read(content)
+		perClientCount[cli]++
+		node := &wire.Node{
+			Kind: wire.NFull,
+			Path: p,
+			Full: content,
+			Ver:  version.ID{Client: cli, Count: perClientCount[cli]},
+			Base: lastVer[p],
+		}
+		lastVer[p] = node.Ver
+		out = append(out, stormBatch{
+			from:  cli,
+			batch: &wire.Batch{Seq: perClientCount[cli], Nodes: []*wire.Node{node}},
+		})
+	}
+	return out
+}
+
+// captureState snapshots the server's visible files (content + head
+// version) as an oracle entry.
+func captureState(s *server.Server) oracleState {
+	st := make(oracleState)
+	for _, p := range visible(s.Files()) {
+		c, ok := s.FileContent(p)
+		if !ok {
+			continue
+		}
+		var ps pathState
+		ps.content = append([]byte(nil), c...)
+		if v, ok := s.Head(p); ok {
+			ps.ver = v
+		}
+		st[p] = ps
+	}
+	return st
+}
+
+func statesEqual(a, b oracleState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for p, pa := range a {
+		pb, ok := b[p]
+		if !ok || !bytes.Equal(pa.content, pb.content) || pa.ver != pb.ver {
+			return false
+		}
+	}
+	return true
+}
+
+// runWorkload drives the batch script against a server whose journal and
+// snapshots live on fsys, returning the ack points in order. Refused pushes
+// (degraded mode, poisoned WAL, ENOSPC) are tolerated: the contract under
+// test is acked ⇒ durable, and a refusal simply isn't an ack. Save/truncate
+// errors are tolerated for the same reason.
+func runWorkload(fsys storagefault.FS, script []stormBatch) (acks []ackPoint, traceOps func() int, err error) {
+	var disk *storagefault.SimDisk
+	switch d := fsys.(type) {
+	case *storagefault.SimDisk:
+		disk = d
+	case *storagefault.Injector:
+		disk = d.Inner().(*storagefault.SimDisk)
+	default:
+		return nil, nil, fmt.Errorf("chaos: storm workload needs a SimDisk-backed FS")
+	}
+	s := server.NewWithOptions(nil, server.Options{FS: fsys})
+	j, err := server.OpenJournalFS(fsys, "journal", 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("chaos: storm journal: %w", err)
+	}
+	s.SetJournal(j)
+	for i, sb := range script {
+		r := s.Push(sb.from, sb.batch)
+		if r.Err == "" {
+			acks = append(acks, ackPoint{ops: disk.Ops(), state: captureState(s)})
+		}
+		if i == len(script)/2 {
+			// Midway: snapshot + journal truncation (the compact path).
+			if err := s.SaveFile(stormSnap); err == nil {
+				j.TruncateSnapshotted()
+			}
+		}
+	}
+	// Final snapshot, so crash points also fall inside a save whose journal
+	// suffix is empty.
+	//deltavet:allow errsync harness workload tolerates snapshot failure under injection; acked ⇒ durable is what the sweep checks
+	s.SaveFile(stormSnap)
+	j.Close()
+	return acks, disk.Ops, nil
+}
+
+// recoverServer runs the full recovery path against fsys: snapshot load,
+// journal reopen (kvstore WAL replay CRC-checks every surviving record —
+// the integrity scan), replay through Push. The journal is left attached so
+// convergence re-pushes are journaled like live traffic.
+func recoverServer(fsys storagefault.FS) (*server.Server, error) {
+	s := server.NewWithOptions(nil, server.Options{FS: fsys})
+	if _, err := s.LoadFile(stormSnap); err != nil {
+		return nil, fmt.Errorf("snapshot load: %w", err)
+	}
+	j, err := server.OpenJournalFS(fsys, "journal", 0)
+	if err != nil {
+		return nil, fmt.Errorf("journal reopen: %w", err)
+	}
+	if _, err := j.Replay(s); err != nil {
+		return nil, fmt.Errorf("journal replay: %w", err)
+	}
+	s.SetJournal(j)
+	return s, nil
+}
+
+// checkRecovery asserts the four storm invariants for a recovered server.
+// ackedBefore is the number of batches acked at or before the crash point;
+// finalState is the oracle state after the FULL script (the convergence
+// target for the re-push, which may extend past this run's own acks).
+func checkRecovery(s *server.Server, acks []ackPoint, ackedBefore int, script []stormBatch, finalState oracleState, label string) []string {
+	var violations []string
+	got := captureState(s)
+	// Invariants 1, 2, 4: the recovered state must be exactly one oracle
+	// state (torn blends match none), at or after the last acked one
+	// (earlier states would have lost an acked batch). States compare
+	// content AND head version, so per-path version order is checked too.
+	// oracle index -1 is the empty initial state, legal only if nothing
+	// was acked yet.
+	matched := len(got) == 0 && ackedBefore == 0
+	for i := ackedBefore - 1; !matched && i < len(acks); i++ {
+		if i >= 0 && statesEqual(got, acks[i].state) {
+			matched = true
+		}
+	}
+	if !matched {
+		violations = append(violations,
+			fmt.Sprintf("%s: recovered state matches no oracle state at or after ack %d (torn or lost)", label, ackedBefore))
+	}
+	// Invariant 3: re-push the whole workload. Covered batches must be
+	// absorbed (dedup), the rest applied, converging on the final oracle
+	// state with zero duplicate applies.
+	for _, sb := range script {
+		if r := s.Push(sb.from, sb.batch); r.Err != "" {
+			violations = append(violations,
+				fmt.Sprintf("%s: re-push of batch (client %d seq %d) refused after recovery: %s", label, sb.from, sb.batch.Seq, r.Err))
+			return violations
+		}
+	}
+	if got := captureState(s); !statesEqual(got, finalState) {
+		violations = append(violations,
+			fmt.Sprintf("%s: after re-push, state does not converge to final oracle", label))
+	}
+	if d := s.DuplicateApplies(); d != 0 {
+		violations = append(violations,
+			fmt.Sprintf("%s: %d duplicate applies after recovery re-push (dedup cache not restored)", label, d))
+	}
+	return violations
+}
+
+// ackedAt returns how many batches were acked within the first ops trace
+// operations.
+func ackedAt(acks []ackPoint, ops int) int {
+	n := 0
+	for _, a := range acks {
+		if a.ops <= ops {
+			n++
+		}
+	}
+	return n
+}
+
+// CrashStorm explores every crash point of the seeded workload. The
+// returned error reports harness failures; invariant breaches land in
+// Result.Violations so a matrix caller can echo the seed.
+func CrashStorm(cfg StormConfig) (*StormResult, error) {
+	if cfg.Batches <= 0 {
+		cfg.Batches = 6
+	}
+	script := buildWorkload(cfg.Seed, cfg.Batches)
+	res := &StormResult{Seed: cfg.Seed}
+
+	// Clean run: record the trace and the oracle.
+	disk := storagefault.NewSimDisk()
+	acks, ops, err := runWorkload(disk, script)
+	if err != nil {
+		return nil, err
+	}
+	res.Ops = ops()
+	res.Syncs = disk.SyncOps()
+	res.Acked = len(acks)
+	if len(acks) != len(script) {
+		return nil, fmt.Errorf("chaos: clean run acked %d of %d batches", len(acks), len(script))
+	}
+	finalState := acks[len(acks)-1].state
+
+	// Every-prefix crash sweep (plus torn variant).
+	for k := 0; k <= res.Ops; k++ {
+		fork := disk.Fork(k)
+		fork.Crash()
+		res.CrashPoints++
+		label := fmt.Sprintf("seed %d prefix %d/%d", cfg.Seed, k, res.Ops)
+		s, err := recoverServer(fork)
+		if err != nil {
+			res.Violations = append(res.Violations, fmt.Sprintf("%s: recovery failed: %v", label, err))
+			continue
+		}
+		res.Recoveries++
+		res.Violations = append(res.Violations, checkRecovery(s, acks, ackedAt(acks, k), script, finalState, label)...)
+
+		if cfg.Torn {
+			tf := disk.Fork(k)
+			tf.CrashTorn(cfg.Seed + int64(k))
+			res.TornPoints++
+			tl := label + " torn"
+			ts, err := recoverServer(tf)
+			if err != nil {
+				res.Violations = append(res.Violations, fmt.Sprintf("%s: recovery failed: %v", tl, err))
+				continue
+			}
+			res.Recoveries++
+			res.Violations = append(res.Violations, checkRecovery(ts, acks, ackedAt(acks, k), script, finalState, tl)...)
+		}
+	}
+
+	// Live fsync-failure sweep: one full run per fsync point, with that
+	// fsync failing and the file poisoned after it (fsyncgate). Whatever
+	// the run managed to ack must survive a crash.
+	if cfg.FsyncFailures {
+		for fail := 1; fail <= res.Syncs; fail++ {
+			fdisk := storagefault.NewSimDisk()
+			inj := storagefault.NewInjector(fdisk, storagefault.Plan{Seed: cfg.Seed, FailSyncAt: fail})
+			facks, _, err := runWorkload(inj, script)
+			if err != nil {
+				return nil, err
+			}
+			res.FsyncPoints++
+			fdisk.Crash()
+			label := fmt.Sprintf("seed %d fsync-fail %d", cfg.Seed, fail)
+			s, err := recoverServer(fdisk)
+			if err != nil {
+				res.Violations = append(res.Violations, fmt.Sprintf("%s: recovery failed: %v", label, err))
+				continue
+			}
+			res.Recoveries++
+			res.Violations = append(res.Violations, checkRecovery(s, facks, len(facks), script, finalState, label)...)
+		}
+	}
+
+	// Live ENOSPC run: the write budget exhausts mid-run; acks must stop at
+	// (or before) exhaustion and everything acked must survive a crash.
+	if cfg.NoSpace {
+		ndisk := storagefault.NewSimDisk()
+		inj := storagefault.NewInjector(ndisk, storagefault.Plan{Seed: cfg.Seed, WriteBudget: 1024})
+		nacks, _, err := runWorkload(inj, script)
+		if err != nil {
+			return nil, err
+		}
+		res.NoSpaceRuns++
+		ndisk.Crash()
+		label := fmt.Sprintf("seed %d enospc", cfg.Seed)
+		s, err := recoverServer(ndisk)
+		if err != nil {
+			res.Violations = append(res.Violations, fmt.Sprintf("%s: recovery failed: %v", label, err))
+		} else {
+			res.Recoveries++
+			res.Violations = append(res.Violations, checkRecovery(s, nacks, len(nacks), script, finalState, label)...)
+		}
+	}
+
+	return res, nil
+}

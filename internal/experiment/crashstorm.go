@@ -1,0 +1,137 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/chaos"
+	"repro/internal/faultinject"
+)
+
+// CrashStormResult is one row of the storage-fault sweep: the crash-point
+// exploration harness run over a block of seeds with one failure mode
+// enabled, plus the composed network+storage profile. Coverage counters are
+// reported (how many crash points, torn points, fsync-failure runs the sweep
+// actually explored); violations are both reported and fatal — a non-empty
+// violation list is a recovery-invariant breach, not a perf regression.
+type CrashStormResult struct {
+	Profile string `json:"profile"`
+	Runs    int    `json:"runs"`
+	// CrashPoints / TornPoints / FsyncPoints / NoSpaceRuns total the explored
+	// crash surface across the block's seeds.
+	CrashPoints int `json:"crash_points"`
+	TornPoints  int `json:"torn_points,omitempty"`
+	FsyncPoints int `json:"fsync_points,omitempty"`
+	NoSpaceRuns int `json:"nospace_runs,omitempty"`
+	// Recoveries counts successful recover+re-push convergences.
+	Recoveries int `json:"recoveries"`
+	// Composed rows only: net-fault counters and convergence.
+	Converged      int `json:"converged,omitempty"`
+	StorageCrashes int `json:"storage_crashes,omitempty"`
+	// Violations lists every invariant breach across the block (empty =
+	// the profile passed; CheckCrashStorm fails the run otherwise).
+	Violations []string `json:"violations,omitempty"`
+}
+
+// stormProfiles is the benchall sweep: one profile per storage failure mode
+// plus the composed network+storage storm. Each runs over the same seed
+// block so a violation names "<profile> seed N" reproducibly.
+var stormProfiles = []struct {
+	name string
+	cfg  chaos.StormConfig
+}{
+	{name: "clean-crash", cfg: chaos.StormConfig{}},
+	{name: "torn-writes", cfg: chaos.StormConfig{Torn: true}},
+	{name: "fsync-fail", cfg: chaos.StormConfig{FsyncFailures: true}},
+	{name: "nospace", cfg: chaos.StormConfig{NoSpace: true}},
+}
+
+// CrashStormSweep runs the crash-point exploration harness over seedsPerProfile
+// seeds for every storage failure mode, then the composed network+storage
+// profile. Coverage is reported; violations fail the run via CheckCrashStorm.
+func CrashStormSweep(seedsPerProfile int) ([]CrashStormResult, error) {
+	if seedsPerProfile <= 0 {
+		seedsPerProfile = 5
+	}
+	var out []CrashStormResult
+	for _, prof := range stormProfiles {
+		row := CrashStormResult{Profile: prof.name}
+		for seed := int64(1); seed <= int64(seedsPerProfile); seed++ {
+			cfg := prof.cfg
+			cfg.Seed = seed
+			res, err := chaos.CrashStorm(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("crashstorm %s seed %d: %w", prof.name, seed, err)
+			}
+			row.Runs++
+			row.CrashPoints += res.CrashPoints
+			row.TornPoints += res.TornPoints
+			row.FsyncPoints += res.FsyncPoints
+			row.NoSpaceRuns += res.NoSpaceRuns
+			row.Recoveries += res.Recoveries
+			for _, v := range res.Violations {
+				row.Violations = append(row.Violations, fmt.Sprintf("%s seed %d: %s", prof.name, seed, v))
+			}
+		}
+		out = append(out, row)
+	}
+
+	// Composed profile: storage crash mid-run under a lossy network, journal
+	// replay as the only recovery path, resilient clients driving convergence.
+	comp := CrashStormResult{Profile: "net+storage"}
+	for seed := int64(1); seed <= int64(seedsPerProfile); seed++ {
+		res, err := chaos.RunComposed(chaos.ComposedConfig{
+			Seed:   seed,
+			Faults: faultinject.NetFaultConfig{Seed: seed, DropProb: 0.05, PartialProb: 0.03},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("crashstorm net+storage seed %d: %w", seed, err)
+		}
+		comp.Runs++
+		comp.StorageCrashes += res.StorageCrashes
+		if res.Converged {
+			comp.Converged++
+			comp.Recoveries++
+		} else {
+			comp.Violations = append(comp.Violations,
+				fmt.Sprintf("net+storage seed %d: did not converge: %s", seed, res.Mismatch))
+		}
+		if res.DuplicateApplies != 0 {
+			comp.Violations = append(comp.Violations,
+				fmt.Sprintf("net+storage seed %d: %d duplicate applies", seed, res.DuplicateApplies))
+		}
+	}
+	out = append(out, comp)
+	return out, nil
+}
+
+// CheckCrashStorm fails the run if any profile recorded a violation: unlike
+// throughput, recovery invariants are asserted, not eyeballed.
+func CheckCrashStorm(rs []CrashStormResult) error {
+	for _, r := range rs {
+		if len(r.Violations) > 0 {
+			return fmt.Errorf("crashstorm %s: %d invariant violations, first: %s",
+				r.Profile, len(r.Violations), r.Violations[0])
+		}
+	}
+	return nil
+}
+
+// PrintCrashStorm renders the sweep as a table.
+func PrintCrashStorm(w io.Writer, rs []CrashStormResult) {
+	fmt.Fprintln(w, "Crash-storm sweep (every-prefix crash exploration across storage failure modes)")
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "profile\truns\tcrash pts\ttorn pts\tfsync pts\tnospace\trecoveries\tviolations")
+	for _, r := range rs {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			r.Profile, r.Runs, r.CrashPoints, r.TornPoints, r.FsyncPoints,
+			r.NoSpaceRuns, r.Recoveries, len(r.Violations))
+	}
+	tw.Flush()
+	for _, r := range rs {
+		for _, v := range r.Violations {
+			fmt.Fprintf(w, "VIOLATION %s\n", v)
+		}
+	}
+}

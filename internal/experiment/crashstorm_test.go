@@ -1,0 +1,58 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCrashStormSweepShapes runs a one-seed sweep and checks every profile
+// reports coverage and zero violations — the benchall -exp crashstorm path
+// end to end, small enough for the default test run.
+func TestCrashStormSweepShapes(t *testing.T) {
+	rs, err := CrashStormSweep(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != len(stormProfiles)+1 {
+		t.Fatalf("got %d rows, want %d profiles + composed", len(rs), len(stormProfiles))
+	}
+	byName := map[string]CrashStormResult{}
+	for _, r := range rs {
+		byName[r.Profile] = r
+		if r.Runs != 1 {
+			t.Errorf("%s: runs = %d, want 1", r.Profile, r.Runs)
+		}
+		if len(r.Violations) != 0 {
+			t.Errorf("%s: violations: %v", r.Profile, r.Violations)
+		}
+		if r.Recoveries == 0 {
+			t.Errorf("%s: no recoveries recorded", r.Profile)
+		}
+	}
+	if byName["clean-crash"].CrashPoints == 0 {
+		t.Error("clean-crash explored no crash points")
+	}
+	if byName["torn-writes"].TornPoints == 0 {
+		t.Error("torn-writes explored no torn points")
+	}
+	if byName["fsync-fail"].FsyncPoints == 0 {
+		t.Error("fsync-fail ran no live fsync failures")
+	}
+	if byName["nospace"].NoSpaceRuns == 0 {
+		t.Error("nospace ran no ENOSPC runs")
+	}
+	if byName["net+storage"].Converged != 1 || byName["net+storage"].StorageCrashes == 0 {
+		t.Errorf("net+storage: %+v", byName["net+storage"])
+	}
+	if err := CheckCrashStorm(rs); err != nil {
+		t.Errorf("CheckCrashStorm on a clean sweep: %v", err)
+	}
+
+	// A synthetic violation must fail the check and name its profile.
+	bad := append([]CrashStormResult{}, rs...)
+	bad[0].Violations = []string{"clean-crash seed 1: synthetic"}
+	err = CheckCrashStorm(bad)
+	if err == nil || !strings.Contains(err.Error(), "clean-crash") {
+		t.Errorf("CheckCrashStorm missed the violation: %v", err)
+	}
+}

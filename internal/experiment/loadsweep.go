@@ -1,11 +1,14 @@
 package experiment
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -46,6 +49,20 @@ func NewRunMeta() *RunMeta {
 			case "vcs.modified":
 				m.Dirty = s.Value == "true"
 			}
+		}
+	}
+	// `go run` and `go test` binaries carry no VCS stamp, which would let a
+	// dirty tree masquerade as clean. Fall back to asking git directly; if
+	// git is unavailable or this is not a checkout, stay conservative and
+	// report dirty so an unattributable report is never published as clean.
+	if m.Commit == "unknown" {
+		if rev, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+			m.Commit = strings.TrimSpace(string(rev))
+		}
+		if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil {
+			m.Dirty = len(bytes.TrimSpace(st)) > 0
+		} else {
+			m.Dirty = true
 		}
 	}
 	return m

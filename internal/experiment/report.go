@@ -31,6 +31,11 @@ type Report struct {
 	// robustness of the sync path across revisions).
 	Chaos []ChaosResult `json:"chaos,omitempty"`
 
+	// CrashStorm is the storage-fault sweep (-exp crashstorm): crash-point
+	// exploration coverage per storage failure profile. Coverage counters are
+	// reported for the trajectory; violations additionally fail the run.
+	CrashStorm []CrashStormResult `json:"crashstorm,omitempty"`
+
 	// Scaling is the multi-client throughput sweep: sharded vs global-lock
 	// server push throughput per client count (not a paper artifact; tracks
 	// the server's concurrency headroom across revisions).

@@ -25,6 +25,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/storagefault"
 )
 
 const (
@@ -43,6 +45,14 @@ const (
 // ErrClosed is returned by operations on a closed store.
 var ErrClosed = errors.New("kvstore: store is closed")
 
+// ErrPoisoned is returned by every mutation and commit after a WAL flush or
+// fsync has failed. Per fsyncgate, a failed fsync means the kernel dropped
+// the dirty pages and marked them clean: a retried fsync that reports
+// success has silently lost data. The store therefore fails permanently —
+// reads still work, but nothing can claim durability again until the store
+// is reopened (which replays only what actually reached disk).
+var ErrPoisoned = errors.New("kvstore: wal poisoned by an earlier sync failure")
+
 // Store is an embedded key-value store. All methods are safe for concurrent
 // use. A Store opened with an empty directory is memory-only (no
 // persistence), which the tests and some benchmarks use.
@@ -56,10 +66,16 @@ type Store struct {
 	mu     sync.RWMutex
 	table  map[string][]byte
 	dir    string
-	wal    *os.File
+	fs     storagefault.FS
+	wal    storagefault.File
 	walBuf *bufio.Writer
 	walLen int64
 	closed bool
+
+	// poisonVal holds the first WAL flush/fsync failure (an error). Once
+	// set, every mutation and commit fails with ErrPoisoned — the
+	// fsyncgate contract (see ErrPoisoned).
+	poisonVal atomic.Value
 
 	// Group commit. mutSeq counts WAL appends (under mu); syncedSeq is the
 	// highest mutSeq known durable, advanced only by the fsync leader
@@ -94,6 +110,10 @@ type Options struct {
 	// (plus the fsync itself) without any caller ever paying a per-op
 	// fsync. Explicit Sync still works and still coalesces.
 	CommitWindow time.Duration
+	// FS is the file-IO layer the store writes through. nil means the
+	// real file system (storagefault.OS); tests substitute a fault
+	// injector or the SimDisk crash model.
+	FS storagefault.FS
 }
 
 // Open opens (or creates) a store in dir. If dir is empty, the store is
@@ -102,11 +122,15 @@ func Open(dir string) (*Store, error) { return OpenWith(dir, Options{}) }
 
 // OpenWith opens (or creates) a store in dir with explicit options.
 func OpenWith(dir string, o Options) (*Store, error) {
-	s := &Store{table: make(map[string][]byte), dir: dir}
+	fsys := o.FS
+	if fsys == nil {
+		fsys = storagefault.OS
+	}
+	s := &Store{table: make(map[string][]byte), dir: dir, fs: fsys}
 	if dir == "" {
 		return s, nil
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("kvstore: create dir: %w", err)
 	}
 	if err := s.loadSnapshot(); err != nil {
@@ -115,18 +139,25 @@ func OpenWith(dir string, o Options) (*Store, error) {
 	if err := s.replayWAL(); err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := fsys.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: open wal: %w", err)
 	}
-	st, err := f.Stat()
+	// Make the WAL's directory entry durable before the first commit:
+	// fsyncing a freshly created file persists its blocks but not its
+	// name, and a crash that forgets the name forgets the log with it.
+	if err := syncDir(fsys, dir); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("kvstore: sync dir: %w", err)
+	}
+	size, err := f.Size()
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("kvstore: stat wal: %w", err)
 	}
 	s.wal = f
 	s.walBuf = bufio.NewWriter(f)
-	s.walLen = st.Size()
+	s.walLen = size
 	if o.CommitWindow > 0 {
 		s.window = o.CommitWindow
 		s.commitKick = make(chan struct{}, 1)
@@ -183,7 +214,7 @@ func (s *Store) kickCommit() {
 }
 
 func (s *Store) loadSnapshot() error {
-	f, err := os.Open(filepath.Join(s.dir, snapshotName))
+	f, err := storagefault.Open(s.fs, filepath.Join(s.dir, snapshotName))
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}
@@ -208,7 +239,7 @@ func (s *Store) loadSnapshot() error {
 }
 
 func (s *Store) replayWAL() error {
-	f, err := os.Open(filepath.Join(s.dir, walName))
+	f, err := storagefault.Open(s.fs, filepath.Join(s.dir, walName))
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}
@@ -307,6 +338,9 @@ func (s *Store) Put(key, val []byte) error {
 	if s.closed {
 		return ErrClosed
 	}
+	if err := s.poisonedErr(); err != nil {
+		return err
+	}
 	valCopy := append([]byte(nil), val...)
 	if s.walBuf != nil {
 		// CHA fans writeRecord's io.Writer.Write out to every Writer in the
@@ -314,6 +348,9 @@ func (s *Store) Put(key, val []byte) error {
 		// over the WAL file, so no network I/O happens under s.mu.
 		//deltavet:allow blockunderlock walBuf is a local bufio.Writer, the CHA io.Writer fanout is spurious
 		if err := writeRecord(s.walBuf, record{op: opPut, key: key, val: valCopy}); err != nil {
+			// The bufio state (and possibly the file tail) is now
+			// unknowable; nothing after this point may claim durability.
+			s.poison(err)
 			return fmt.Errorf("kvstore: wal append: %w", err)
 		}
 		s.walLen += int64(13 + len(key) + len(valCopy))
@@ -331,10 +368,14 @@ func (s *Store) Delete(key []byte) error {
 	if s.closed {
 		return ErrClosed
 	}
+	if err := s.poisonedErr(); err != nil {
+		return err
+	}
 	if s.walBuf != nil {
 		// Same spurious CHA io.Writer fanout as Put: walBuf is file-backed.
 		//deltavet:allow blockunderlock walBuf is a local bufio.Writer, the CHA io.Writer fanout is spurious
 		if err := writeRecord(s.walBuf, record{op: opDelete, key: key}); err != nil {
+			s.poison(err)
 			return fmt.Errorf("kvstore: wal append: %w", err)
 		}
 		s.walLen += int64(13 + len(key))
@@ -370,6 +411,12 @@ func (s *Store) Sync() error {
 func (s *Store) commitUpTo(target uint64) error {
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
+	if err := s.poisonedErr(); err != nil {
+		// A poisoned store must never report a commit durable again, even
+		// for mutations an earlier (successful) fsync already covered:
+		// callers use Sync() == nil as "everything I wrote is on disk".
+		return err
+	}
 	if s.syncedSeq >= target {
 		s.coalesced.Add(1)
 		return nil
@@ -383,9 +430,15 @@ func (s *Store) commitUpTo(target uint64) error {
 	err := s.walBuf.Flush()
 	s.mu.Unlock()
 	if err != nil {
+		s.poison(err)
 		return err
 	}
 	if err := s.wal.Sync(); err != nil {
+		// fsyncgate: the failed fsync dropped the dirty pages. Retrying
+		// against the same file could report clean while the data is
+		// gone, so the store is poisoned instead of returning the error
+		// once and carrying on.
+		s.poison(err)
 		return err
 	}
 	s.fsyncs.Add(1)
@@ -397,14 +450,38 @@ func (s *Store) syncLocked() error {
 	if s.walBuf == nil {
 		return nil
 	}
+	if err := s.poisonedErr(); err != nil {
+		return err
+	}
 	if err := s.walBuf.Flush(); err != nil {
+		s.poison(err)
 		return err
 	}
 	//deltavet:allow blockunderlock checkpoint fsync under s.mu is the durability contract
 	if err := s.wal.Sync(); err != nil {
+		s.poison(err)
 		return err
 	}
 	s.fsyncs.Add(1)
+	return nil
+}
+
+// poison records the first WAL failure; later calls keep the original.
+func (s *Store) poison(err error) { s.poisonVal.CompareAndSwap(nil, err) }
+
+// Poisoned returns the WAL failure that poisoned the store, or nil.
+func (s *Store) Poisoned() error {
+	if v := s.poisonVal.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+// poisonedErr wraps the sticky failure as an ErrPoisoned operation error.
+func (s *Store) poisonedErr() error {
+	if cause := s.Poisoned(); cause != nil {
+		return fmt.Errorf("%w: %v", ErrPoisoned, cause)
+	}
 	return nil
 }
 
@@ -487,7 +564,7 @@ func (s *Store) compactLocked() error {
 		return err
 	}
 	tmp := filepath.Join(s.dir, snapshotName+".tmp")
-	f, err := os.Create(tmp)
+	f, err := storagefault.Create(s.fs, tmp)
 	if err != nil {
 		return fmt.Errorf("kvstore: create snapshot: %w", err)
 	}
@@ -513,14 +590,14 @@ func (s *Store) compactLocked() error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotName)); err != nil {
+	if err := s.fs.Rename(tmp, filepath.Join(s.dir, snapshotName)); err != nil {
 		return fmt.Errorf("kvstore: install snapshot: %w", err)
 	}
 	// The rename is not durable until the directory is fsynced; truncating
 	// the WAL before that opens a crash window where the old snapshot is
 	// back but the log describing everything since is gone.
 	//deltavet:allow blockunderlock compaction quiesces the store, the directory fsync under the lock is the point
-	if err := syncDir(s.dir); err != nil {
+	if err := syncDir(s.fs, s.dir); err != nil {
 		return fmt.Errorf("kvstore: sync dir: %w", err)
 	}
 	if err := s.wal.Truncate(0); err != nil {
@@ -539,19 +616,14 @@ func (s *Store) compactLocked() error {
 // rename -> dir-fsync -> WAL-truncate sequence.
 var syncDirHook func(dir string) error
 
-// syncDir makes a completed rename in dir durable. POSIX only guarantees
-// the new name survives a crash once the parent directory's metadata is
-// fsynced.
-func syncDir(dir string) error {
+// syncDir makes a completed rename (or created name) in dir durable. POSIX
+// only guarantees a new name survives a crash once the parent directory's
+// metadata is fsynced.
+func syncDir(fsys storagefault.FS, dir string) error {
 	if syncDirHook != nil {
 		return syncDirHook(dir)
 	}
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
+	return fsys.SyncDir(dir)
 }
 
 // Close flushes and closes the store. Further operations return ErrClosed.
@@ -577,12 +649,21 @@ func (s *Store) Close() error {
 	if s.wal == nil {
 		return nil
 	}
+	if err := s.poisonedErr(); err != nil {
+		// No final flush/fsync: the WAL cannot report durable again. The
+		// handle still closes so the caller can reopen and replay what
+		// actually reached disk.
+		s.wal.Close()
+		return err
+	}
 	if err := s.walBuf.Flush(); err != nil {
+		s.poison(err)
 		s.wal.Close()
 		return err
 	}
 	//deltavet:allow blockunderlock final fsync on Close quiesces the store by design
 	if err := s.wal.Sync(); err != nil {
+		s.poison(err)
 		s.wal.Close()
 		return err
 	}

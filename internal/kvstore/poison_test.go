@@ -1,0 +1,105 @@
+package kvstore
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/storagefault"
+)
+
+// TestFsyncFailurePoisonsWAL is the fsyncgate regression test: after a
+// failed WAL fsync, no later mutation or Sync may report durable — the
+// pre-fix behavior (return the error once, then carry on as if nothing
+// happened) silently lost the un-synced records.
+func TestFsyncFailurePoisonsWAL(t *testing.T) {
+	disk := storagefault.NewSimDisk()
+	inj := storagefault.NewInjector(disk, storagefault.Plan{Seed: 1, FailSyncAt: 1})
+	s, err := OpenWith("db", Options{FS: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put([]byte("k1"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); !errors.Is(err, storagefault.ErrSyncFailed) {
+		t.Fatalf("Sync = %v, want the injected fsync failure", err)
+	}
+
+	// The regression: a post-failure commit must not report durable.
+	if err := s.Sync(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Sync after failed fsync = %v, want ErrPoisoned — a nil here claims durability for data the kernel already dropped", err)
+	}
+	if err := s.Put([]byte("k2"), []byte("v2")); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Put after failed fsync = %v, want ErrPoisoned", err)
+	}
+	if err := s.Compact(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Compact after failed fsync = %v, want ErrPoisoned", err)
+	}
+	if s.Poisoned() == nil {
+		t.Fatal("Poisoned() = nil on a poisoned store")
+	}
+
+	// Reads still serve: degraded mode is read-only, not dead.
+	if _, ok, err := s.Get([]byte("k1")); err != nil || !ok {
+		t.Fatalf("Get on poisoned store = %v, ok=%v; reads must keep working", err, ok)
+	}
+
+	if err := s.Close(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Close = %v, want ErrPoisoned (close cannot claim a clean final fsync)", err)
+	}
+
+	// Crash and reopen on the same disk: only what was actually fsynced
+	// survives. k1 was never durable (its only fsync failed), so an
+	// honest recovery must NOT present it.
+	disk.Crash()
+	s2, err := OpenWith("db", Options{FS: disk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok, _ := s2.Get([]byte("k1")); ok {
+		t.Fatal("k1 resurrected after crash even though its fsync failed")
+	}
+}
+
+// TestPoisonAfterCoveredCommit: mutations that an earlier successful fsync
+// covered stay recoverable, but Sync still fails once poisoned — "was it
+// durable?" must never be answered yes by a store that has lost track.
+func TestPoisonAfterCoveredCommit(t *testing.T) {
+	disk := storagefault.NewSimDisk()
+	inj := storagefault.NewInjector(disk, storagefault.Plan{Seed: 2, FailSyncAt: 2})
+	s, err := OpenWith("db", Options{FS: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put([]byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil { // fsync #1 succeeds
+		t.Fatal(err)
+	}
+	if err := s.Put([]byte("b"), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); !errors.Is(err, storagefault.ErrSyncFailed) { // fsync #2 fails
+		t.Fatalf("Sync = %v", err)
+	}
+	// Even a Sync targeting only already-covered mutations must fail now.
+	if err := s.Sync(); err == nil {
+		t.Fatal("Sync reported clean on a poisoned store")
+	}
+	s.Close()
+
+	disk.Crash()
+	s2, err := OpenWith("db", Options{FS: disk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if v, ok, _ := s2.Get([]byte("a")); !ok || string(v) != "1" {
+		t.Fatalf("fsynced record lost: %q, %v", v, ok)
+	}
+	if _, ok, _ := s2.Get([]byte("b")); ok {
+		t.Fatal("un-fsynced record survived the crash")
+	}
+}

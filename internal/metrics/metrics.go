@@ -270,6 +270,7 @@ type SyncMeter struct {
 	outboxDrops     atomic.Int64
 	outboxPeak      atomic.Int64
 	outboxThrottles atomic.Int64
+	degradedRejects atomic.Int64
 }
 
 // SyncStats is a snapshot of a SyncMeter, in report-friendly units.
@@ -287,6 +288,9 @@ type SyncStats struct {
 	// backpressure signaled to the pusher because a peer's outbox was at
 	// its bound.
 	OutboxThrottles int64 `json:"outbox_throttles,omitempty"`
+	// DegradedRejects counts pushes the server refused in read-only
+	// degraded mode (storage failure: poisoned WAL or ENOSPC).
+	DegradedRejects int64 `json:"degraded_rejects,omitempty"`
 }
 
 // Retry records one retried RPC attempt.
@@ -323,6 +327,21 @@ func (m *SyncMeter) OutboxThrottle() {
 	if m != nil {
 		m.outboxThrottles.Add(1)
 	}
+}
+
+// DegradedReject records one push refused in read-only degraded mode.
+func (m *SyncMeter) DegradedReject() {
+	if m != nil {
+		m.degradedRejects.Add(1)
+	}
+}
+
+// DegradedRejects returns the degraded-mode refusal count.
+func (m *SyncMeter) DegradedRejects() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.degradedRejects.Load()
 }
 
 // OutboxThrottles returns the backpressure-signaled push count.
@@ -415,6 +434,7 @@ func (m *SyncMeter) Snapshot() SyncStats {
 		OutboxDrops:     m.outboxDrops.Load(),
 		OutboxPeak:      m.outboxPeak.Load(),
 		OutboxThrottles: m.outboxThrottles.Load(),
+		DegradedRejects: m.degradedRejects.Load(),
 	}
 }
 

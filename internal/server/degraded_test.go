@@ -1,0 +1,183 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/storagefault"
+	"repro/internal/wire"
+)
+
+// A journal whose first fsync fails must push the server into read-only
+// degraded mode: the failing push is refused with the typed degraded marker,
+// later writes are refused without touching the poisoned WAL, and reads keep
+// serving. After the operator swaps in healthy storage (new journal +
+// ClearDegraded) the buffered batch lands and the client converges.
+func TestDegradedModeEndToEnd(t *testing.T) {
+	disk := storagefault.NewSimDisk()
+	inj := storagefault.NewInjector(disk, storagefault.Plan{Seed: 1, FailSyncAt: 1})
+
+	sm := &metrics.SyncMeter{}
+	s := New(nil)
+	s.SetSyncMeter(sm)
+	j, err := OpenJournalFS(inj, "journal", 0) // window 0: fsync per record
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetJournal(j)
+
+	push := func(seq uint64, content string) *wire.PushReply {
+		n := &wire.Node{Kind: wire.NFull, Path: "a/f", Full: []byte(content), Ver: v(1, seq)}
+		if seq > 1 {
+			n.Base = v(1, seq-1)
+		}
+		return s.Push(1, &wire.Batch{Seq: seq, Nodes: []*wire.Node{n}})
+	}
+
+	r := push(1, "v1")
+	if r.Err == "" || !wire.IsDegradedMsg(r.Err) {
+		t.Fatalf("push over failing fsync: want degraded refusal, got %+v", r)
+	}
+	if s.Degraded() == "" {
+		t.Fatal("server did not enter degraded mode after journal fsync failure")
+	}
+	// The refused batch must not have been applied: a refusal is a promise
+	// that the client can safely keep the batch buffered.
+	if _, ok := s.FileContent("a/f"); ok {
+		t.Fatal("refused batch was applied")
+	}
+
+	// Later writes are refused up front (the WAL is poisoned; retrying the
+	// fsync would be the fsyncgate bug) but reads still serve.
+	r = push(1, "v1")
+	if !wire.IsDegradedMsg(r.Err) {
+		t.Fatalf("second push: want degraded refusal, got %+v", r)
+	}
+	if _, ok := s.Head("a/f"); ok {
+		t.Fatal("refused path should have no head yet, but reads must not panic")
+	}
+	if got := sm.DegradedRejects(); got < 2 {
+		t.Fatalf("DegradedRejects = %d, want >= 2", got)
+	}
+
+	// Recovery: healthy journal, clear the flag, client retries its buffered
+	// batch and converges.
+	j2, err := OpenJournalFS(storagefault.NewSimDisk(), "journal", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetJournal(j2)
+	s.ClearDegraded()
+	if r := push(1, "v1"); r.Err != "" {
+		t.Fatalf("push after recovery: %v", r.Err)
+	}
+	if c, ok := s.FileContent("a/f"); !ok || string(c) != "v1" {
+		t.Fatalf("after recovery FileContent = %q, %v", c, ok)
+	}
+}
+
+// Over real TCP, a degraded refusal must reach ResilientClient as the typed
+// ErrServerDegraded, be classified retry-after-backoff (no reconnect churn:
+// redialing cannot fix a full disk), and surface as the typed error once the
+// attempt budget runs out — never as a silent success or an ambiguous drop.
+func TestResilientClientDegradedClassification(t *testing.T) {
+	disk := storagefault.NewSimDisk()
+	inj := storagefault.NewInjector(disk, storagefault.Plan{Seed: 1, FailSyncAt: 1})
+	s := New(nil)
+	j, err := OpenJournalFS(inj, "journal", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetJournal(j)
+	addr, _ := startTCP(t, s, wire.ServeConfig{})
+
+	sm := &metrics.SyncMeter{}
+	var sleeps atomic.Int64
+	rc, err := wire.DialResilient(context.Background(), addr, wire.DialOpts{},
+		wire.RetryPolicy{
+			MaxAttempts: 3,
+			BaseDelay:   time.Microsecond,
+			Sleep:       func(time.Duration) { sleeps.Add(1) },
+		}, sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	n := &wire.Node{Kind: wire.NFull, Path: "a/f", Full: []byte("v1"), Ver: v(1, 1)}
+	_, err = rc.Push(&wire.Batch{Nodes: []*wire.Node{n}})
+	if err == nil {
+		t.Fatal("push against degraded server reported success")
+	}
+	de, ok := wire.AsDegraded(err)
+	if !ok {
+		t.Fatalf("want typed ErrServerDegraded, got %v", err)
+	}
+	if de.Reason == "" {
+		t.Fatal("degraded error carries no reason")
+	}
+	if got := wire.Classify(err); got != wire.ClassDegraded {
+		t.Fatalf("Classify = %v, want ClassDegraded", got)
+	}
+	// Each retry backed off, and none of them tore down the connection.
+	if sleeps.Load() != 2 {
+		t.Fatalf("backoff sleeps = %d, want 2 (MaxAttempts-1)", sleeps.Load())
+	}
+	if got := sm.Reconnects(); got != 0 {
+		t.Fatalf("reconnects = %d; degraded retries must reuse the connection", got)
+	}
+
+	// The server heals; the very same client retries and succeeds without
+	// redialing.
+	s.SetJournal(nil)
+	s.ClearDegraded()
+	r, err := rc.Push(&wire.Batch{Nodes: []*wire.Node{n}})
+	if err != nil || r.Err != "" {
+		t.Fatalf("push after recovery: %v %+v", err, r)
+	}
+	if got := sm.Reconnects(); got != 0 {
+		t.Fatalf("recovery should not have required a reconnect, got %d", got)
+	}
+}
+
+// An ENOSPC-exhausted journal drives the same degraded path as a failed
+// fsync: the write budget runs out mid-append, Record fails, and the server
+// refuses writes instead of acking data it cannot persist.
+func TestDegradedOnNoSpace(t *testing.T) {
+	disk := storagefault.NewSimDisk()
+	inj := storagefault.NewInjector(disk, storagefault.Plan{Seed: 1, WriteBudget: 64})
+	s := New(nil)
+	j, err := OpenJournalFS(inj, "journal", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetJournal(j)
+
+	var refusal string
+	for i := uint64(1); i <= 64; i++ {
+		n := &wire.Node{Kind: wire.NFull, Path: "a/f", Full: make([]byte, 128), Ver: v(1, i)}
+		if i > 1 {
+			n.Base = v(1, i-1)
+		}
+		r := s.Push(1, &wire.Batch{Seq: i, Nodes: []*wire.Node{n}})
+		if r.Err != "" {
+			refusal = r.Err
+			break
+		}
+	}
+	if refusal == "" {
+		t.Fatal("server kept acking pushes past an exhausted 64-byte write budget")
+	}
+	if !wire.IsDegradedMsg(refusal) {
+		t.Fatalf("ENOSPC refusal not marked degraded: %q", refusal)
+	}
+	if s.Degraded() == "" {
+		t.Fatal("server not in degraded mode after ENOSPC")
+	}
+	if j.kv.Poisoned() == nil {
+		t.Fatal("exhausted journal store should be poisoned")
+	}
+}

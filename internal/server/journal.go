@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/kvstore"
+	"repro/internal/storagefault"
 	"repro/internal/wire"
 )
 
@@ -31,10 +32,11 @@ import (
 // fixed-width hex under prefix "b/" so kvstore.Range's sorted-key iteration
 // is commit order.
 type Journal struct {
-	mu   sync.Mutex
-	kv   *kvstore.Store
-	next uint64 // next entry sequence to assign (under mu)
-	sync bool   // fsync per Record (no commit window)
+	mu      sync.Mutex
+	kv      *kvstore.Store
+	next    uint64 // next entry sequence to assign (under mu)
+	pending uint64 // captured-but-uncommitted snapshot boundary (under mu)
+	sync    bool   // fsync per Record (no commit window)
 }
 
 // journalEntry is one recorded push.
@@ -58,7 +60,16 @@ func entryKey(seq uint64) []byte {
 // a crash by at most one window). window <= 0 means fsync-per-record, with
 // concurrent records coalescing onto one fsync.
 func OpenJournal(dir string, window time.Duration) (*Journal, error) {
-	kv, err := kvstore.OpenWith(dir, kvstore.Options{CommitWindow: window})
+	return OpenJournalFS(nil, dir, window)
+}
+
+// OpenJournalFS is OpenJournal with an explicit storage layer: all journal
+// IO (WAL appends, fsyncs, compaction renames) goes through fsys, so fault
+// injectors and simulated disks can drive the journal through fsync failure,
+// torn writes, and crash-point exploration. nil fsys means the real
+// filesystem.
+func OpenJournalFS(fsys storagefault.FS, dir string, window time.Duration) (*Journal, error) {
+	kv, err := kvstore.OpenWith(dir, kvstore.Options{CommitWindow: window, FS: fsys})
 	if err != nil {
 		return nil, fmt.Errorf("server: open journal: %w", err)
 	}
@@ -114,13 +125,25 @@ func (j *Journal) Record(from uint32, b *wire.Batch) error {
 	return nil
 }
 
-// markSnapshot records that every entry assigned so far is covered by a
-// server snapshot. Save calls it while the server is quiesced (all push and
-// shard locks held), so no entry can be racing in: everything at or below
-// the boundary is in the snapshot just written.
-func (j *Journal) markSnapshot() {
+// captureSnapshot notes the boundary candidate — the highest entry sequence
+// the in-flight snapshot covers. Save calls it while the server is quiesced
+// (all push and shard locks held), so no entry can be racing in. The value
+// is only CAPTURED here, not written: recording it durably before the
+// snapshot file itself is atomically in place would let a failed snapshot
+// fsync truncate entries whose covering snapshot never materialized — the
+// crash-point harness's first catch.
+func (j *Journal) captureSnapshot() {
 	j.mu.Lock()
-	last := j.next - 1
+	j.pending = j.next - 1
+	j.mu.Unlock()
+}
+
+// commitSnapshot records the captured boundary. SaveFile calls it only
+// after the snapshot's rename and directory fsync have succeeded, so the
+// boundary can never outrun the snapshot that justifies it.
+func (j *Journal) commitSnapshot() {
+	j.mu.Lock()
+	last := j.pending
 	j.mu.Unlock()
 	var v [8]byte
 	binary.BigEndian.PutUint64(v[:], last)

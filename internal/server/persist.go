@@ -3,12 +3,14 @@ package server
 import (
 	"bufio"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
-	"os"
+	"io/fs"
 	"path/filepath"
 
 	"repro/internal/block"
+	"repro/internal/storagefault"
 	"repro/internal/version"
 	"repro/internal/wire"
 )
@@ -150,15 +152,16 @@ func (s *Server) Save(w io.Writer) error {
 	}
 	// The quiesce set is still held: every batch the snapshot captured has
 	// been journaled (Record runs under shard locks before apply), and no
-	// batch can commit until Save returns. Marking the journal boundary here
-	// means TruncateSnapshotted drops exactly the entries the snapshot
-	// covers — nothing the snapshot missed.
+	// batch can commit until Save returns. Capturing the journal boundary
+	// here means TruncateSnapshotted drops exactly the entries the snapshot
+	// covers — nothing the snapshot missed. The boundary is only committed
+	// durably by SaveFile once the snapshot itself is atomically in place.
 	if j := s.journal.Load(); j != nil {
 		// Capturing the boundary under the quiesce set is the correctness
 		// condition: no batch can journal or commit until Save releases, so
 		// the boundary covers exactly what the snapshot holds.
 		//deltavet:allow blockunderlock journal boundary must be captured while the snapshot quiesce set is held
-		j.markSnapshot()
+		j.captureSnapshot()
 	}
 	return nil
 }
@@ -280,10 +283,12 @@ func (s *Server) Load(r io.Reader) error {
 }
 
 // SaveFile writes the state to path atomically (write temp, fsync, rename,
-// fsync the directory so the rename itself survives a crash).
+// fsync the directory so the rename itself survives a crash). All IO goes
+// through the server's storagefault.FS so crash-point harnesses can fork the
+// disk at every step of the replace sequence.
 func (s *Server) SaveFile(path string) error {
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := storagefault.Create(s.fsys, tmp)
 	if err != nil {
 		return fmt.Errorf("server: save file: %w", err)
 	}
@@ -303,10 +308,20 @@ func (s *Server) SaveFile(path string) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := s.fsys.Rename(tmp, path); err != nil {
 		return err
 	}
-	return syncDir(filepath.Dir(path))
+	if err := syncDir(s.fsys, filepath.Dir(path)); err != nil {
+		return err
+	}
+	// Only now — snapshot renamed and the rename made durable — may the
+	// journal's snapshot boundary advance. Committing it any earlier lets a
+	// crash (or a failed snapshot fsync) truncate acked entries whose
+	// snapshot never landed.
+	if j := s.journal.Load(); j != nil {
+		j.commitSnapshot()
+	}
+	return nil
 }
 
 // syncDirHook, when non-nil, replaces the directory fsync. Crash-ordering
@@ -316,23 +331,18 @@ var syncDirHook func(dir string) error
 // syncDir makes a completed rename in dir durable: until the parent
 // directory's metadata is fsynced, a crash may forget the rename and
 // resurrect the previous snapshot under the final name.
-func syncDir(dir string) error {
+func syncDir(fsys storagefault.FS, dir string) error {
 	if syncDirHook != nil {
 		return syncDirHook(dir)
 	}
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
+	return fsys.SyncDir(dir)
 }
 
 // LoadFile restores state from path. A missing file is not an error (fresh
 // server); the second return value reports whether state was loaded.
 func (s *Server) LoadFile(path string) (bool, error) {
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
+	f, err := storagefault.Open(s.fsys, path)
+	if errors.Is(err, fs.ErrNotExist) {
 		return false, nil
 	}
 	if err != nil {

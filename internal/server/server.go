@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/block"
 	"repro/internal/metrics"
+	"repro/internal/storagefault"
 	"repro/internal/version"
 	"repro/internal/wire"
 )
@@ -101,6 +102,16 @@ type Server struct {
 	// after a crash re-applies in commit order (journal.go).
 	journal atomic.Pointer[Journal]
 
+	// degraded, when set, is the read-only mode reason: the journal could
+	// not make a batch durable (poisoned WAL, ENOSPC), so writes are
+	// refused with a typed wire error while reads keep serving. Cleared
+	// only by ClearDegraded (an operator action after fixing storage).
+	degraded atomic.Pointer[string]
+
+	// fsys is the file-IO layer SaveFile/LoadFile write through
+	// (storagefault.OS when Options.FS is nil).
+	fsys storagefault.FS
+
 	meter     *metrics.CPUMeter
 	syncMeter atomic.Pointer[metrics.SyncMeter]
 }
@@ -129,6 +140,10 @@ type Options struct {
 	// behavior: every commit appends under one mutex — the baseline the
 	// loadsweep compares the striped log against.
 	AppliedStripes int
+	// FS is the file-IO layer snapshots (SaveFile/LoadFile) write
+	// through. nil means the real file system; the crash-point harness
+	// substitutes a storagefault.SimDisk or Injector.
+	FS storagefault.FS
 }
 
 // New returns an empty server with DefaultShards stripes, charging CPU work
@@ -164,12 +179,17 @@ func NewWithOptions(meter *metrics.CPUMeter, o Options) *Server {
 	if appliedStripes <= 0 {
 		appliedStripes = n
 	}
+	fsys := o.FS
+	if fsys == nil {
+		fsys = storagefault.OS
+	}
 	s := &Server{
 		shards:    make([]*fileShard, n),
 		shardMask: uint32(n - 1),
 		clients:   make(map[uint32]*clientState),
 		groups:    make(map[uint32]*groupInfo),
 		applied:   newAppliedLog(appliedStripes),
+		fsys:      fsys,
 		meter:     meter,
 	}
 	for i := range s.shards {
@@ -184,6 +204,25 @@ func NewWithOptions(meter *metrics.CPUMeter, o Options) *Server {
 
 // ShardCount returns the number of file-state stripes.
 func (s *Server) ShardCount() int { return len(s.shards) }
+
+// enterDegraded switches the server into read-only degraded mode. The first
+// reason wins; later failures while already degraded are redundant.
+func (s *Server) enterDegraded(reason string) {
+	s.degraded.CompareAndSwap(nil, &reason)
+}
+
+// Degraded returns the read-only mode reason ("" when healthy).
+func (s *Server) Degraded() string {
+	if r := s.degraded.Load(); r != nil {
+		return *r
+	}
+	return ""
+}
+
+// ClearDegraded re-enables writes. Call only after the storage fault is
+// actually fixed (journal reopened on healthy storage): clearing it over a
+// still-poisoned journal just degrades again on the next push.
+func (s *Server) ClearDegraded() { s.degraded.Store(nil) }
 
 // SetSyncMeter wires a fault-tolerance meter (may be nil) that counts
 // reply-cache dedup hits and outbox drops.
@@ -519,6 +558,19 @@ func (s *Server) Push(from uint32, b *wire.Batch) *wire.PushReply {
 		return &wire.PushReply{Statuses: statuses, Err: err.Error()}
 	}
 
+	// Read-only degraded mode: the journal can no longer make batches
+	// durable, so accepting this push would hand out an ack the next
+	// crash breaks. Refuse with the typed marker ResilientClient
+	// classifies as retryable-after-backoff; reads are unaffected.
+	if reason := s.Degraded(); reason != "" {
+		s.syncM().DegradedReject()
+		statuses := make([]wire.ApplyStatus, len(b.Nodes))
+		for i := range statuses {
+			statuses[i] = wire.StatusError
+		}
+		return &wire.PushReply{Statuses: statuses, Err: wire.DegradedMsg(reason)}
+	}
+
 	cs := s.ensureClient(from)
 
 	// Idempotency: a keyed batch at or below the highest Seq applied for
@@ -558,10 +610,19 @@ func (s *Server) Push(from uint32, b *wire.Batch) *wire.PushReply {
 		//deltavet:allow blockunderlock WAL-before-apply: the journal append must happen inside the batch's lock scope so replay order is commit order; the fsync is group-committed
 		if err := j.Record(from, b); err != nil {
 			locks.unlock()
+			// A journal that cannot append is a storage failure (poisoned
+			// WAL after a failed fsync, ENOSPC), and per fsyncgate it will
+			// not heal by retrying: enter read-only degraded mode so every
+			// refusal from here on is honest and typed. The batch was NOT
+			// applied — the client keeps it buffered and retries after the
+			// operator repairs storage.
+			reason := fmt.Sprintf("journal: %v", err)
+			s.enterDegraded(reason)
+			s.syncM().DegradedReject()
 			for i := range reply.Statuses {
 				reply.Statuses[i] = wire.StatusError
 			}
-			reply.Err = fmt.Sprintf("journal: %v", err)
+			reply.Err = wire.DegradedMsg(reason)
 			return reply
 		}
 	}

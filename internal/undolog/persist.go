@@ -1,0 +1,137 @@
+package undolog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"path/filepath"
+
+	"repro/internal/storagefault"
+)
+
+// Snapshot persistence for the undo log. The in-memory log is cheap to
+// rebuild between sync points, but a client that crashes mid-update loses
+// the pre-update image it needs to reconstruct the old version for delta
+// encoding — it would fall back to shipping full content. SaveTo captures
+// the log with the write-fsync-rename-dirsync discipline every other
+// persistence site uses, and a CRC over the payload so a torn snapshot is
+// detected and discarded (stale-but-consistent beats fresh-but-corrupt:
+// LoadFrom of a bad snapshot reports ErrCorrupt and leaves the log empty).
+
+// ErrCorrupt is returned by LoadFrom when the snapshot fails its checksum —
+// a torn or bit-flipped file. The caller should discard it and resync.
+var ErrCorrupt = errors.New("undolog: corrupt snapshot")
+
+// snapSegment and snapFile mirror segment/FileLog for gob.
+type snapSegment struct {
+	Off  int64
+	Data []byte
+}
+
+type snapFile struct {
+	Path           string
+	OldSize        int64
+	PreservedBytes int64
+	Segments       []snapSegment
+}
+
+const snapMagic = "ULOG1\n"
+
+// SaveTo writes the log atomically to path on fsys (nil means the host file
+// system): temp file, fsync, rename over path, fsync the parent directory.
+func (l *Log) SaveTo(fsys storagefault.FS, path string) error {
+	if fsys == nil {
+		fsys = storagefault.OS
+	}
+	var files []snapFile
+	for p, f := range l.files {
+		sf := snapFile{Path: p, OldSize: f.oldSize, PreservedBytes: f.preservedBytes}
+		for _, s := range f.segments {
+			sf.Segments = append(sf.Segments, snapSegment{Off: s.off, Data: s.data})
+		}
+		files = append(files, sf)
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(files); err != nil {
+		return fmt.Errorf("undolog: save: %w", err)
+	}
+	var out bytes.Buffer
+	out.WriteString(snapMagic)
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], crc32.ChecksumIEEE(payload.Bytes()))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(payload.Len()))
+	out.Write(hdr[:])
+	out.Write(payload.Bytes())
+
+	tmp := path + ".tmp"
+	f, err := storagefault.Create(fsys, tmp)
+	if err != nil {
+		return fmt.Errorf("undolog: save: %w", err)
+	}
+	if _, err := f.Write(out.Bytes()); err != nil {
+		f.Close()
+		return fmt.Errorf("undolog: save: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("undolog: save: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("undolog: save: %w", err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		return fmt.Errorf("undolog: save: %w", err)
+	}
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("undolog: save: %w", err)
+	}
+	return nil
+}
+
+// LoadFrom replaces the log's contents with the snapshot at path on fsys
+// (nil means the host file system). A missing file is not an error (fresh
+// log, returns false). A snapshot that fails its CRC returns ErrCorrupt
+// with the log left empty.
+func (l *Log) LoadFrom(fsys storagefault.FS, path string) (bool, error) {
+	if fsys == nil {
+		fsys = storagefault.OS
+	}
+	raw, err := fsys.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("undolog: load: %w", err)
+	}
+	l.files = make(map[string]*FileLog)
+	if len(raw) < len(snapMagic)+8 || string(raw[:len(snapMagic)]) != snapMagic {
+		return false, ErrCorrupt
+	}
+	body := raw[len(snapMagic):]
+	sum := binary.BigEndian.Uint32(body[:4])
+	n := binary.BigEndian.Uint32(body[4:8])
+	payload := body[8:]
+	if uint32(len(payload)) != n || crc32.ChecksumIEEE(payload) != sum {
+		return false, ErrCorrupt
+	}
+	var files []snapFile
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&files); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return false, ErrCorrupt
+		}
+		return false, fmt.Errorf("undolog: load: %w", err)
+	}
+	for _, sf := range files {
+		f := &FileLog{oldSize: sf.OldSize, preservedBytes: sf.PreservedBytes}
+		for _, s := range sf.Segments {
+			f.segments = append(f.segments, segment{off: s.Off, data: s.Data})
+		}
+		l.files[sf.Path] = f
+	}
+	return true, nil
+}

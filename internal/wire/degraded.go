@@ -1,0 +1,55 @@
+package wire
+
+import (
+	"errors"
+	"strings"
+)
+
+// Degraded mode is the server's graceful answer to a failed storage stack:
+// when the push journal can no longer make batches durable (a poisoned WAL
+// after a failed fsync, or ENOSPC), the server refuses writes but keeps
+// serving reads, and says so with a typed, machine-recognizable error
+// instead of a generic failure. Clients must treat it as retryable-after-
+// backoff — the operator frees disk or the server restarts onto healthy
+// storage — never as fatal: the client's data is safely buffered on its
+// side precisely because the server refused to ack it.
+
+// degradedPrefix marks a PushReply.Err as the degraded-mode refusal. The
+// marker travels in the existing app-level error string, so the wire format
+// (and every older peer) is unchanged.
+const degradedPrefix = "degraded: "
+
+// DegradedMsg formats a degraded-mode refusal for PushReply.Err.
+func DegradedMsg(reason string) string { return degradedPrefix + reason }
+
+// IsDegradedMsg reports whether a PushReply.Err is a degraded-mode refusal.
+func IsDegradedMsg(s string) bool { return strings.HasPrefix(s, degradedPrefix) }
+
+// ErrServerDegraded is the typed form a client-side endpoint surfaces when
+// the server refused a write in degraded read-only mode. Classify maps it
+// to ClassDegraded: retry with backoff on the same connection.
+type ErrServerDegraded struct {
+	Reason string
+}
+
+func (e *ErrServerDegraded) Error() string {
+	return "wire: server degraded (read-only): " + e.Reason
+}
+
+// AsDegraded extracts an ErrServerDegraded from err, if any.
+func AsDegraded(err error) (*ErrServerDegraded, bool) {
+	var de *ErrServerDegraded
+	if errors.As(err, &de) {
+		return de, true
+	}
+	return nil, false
+}
+
+// degradedReplyErr converts a degraded PushReply into its typed error (nil
+// for any other reply).
+func degradedReplyErr(r *PushReply) error {
+	if r != nil && IsDegradedMsg(r.Err) {
+		return &ErrServerDegraded{Reason: strings.TrimPrefix(r.Err, degradedPrefix)}
+	}
+	return nil
+}

@@ -197,6 +197,12 @@ func (rc *ResilientClient) withRetry(idempotent bool, op func(*NetClient) error)
 			}
 		case ClassRetryable:
 			rc.dropConn(c)
+		case ClassDegraded:
+			// The server answered: it is up but read-only (storage
+			// failure). Keep the connection — redialing cannot fix a
+			// full or poisoned disk — and retry after backoff. If the
+			// outage outlasts the attempt budget the typed error
+			// surfaces and the engine buffers the batch for later.
 		}
 	}
 	return fmt.Errorf("wire: giving up after %d attempts: %w", rc.p.MaxAttempts, lastErr)
@@ -227,6 +233,14 @@ func (rc *ResilientClient) Push(b *Batch) (*PushReply, error) {
 	err := rc.withRetry(true, func(c *NetClient) error {
 		r, err := c.Push(b)
 		reply = r
+		if err == nil {
+			// A degraded refusal arrives as a completed exchange with a
+			// marked app-level error: surface it as its typed error so
+			// the retry loop (and the caller) can classify it.
+			if derr := degradedReplyErr(r); derr != nil {
+				return derr
+			}
+		}
 		return err
 	})
 	return reply, err

@@ -221,10 +221,19 @@ const (
 	// blind retry is only safe for idempotent requests — reads, and pushes
 	// carrying an idempotency key the server dedups on.
 	ClassAmbiguous
+	// ClassDegraded errors are the server's read-only refusal (its
+	// storage stack can no longer make writes durable). The exchange
+	// completed and the batch was NOT applied; retry after backoff on the
+	// same connection — reconnecting won't help, and giving up (fatal)
+	// would be wrong because the condition is operator-recoverable.
+	ClassDegraded
 )
 
 // Classify maps an error from a NetClient RPC onto its retry class.
 func Classify(err error) ErrClass {
+	if _, ok := AsDegraded(err); ok {
+		return ClassDegraded
+	}
 	var te *TransportError
 	if !errors.As(err, &te) {
 		return ClassFatal
