@@ -24,6 +24,13 @@ func BadWireAlloc(n *wire.Node) []byte {
 	return make([]byte, n.Size)
 }
 
+// BadDecoderSplice is a codec reader with its take-gate deleted: a
+// wire-decoded extent offset slices the raw frame unchecked — the shape a
+// fuzz crasher in the binary decoder takes.
+func BadDecoderSplice(e *wire.Extent, frame []byte) []byte {
+	return frame[e.Off:]
+}
+
 // growBuf has no wire value in sight; its finding exists only because
 // BadWireForward feeds it one — reachable only interprocedurally.
 func growBuf(n int) []byte {

@@ -110,6 +110,61 @@ func OKBatchValidated(b *wire.Batch) []wire.Node {
 	return make([]wire.Node, 0, b.Count)
 }
 
+// The next three pairs mirror the binary codec's reader: every wire-derived
+// length funnels through a take-style gate, claimed element counts are
+// bounded by the bytes actually remaining, and the undecoded tail is spliced
+// off by a checked offset. The Bad variants are those shapes with the gate
+// deleted — exactly what a fuzz crasher in the decoder would look like.
+
+// BadDecoderTake: a length prefix read off the wire slices the payload with
+// no bounds gate; end inherits taint through the arithmetic.
+func BadDecoderTake(n *wire.Node, payload []byte) []byte {
+	end := n.Off + n.Size
+	return payload[n.Off:end] // want "wire-derived value n.Off used as a slice bound" "wire-derived value end used as a slice bound"
+}
+
+// OKDecoderTake is the shipped gate: overflow-safe end computation with the
+// negative-length, wraparound, and past-the-end cases all rejected by
+// ordered comparisons before the slice.
+func OKDecoderTake(n *wire.Node, payload []byte) []byte {
+	end := n.Off + n.Size
+	if n.Size < 0 || end < n.Off || end > int64(len(payload)) {
+		return nil
+	}
+	return payload[n.Off:end]
+}
+
+// BadDecoderCount: a peer-claimed element count sizes the result slice
+// before a single element has been decoded.
+func BadDecoderCount(b *wire.Batch) []wire.Node {
+	return make([]wire.Node, 0, b.Count) // want "wire-derived length b.Count used to size an allocation"
+}
+
+// OKDecoderCount: the claimed count times the minimum encoded element size
+// must fit in the bytes actually remaining, so the allocation is bounded by
+// real input length rather than a 4-byte claim.
+func OKDecoderCount(b *wire.Batch, remaining int) []wire.Node {
+	const minElem = 57
+	if int64(b.Count)*minElem > int64(remaining) {
+		return nil
+	}
+	return make([]wire.Node, 0, b.Count)
+}
+
+// BadDecoderTail: handing the undecoded tail to another layer with an
+// unchecked wire offset (the push-payload splice shape).
+func BadDecoderTail(n *wire.Node, payload []byte) []byte {
+	return payload[n.Off:] // want "wire-derived value n.Off used as a slice bound"
+}
+
+// OKDecoderTail: the shipped guard on the splice offset.
+func OKDecoderTail(n *wire.Node, payload []byte) []byte {
+	if n.Off < 0 || n.Off > int64(len(payload)) {
+		return nil
+	}
+	return payload[n.Off:]
+}
+
 // alloc has no wire import in sight; the finding inside it is reachable
 // only through the parameter-taint fixpoint over the call graph.
 func alloc(n int) []byte {

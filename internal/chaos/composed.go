@@ -78,8 +78,8 @@ func (b *swapBackend) swap(s *server.Server) {
 
 func (b *swapBackend) RegisterGroup(group uint32) uint32 { return b.load().RegisterGroup(group) }
 func (b *swapBackend) Attach(client uint32)              { b.load().Attach(client) }
-func (b *swapBackend) Push(from uint32, batch *wire.Batch) *wire.PushReply {
-	return b.load().Push(from, batch)
+func (b *swapBackend) PushEncoded(from uint32, eb *wire.EncodedBatch) *wire.PushReply {
+	return b.load().PushEncoded(from, eb)
 }
 func (b *swapBackend) Fetch(path string) *wire.FetchReply { return b.load().Fetch(path) }
 func (b *swapBackend) Head(path string) (version.ID, bool) {
@@ -88,7 +88,9 @@ func (b *swapBackend) Head(path string) (version.ID, bool) {
 func (b *swapBackend) FetchRange(path string, off, n int64) ([]byte, error) {
 	return b.load().FetchRange(path, off, n)
 }
-func (b *swapBackend) Poll(client uint32) []*wire.Batch { return b.load().Poll(client) }
+func (b *swapBackend) PollEncoded(client uint32) []*wire.EncodedBatch {
+	return b.load().PollEncoded(client)
+}
 
 var _ wire.Backend = (*swapBackend)(nil)
 

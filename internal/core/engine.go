@@ -633,9 +633,15 @@ func (e *Engine) Unlink(path string) error {
 	// has never seen the file: a queued create may be O_TRUNC over content
 	// the cloud already stores (seeded, or synced earlier), in which case
 	// the unlink must travel. One metadata round-trip settles it.
+	// The Head answer reflects only what the cloud has applied: a batch for
+	// this path still waiting in the unsent buffer will reach the cloud
+	// later and materialize the file there, so the elision is sound only
+	// when nothing unsent references the path.
 	dropped := false
-	if _, exists, err := e.ep.Head(path); err == nil && !exists {
-		dropped = e.q.DropPending(path)
+	if !e.unsentReferences(path) {
+		if _, exists, err := e.ep.Head(path); err == nil && !exists {
+			dropped = e.q.DropPending(path)
+		}
 	}
 	if dropped {
 		e.q.Pack(path)

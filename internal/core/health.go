@@ -82,6 +82,22 @@ func (e *Engine) UnsentBytes() int64 {
 	return e.unsentBytes
 }
 
+// unsentReferences reports whether any batch in the unsent buffer names
+// path — as the node's subject, a rename/link destination, or a delta base.
+// While it does, the cloud's view of the path is stale: a buffered batch
+// can still create or rewrite the file there, so optimizations keyed on
+// "the cloud has never seen this path" (the unlink elision) must not fire.
+func (e *Engine) unsentReferences(path string) bool {
+	for _, wb := range e.unsent {
+		for _, n := range wb.Nodes {
+			if n.Path == path || n.Dst == path || n.BasePath == path {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // enqueueUnsent appends a converted batch to the in-order unsent buffer.
 func (e *Engine) enqueueUnsent(wb *wire.Batch) {
 	e.unsent = append(e.unsent, wb)

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Regression test for the unlink-elision race: the delete-before-upload
+// optimization (dropping a file's queued nodes instead of shipping an
+// unlink) used to consult only the cloud's Head answer, which cannot see
+// batches still waiting in the unsent buffer. With a write to the path
+// buffered, Head truthfully says "never seen" — but the buffered write will
+// later materialize the file on the server, so eliding the unlink leaves
+// the cloud and the client permanently disagreeing. An unlink issued while
+// anything unsent references the path must travel.
+func TestUnlinkNotElidedWhilePathUnsent(t *testing.T) {
+	r := newFlakyRig(t, 0)
+
+	// Incarnation 1 of "doc" pops into the unsent buffer (pushes fail).
+	r.flaky.down = true
+	if err := r.eng.Create("doc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.eng.WriteAt("doc", 0, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	r.step(time.Minute)
+	if r.eng.UnsentBatches() == 0 {
+		t.Fatal("incarnation 1 did not buffer")
+	}
+
+	// Unlink #1 queues (no tick: it stays in the sync queue), then
+	// incarnation 2 is created behind it.
+	if err := r.eng.Unlink("doc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.eng.Create("doc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.eng.WriteAt("doc", 0, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unlink #2 while incarnation 1 sits unsent. The cloud has never
+	// applied "doc" (Head says not-exists), so the broken elision fired
+	// here, silently discarding incarnation 2 and this unlink. The fix
+	// must see the unsent reference and ship the full history instead.
+	if err := r.eng.Unlink("doc"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Heal and drain everything: unsent buffer first, then the queue.
+	r.flaky.down = false
+	for i := 0; i < 4; i++ {
+		r.step(time.Minute)
+	}
+	if err := r.eng.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The cloud must have seen doc's entire two-incarnation history — in
+	// particular both unlinks. Pre-fix, incarnation 2 and its unlink were
+	// elided and only one unlink ever traveled.
+	var unlinks, creates int
+	for _, op := range r.srv.AppliedLog() {
+		if op.Path != "doc" {
+			continue
+		}
+		switch op.Kind {
+		case wire.NUnlink:
+			unlinks++
+		case wire.NCreate:
+			creates++
+		}
+	}
+	if creates != 2 || unlinks != 2 {
+		t.Fatalf("cloud saw %d creates / %d unlinks of doc, want 2/2", creates, unlinks)
+	}
+	// And both sides agree the file is gone.
+	if _, exists := r.srv.Head("doc"); exists {
+		t.Fatal("cloud still holds doc after its final unlink")
+	}
+	if r.eng.UnsentBatches() != 0 {
+		t.Fatalf("%d batches still unsent after drain", r.eng.UnsentBatches())
+	}
+}

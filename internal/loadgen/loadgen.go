@@ -68,6 +68,10 @@ type Config struct {
 	// program as a load worker (WorkerMain). Required for client counts
 	// whose descriptors cannot fit in-process.
 	WorkerCmd []string
+	// Codec selects the clients' wire codec (CodecAuto negotiates binary
+	// with a fallback to gob; CodecGob forces the legacy path — the
+	// loadsweep's gob-vs-binary dimension).
+	Codec wire.Codec
 }
 
 // Result is one load run's measurements.
@@ -76,6 +80,10 @@ type Result struct {
 	GroupSize    int `json:"group_size"`
 	OpsPerClient int `json:"ops_per_client"`
 	Ops          int `json:"ops"`
+
+	// Codec is the wire codec the clients actually negotiated ("binary" or
+	// "gob"), as reported by the herd — not merely what was requested.
+	Codec string `json:"codec"`
 
 	OpsPerSec float64 `json:"ops_per_sec"`
 	P50Micros float64 `json:"p50_micros"`
@@ -199,6 +207,7 @@ func Run(cfg Config) (*Result, error) {
 		PayloadBytes: cfg.PayloadBytes,
 		DialParallel: cfg.DialParallel,
 		PollEvery:    cfg.PollEvery,
+		Codec:        string(cfg.Codec),
 	}
 
 	// Throughput is computed over the ops phase only — each herd times its
@@ -231,6 +240,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	res.P50Micros = percentileMicros(lats, 0.50)
 	res.P99Micros = percentileMicros(lats, 0.99)
+	res.Codec = wr.Codec
 	res.Throttles = wr.Throttles
 	res.Errors = int(wr.Errors)
 	res.Mismatches = int(wr.Mismatches)
@@ -344,6 +354,9 @@ func runViaWorkers(cfg Config, wc workerConfig) (workerResult, int, error) {
 		total.Throttles += wr.Throttles
 		total.Errors += wr.Errors
 		total.Mismatches += wr.Mismatches
+		if wr.Codec != "" {
+			total.Codec = wr.Codec
+		}
 		if wr.OpsElapsedMicros > total.OpsElapsedMicros {
 			total.OpsElapsedMicros = wr.OpsElapsedMicros
 		}

@@ -1,0 +1,164 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/version"
+	"repro/internal/wire"
+)
+
+// These tests pin the single-encode discipline: one accepted push costs at
+// most one binary batch encode, no matter how many places its bytes flow
+// (journal, N peer outboxes, N binary poll responses). They assert deltas on
+// the process-wide wire.BatchEncodes counter, which AppendBatch — the only
+// producer of batch payloads — increments.
+
+func pushBatch(client uint32, path string) *wire.Batch {
+	return &wire.Batch{
+		Client: client,
+		Seq:    1,
+		Nodes: []*wire.Node{{
+			Kind: wire.NFull,
+			Path: path,
+			Size: 4,
+			Full: []byte("body"),
+			Ver:  version.ID{Client: client, Count: 1},
+		}},
+	}
+}
+
+// A batch that arrived over the binary transport carries its wire bytes;
+// journaling and applying it must perform zero additional encodes.
+func TestJournalAppendZeroAdditionalEncodes(t *testing.T) {
+	s := New(nil)
+	j, err := OpenJournal(t.TempDir(), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	s.SetJournal(j)
+	id := s.Register()
+
+	b := pushBatch(id, "f")
+	raw := wire.AppendBatch(nil, b) // the transport-side encode
+	decoded, err := wire.DecodeBatchPayload(raw, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb := wire.NewEncodedBatchRaw(decoded, raw)
+
+	before := wire.BatchEncodes()
+	if rep := s.PushEncoded(id, eb); rep.Err != "" {
+		t.Fatalf("push: %s", rep.Err)
+	}
+	if d := wire.BatchEncodes() - before; d != 0 {
+		t.Fatalf("journaled push performed %d additional encodes, want 0", d)
+	}
+	if got, _ := s.FileContent("f"); !bytes.Equal(got, []byte("body")) {
+		t.Fatalf("file content = %q after push", got)
+	}
+
+	// The journal recorded the retained bytes: a fresh server replays them.
+	s2 := New(nil)
+	if n, err := j.Replay(s2); err != nil || n != 1 {
+		t.Fatalf("Replay = %d, %v", n, err)
+	}
+	if got, _ := s2.FileContent("f"); !bytes.Equal(got, []byte("body")) {
+		t.Fatalf("replayed content = %q", got)
+	}
+}
+
+// Forwarding one push to a 64-client sharing group (journal on, every peer
+// polled in encoded form) costs exactly one encode: the lazy one performed
+// the first time the batch's bytes are needed.
+func TestForwardFanoutSingleEncodeAt64(t *testing.T) {
+	const peers = 64
+	s := New(nil)
+	j, err := OpenJournal(t.TempDir(), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	s.SetJournal(j)
+
+	pusher := s.RegisterGroup(1)
+	ids := make([]uint32, peers)
+	for i := range ids {
+		ids[i] = s.RegisterGroup(1)
+	}
+
+	// An in-process push (no transport bytes yet): the one encode below is
+	// the lazy AppendBatch the journal or first poll splice triggers.
+	b := pushBatch(pusher, "shared")
+	eb := wire.NewEncodedBatch(b)
+
+	before := wire.BatchEncodes()
+	if rep := s.PushEncoded(pusher, eb); rep.Err != "" {
+		t.Fatalf("push: %s", rep.Err)
+	}
+	var first *wire.EncodedBatch
+	for _, id := range ids {
+		ebs := s.PollEncoded(id)
+		if len(ebs) != 1 {
+			t.Fatalf("client %d polled %d batches, want 1", id, len(ebs))
+		}
+		// Every outbox holds the same immutable EncodedBatch value.
+		if first == nil {
+			first = ebs[0]
+		} else if ebs[0] != first {
+			t.Fatal("outboxes hold distinct EncodedBatch values; fan-out copied")
+		}
+		// Splicing its bytes (what a binary poll response does) re-uses the
+		// one payload.
+		if len(ebs[0].Bytes()) == 0 {
+			t.Fatal("empty encoded payload")
+		}
+	}
+	if d := wire.BatchEncodes() - before; d != 1 {
+		t.Fatalf("push + journal + %d-peer fan-out performed %d encodes, want exactly 1", peers, d)
+	}
+}
+
+// The shared batch value must reach every peer unmutated: the server rebinds
+// nothing and copies nothing after forwarding, so N pollers see the pushed
+// content, and repeated Bytes calls return the identical payload slice.
+func TestForwardSharedBatchImmutable(t *testing.T) {
+	const peers = 8
+	s := New(nil)
+	pusher := s.RegisterGroup(2)
+	ids := make([]uint32, peers)
+	for i := range ids {
+		ids[i] = s.RegisterGroup(2)
+	}
+
+	b := pushBatch(pusher, "doc")
+	if rep := s.PushEncoded(pusher, wire.NewEncodedBatch(b)); rep.Err != "" {
+		t.Fatalf("push: %s", rep.Err)
+	}
+
+	var raw []byte
+	for _, id := range ids {
+		ebs := s.PollEncoded(id)
+		if len(ebs) != 1 {
+			t.Fatalf("client %d polled %d batches, want 1", id, len(ebs))
+		}
+		got := ebs[0].Batch()
+		if got.Client != pusher || len(got.Nodes) != 1 ||
+			got.Nodes[0].Path != "doc" || !bytes.Equal(got.Nodes[0].Full, []byte("body")) {
+			t.Fatalf("client %d saw mutated batch: %+v", id, got)
+		}
+		if raw == nil {
+			raw = ebs[0].Bytes()
+		} else if &raw[0] != &ebs[0].Bytes()[0] {
+			t.Fatal("peers see different payload backing arrays; bytes were copied or re-encoded")
+		}
+		// The payload must decode back to the same batch — proof nothing
+		// downstream scribbled on the shared bytes.
+		dec, err := wire.DecodeBatchPayload(ebs[0].Bytes(), false)
+		if err != nil || dec.Nodes[0].Path != "doc" {
+			t.Fatalf("shared payload corrupt: %v", err)
+		}
+	}
+}

@@ -39,11 +39,19 @@ type Journal struct {
 	sync    bool   // fsync per Record (no commit window)
 }
 
-// journalEntry is one recorded push.
+// journalEntry is one recorded push in the legacy gob entry format.
+// Journals written before the binary codec hold these; Replay still decodes
+// them, so a server upgraded across the codec change recovers its old WAL.
 type journalEntry struct {
 	From  uint32
 	Batch *wire.Batch
 }
+
+// binaryEntryMagic prefixes entries written in the binary format:
+// [magic 4][from u32 LE][batch payload]. The first byte is 0x00, which a
+// gob stream can never start with (gob frames messages with a uvarint byte
+// count ≥ 1), so the two formats are unambiguous side by side in one store.
+var binaryEntryMagic = [4]byte{0x00, 'D', 'C', 1}
 
 // snapKey holds the highest entry sequence covered by the latest server
 // snapshot; entries at or below it are dead weight, dropped by
@@ -98,11 +106,16 @@ func (s *Server) SetJournal(j *Journal) { s.journal.Store(j) }
 // batch's shard locks and before applying (WAL discipline): if the entry
 // cannot be made durable the batch is rejected, so an acknowledged push is
 // always either snapshotted or replayable.
-func (j *Journal) Record(from uint32, b *wire.Batch) error {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&journalEntry{From: from, Batch: b}); err != nil {
-		return fmt.Errorf("journal encode: %w", err)
-	}
+//
+// The entry body is the batch's binary wire payload, shared with the
+// forwarding outboxes and (for binary-transport pushes) the receive frame
+// itself — the journal append performs zero additional payload encodes.
+func (j *Journal) Record(from uint32, eb *wire.EncodedBatch) error {
+	payload := eb.Bytes()
+	val := make([]byte, 0, len(binaryEntryMagic)+4+len(payload))
+	val = append(val, binaryEntryMagic[:]...)
+	val = binary.LittleEndian.AppendUint32(val, from)
+	val = append(val, payload...)
 	j.mu.Lock()
 	seq := j.next
 	j.next++
@@ -111,7 +124,7 @@ func (j *Journal) Record(from uint32, b *wire.Batch) error {
 	// commit order), and the group-commit window keeps the fsync itself off
 	// this path.
 	//deltavet:allow blockunderlock WAL-before-apply requires journaling under the batch's shard locks; fsync is group-committed off-path
-	err := j.kv.Put(entryKey(seq), buf.Bytes())
+	err := j.kv.Put(entryKey(seq), val)
 	j.mu.Unlock()
 	if err != nil {
 		return err
@@ -164,13 +177,18 @@ func (j *Journal) snapshotted() uint64 {
 
 // Replay re-pushes every journaled batch after the snapshot boundary, in
 // commit order, returning how many were replayed. Call it after LoadFile and
-// before serving. Replays go through Push, so batches the snapshot already
-// applied are absorbed by the restored dedup state rather than re-applied.
+// before serving (in particular, before SetJournal re-wires the journal —
+// replayed pushes must not re-record themselves). Replays go through
+// PushEncoded, so batches the snapshot already applied are absorbed by the
+// restored dedup state rather than re-applied, and each entry's payload is
+// reused as decoded instead of re-encoded. Entries in the legacy gob format
+// are decoded transparently alongside binary ones.
 func (j *Journal) Replay(s *Server) (int, error) {
 	boundary := j.snapshotted()
 	type pending struct {
-		seq uint64
-		e   journalEntry
+		seq  uint64
+		from uint32
+		eb   *wire.EncodedBatch
 	}
 	var entries []pending
 	var decodeErr error
@@ -182,12 +200,28 @@ func (j *Journal) Replay(s *Server) (int, error) {
 		if seq <= boundary {
 			return true
 		}
+		if len(val) >= len(binaryEntryMagic)+4 && bytes.HasPrefix(val, binaryEntryMagic[:]) {
+			from := binary.LittleEndian.Uint32(val[len(binaryEntryMagic):])
+			// Copy the payload out of the store's buffer, then alias the
+			// copy: the EncodedBatch owns its bytes and no re-encode is
+			// needed if this replayed push is journaled or forwarded again.
+			payload := append([]byte(nil), val[len(binaryEntryMagic)+4:]...)
+			b, err := wire.DecodeBatchPayload(payload, true)
+			if err != nil {
+				decodeErr = fmt.Errorf("journal entry %d: %w", seq, err)
+				return false
+			}
+			entries = append(entries, pending{seq: seq, from: from, eb: wire.NewEncodedBatchRaw(b, payload)})
+			return true
+		}
 		var e journalEntry
 		if err := gob.NewDecoder(bytes.NewReader(val)).Decode(&e); err != nil {
 			decodeErr = fmt.Errorf("journal entry %d: %w", seq, err)
 			return false
 		}
-		entries = append(entries, pending{seq: seq, e: e})
+		if e.Batch != nil {
+			entries = append(entries, pending{seq: seq, from: e.From, eb: wire.NewEncodedBatch(e.Batch)})
+		}
 		return true
 	})
 	if err != nil {
@@ -197,10 +231,7 @@ func (j *Journal) Replay(s *Server) (int, error) {
 		return 0, decodeErr
 	}
 	for _, p := range entries {
-		if p.e.Batch == nil {
-			continue
-		}
-		if reply := s.Push(p.e.From, p.e.Batch); reply.Err != "" {
+		if reply := s.PushEncoded(p.from, p.eb); reply.Err != "" {
 			return 0, fmt.Errorf("journal replay entry %d: %s", p.seq, reply.Err)
 		}
 	}

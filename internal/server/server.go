@@ -497,13 +497,29 @@ func (s *Server) FetchRange(path string, off, n int64) ([]byte, error) {
 // O(1) slice swap under the client's own lock, so polling never contends
 // with pushes beyond that single pointer exchange.
 func (s *Server) Poll(client uint32) []*wire.Batch {
+	ebs := s.PollEncoded(client)
+	if ebs == nil {
+		return nil
+	}
+	out := make([]*wire.Batch, len(ebs))
+	for i, eb := range ebs {
+		out[i] = eb.Batch()
+	}
+	return out
+}
+
+// PollEncoded drains the client's outbox in encoded form: the transport
+// splices each batch's already-encoded payload into a binary poll response
+// verbatim, so delivering one push to N pollers costs at most one encode
+// total, not N.
+func (s *Server) PollEncoded(client uint32) []*wire.EncodedBatch {
 	cs := s.lookupClient(client)
 	if cs == nil {
 		return nil
 	}
 	out := cs.drain()
-	for _, b := range out {
-		s.meter.Net(b.WireSize())
+	for _, eb := range out {
+		s.meter.Net(eb.Batch().WireSize())
 	}
 	return out
 }
@@ -544,6 +560,16 @@ func (s *Server) OutboxStats() OutboxStats {
 // additionally holds its client's pushMu across check→apply→record so a
 // racing replay of the same Seq can never double-apply.
 func (s *Server) Push(from uint32, b *wire.Batch) *wire.PushReply {
+	return s.PushEncoded(from, wire.NewEncodedBatch(b))
+}
+
+// PushEncoded is Push for batches that travel with their binary wire
+// payload: the journal appends eb's exact bytes and the forwarding fan-out
+// enqueues eb itself into every sharing peer's outbox, so one accepted
+// batch is encoded at most once end to end (zero times when it arrived
+// over the binary transport).
+func (s *Server) PushEncoded(from uint32, eb *wire.EncodedBatch) *wire.PushReply {
+	b := eb.Batch()
 	s.meter.RPC(1)
 	s.meter.Net(b.WireSize())
 
@@ -608,7 +634,7 @@ func (s *Server) Push(from uint32, b *wire.Batch) *wire.PushReply {
 	// replay re-applies journaled batches in exactly this commit order.
 	if j := s.journal.Load(); j != nil {
 		//deltavet:allow blockunderlock WAL-before-apply: the journal append must happen inside the batch's lock scope so replay order is commit order; the fsync is group-committed
-		if err := j.Record(from, b); err != nil {
+		if err := j.Record(from, eb); err != nil {
 			locks.unlock()
 			// A journal that cannot append is a storage failure (poisoned
 			// WAL after a failed fsync, ENOSPC), and per fsyncgate it will
@@ -642,7 +668,7 @@ func (s *Server) Push(from uint32, b *wire.Batch) *wire.PushReply {
 	// two batches racing on the same file land in every outbox in their
 	// commit order.
 	if share {
-		dropped, peak := s.forward(from, gi, b)
+		dropped, peak := s.forward(from, gi, eb)
 		// Backpressure: tell the pusher when a peer's outbox is at its
 		// bound (evicting, or one more forward away from it) instead of
 		// dropping forwards silently. The push itself still succeeded.
@@ -675,12 +701,13 @@ func (s *Server) defaultGroup(cs *clientState) *groupInfo {
 	return gi
 }
 
-// forward appends b to the outbox of every other registered member of the
+// forward appends eb to the outbox of every other registered member of the
 // pusher's sharing group, reporting how many batches the enqueues evicted
-// and the deepest outbox seen. The caller holds the batch's shard locks; the
-// registry read-lock is released before any outbox lock is taken (lock
-// ordering rule 3).
-func (s *Server) forward(from uint32, gi *groupInfo, b *wire.Batch) (int64, int) {
+// and the deepest outbox seen. All outboxes share the one immutable
+// EncodedBatch — fan-out is O(peers) pointer pushes with no payload copy.
+// The caller holds the batch's shard locks; the registry read-lock is
+// released before any outbox lock is taken (lock ordering rule 3).
+func (s *Server) forward(from uint32, gi *groupInfo, eb *wire.EncodedBatch) (int64, int) {
 	type fwdTarget struct {
 		id uint32
 		cs *clientState
@@ -700,7 +727,7 @@ func (s *Server) forward(from uint32, gi *groupInfo, b *wire.Batch) (int64, int)
 	var dropped int64
 	var peak int
 	for _, t := range targets {
-		depth, d := t.cs.enqueue(b)
+		depth, d := t.cs.enqueue(eb)
 		dropped += d
 		if depth > peak {
 			peak = depth

@@ -181,8 +181,12 @@ type clientState struct {
 	// hot path reads it without the registry lock.
 	group atomic.Pointer[groupInfo]
 
+	// outbox holds forwarded batches as shared, immutable EncodedBatch
+	// values: every sharing peer's outbox (and the journal) points at the
+	// same value, so fan-out to N peers is N pointer pushes — no per-peer
+	// payload copy, and at most one payload encode batch-wide.
 	outMu      sync.Mutex
-	outbox     []*wire.Batch
+	outbox     []*wire.EncodedBatch
 	outDrops   int64 // forwarded batches evicted past OutboxDepthLimit
 	outPeak    int   // high-water outbox depth
 	outPending int   // current depth (mirrors len(outbox) for stats)
@@ -190,7 +194,7 @@ type clientState struct {
 
 // enqueue appends a forwarded batch, evicting the oldest past the bound.
 // It reports the resulting depth and how many batches were dropped.
-func (cs *clientState) enqueue(b *wire.Batch) (depth int, dropped int64) {
+func (cs *clientState) enqueue(b *wire.EncodedBatch) (depth int, dropped int64) {
 	cs.outMu.Lock()
 	defer cs.outMu.Unlock()
 	cs.outbox = append(cs.outbox, b)
@@ -211,7 +215,7 @@ func (cs *clientState) enqueue(b *wire.Batch) (depth int, dropped int64) {
 
 // drain swaps the outbox out under the client's own lock — O(1) regardless
 // of depth, so a polling client never blocks pushers for long.
-func (cs *clientState) drain() []*wire.Batch {
+func (cs *clientState) drain() []*wire.EncodedBatch {
 	cs.outMu.Lock()
 	out := cs.outbox
 	cs.outbox = nil

@@ -1,0 +1,183 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// The decoder is a trust boundary: whatever bytes arrive, it must either
+// return a typed error or a value whose re-encode round-trips — never panic,
+// never over-allocate past the frame, never accept trailing garbage.
+//
+// Seeds live in testdata/fuzz/<FuzzName>/ (the committed corpus); regenerate
+// with WRITE_FUZZ_CORPUS=1 go test ./internal/wire -run TestWriteFuzzCorpus.
+
+func FuzzDecodeBatchPayload(f *testing.F) {
+	for _, seed := range fuzzSeedsBatch() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeBatchPayload(data, false)
+		if err != nil {
+			return
+		}
+		// Accepted input must re-encode to something that decodes to the
+		// same batch (byte-identity can differ: unknown flag bits drop).
+		raw := AppendBatch(nil, b)
+		b2, err := DecodeBatchPayload(raw, true)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded batch failed: %v", err)
+		}
+		if !reflect.DeepEqual(b, b2) {
+			t.Fatalf("encode/decode not stable:\n b=%+v\nb2=%+v", b, b2)
+		}
+	})
+}
+
+func FuzzDecodeRequest(f *testing.F) {
+	for _, seed := range fuzzSeedsRequest() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req request
+		raw, err := decodeRequest(data, &req)
+		if err != nil {
+			return
+		}
+		if req.Op == "push" {
+			// The retained raw sub-slice must itself be a valid payload for
+			// the decoded batch — the server journals these exact bytes.
+			b, err := DecodeBatchPayload(raw, true)
+			if err != nil {
+				t.Fatalf("retained push raw does not decode: %v", err)
+			}
+			if !reflect.DeepEqual(b, req.B) {
+				t.Fatal("retained push raw decodes to a different batch")
+			}
+		}
+		if payload, err := appendRequest(nil, &req); err == nil {
+			var again request
+			if _, err := decodeRequest(payload, &again); err != nil {
+				t.Fatalf("re-decode of re-encoded request failed: %v", err)
+			}
+		}
+	})
+}
+
+func FuzzDecodeResponse(f *testing.F) {
+	for _, seed := range fuzzSeedsResponse() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var resp response
+		if err := decodeResponse(data, &resp); err != nil {
+			return
+		}
+		payload := appendResponse(nil, &resp, nil)
+		var again response
+		if err := decodeResponse(payload, &again); err != nil {
+			t.Fatalf("re-decode of re-encoded response failed: %v", err)
+		}
+	})
+}
+
+func FuzzReadFrame(f *testing.F) {
+	f.Add(frameFor([]byte{msgRequest, opPoll}))
+	f.Add(frameFor(AppendBatch([]byte{msgRequest, opPush}, exerciseBatch())))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := readFrame(bytes.NewReader(data), nil)
+		if err != nil {
+			return
+		}
+		// An accepted frame's payload is exactly the bytes after the header.
+		if !bytes.Equal(payload, data[frameHeaderSize:frameHeaderSize+len(payload)]) {
+			t.Fatal("readFrame returned bytes that are not the frame payload")
+		}
+	})
+}
+
+// --- seed corpus ---
+
+func fuzzSeedsBatch() [][]byte {
+	good := AppendBatch(nil, exerciseBatch())
+	hostileCount := append([]byte(nil), good...)
+	hostileCount[14] = 0xff // node count low byte
+	return [][]byte{
+		good,
+		AppendBatch(nil, &Batch{}),
+		AppendBatch(nil, &Batch{Client: 1, Seq: 2, Nodes: []*Node{{Kind: NCreate, Path: "a"}}}),
+		good[:len(good)/2],
+		hostileCount,
+		{},
+	}
+}
+
+func fuzzSeedsRequest() [][]byte {
+	out := [][]byte{{}, {msgRequest, opPush}}
+	for _, req := range []request{
+		{Op: "register", Group: 1},
+		{Op: "attach", Client: 2},
+		{Op: "push", B: exerciseBatch()},
+		{Op: "fetch", Path: "p"},
+		{Op: "head", Path: "p"},
+		{Op: "fetchrange", Path: "p", Off: 1, N: 2},
+		{Op: "poll"},
+	} {
+		payload, err := appendRequest(nil, &req)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, payload)
+	}
+	return out
+}
+
+func fuzzSeedsResponse() [][]byte {
+	out := [][]byte{{}}
+	for _, resp := range []response{
+		{Client: 1},
+		{Err: "boom"},
+		{Push: &PushReply{Statuses: []ApplyStatus{StatusOK, StatusConflict}, Conflicts: []string{"c"}}},
+		{Fetch: &FetchReply{Content: []byte("x"), Exists: true}},
+		{Data: []byte{1, 2, 3}},
+		{Batches: []*Batch{exerciseBatch()}},
+	} {
+		out = append(out, appendResponse(nil, &resp, nil))
+	}
+	return out
+}
+
+// TestWriteFuzzCorpus regenerates the committed corpus under testdata/fuzz
+// in the "go test fuzz v1" format. Skipped unless WRITE_FUZZ_CORPUS=1.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("WRITE_FUZZ_CORPUS") != "1" {
+		t.Skip("set WRITE_FUZZ_CORPUS=1 to regenerate the fuzz corpus")
+	}
+	write := func(fuzzName string, seeds [][]byte) {
+		dir := filepath.Join("testdata", "fuzz", fuzzName)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, seed := range seeds {
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+			name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	write("FuzzDecodeBatchPayload", fuzzSeedsBatch())
+	write("FuzzDecodeRequest", fuzzSeedsRequest())
+	write("FuzzDecodeResponse", fuzzSeedsResponse())
+	write("FuzzReadFrame", [][]byte{
+		frameFor([]byte{msgRequest, opPoll}),
+		frameFor(AppendBatch([]byte{msgRequest, opPush}, exerciseBatch())),
+		{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0},
+	})
+}

@@ -196,8 +196,8 @@ type killOnFirstPush struct {
 	once sync.Once
 }
 
-func (k *killOnFirstPush) Push(from uint32, b *Batch) *PushReply {
-	r := k.fakeBackend.Push(from, b)
+func (k *killOnFirstPush) PushEncoded(from uint32, eb *EncodedBatch) *PushReply {
+	r := k.fakeBackend.PushEncoded(from, eb)
 	k.once.Do(func() {
 		k.tr.mu.Lock()
 		if k.tr.last != nil {

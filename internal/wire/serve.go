@@ -2,7 +2,6 @@ package wire
 
 import (
 	"bufio"
-	"encoding/gob"
 	"net"
 	"runtime"
 	"sync"
@@ -149,9 +148,7 @@ func (s *serveState) admitPolled(tc *net.TCPConn) error {
 		srv:  s,
 		conn: tc,
 		fd:   fd,
-		br:   br,
-		dec:  gob.NewDecoder(br),
-		enc:  gob.NewEncoder(tc),
+		cc:   newConnCodec(tc, br, s.cfg.ForceGob),
 	}
 	pc.lastActive.Store(time.Now().UnixNano())
 	return s.poller.add(pc)
@@ -241,15 +238,14 @@ func (s *serveState) stop() {
 }
 
 // polledConn is one multiplexed connection: its descriptor is registered
-// with the poller; its gob stream state lives here between wakeups.
+// with the poller; its codec state (negotiated mode, buffered reader,
+// resumable decoder) lives here between wakeups.
 type polledConn struct {
 	srv   *serveState
 	conn  *net.TCPConn
 	fd    int32
 	token uint32 // poller registration identity (guards against fd reuse)
-	br    *bufio.Reader
-	dec   *gob.Decoder
-	enc   *gob.Encoder
+	cc    *connCodec
 
 	client     uint32 // bound identity; only the owning worker touches it
 	busy       atomic.Bool
@@ -271,11 +267,11 @@ func (pc *polledConn) serveReady() {
 		pc.conn.SetReadDeadline(time.Now().Add(cfg.WriteTimeout))
 	}
 	for {
-		if err := serveOne(pc.conn, pc.dec, pc.enc, pc.srv.backend, cfg, pc.srv.stats, &pc.client); err != nil {
+		if err := serveOne(pc.cc, pc.srv.backend, cfg, pc.srv.stats, &pc.client); err != nil {
 			pc.close()
 			return
 		}
-		if pc.br.Buffered() == 0 {
+		if pc.cc.br.Buffered() == 0 {
 			break
 		}
 	}

@@ -1,12 +1,14 @@
 package wire
 
 import (
+	"bufio"
 	"crypto/ecdsa"
 	"crypto/elliptic"
 	"crypto/rand"
 	"crypto/tls"
 	"crypto/x509"
 	"crypto/x509/pkix"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -22,7 +24,11 @@ import (
 
 // Backend is the server-side application the network transport dispatches
 // into (implemented by internal/server.Server). It mirrors Endpoint with an
-// explicit client ID.
+// explicit client ID. Push and Poll traffic in EncodedBatch so the encoded
+// wire payload travels with the batch: a push decoded from the binary
+// transport reaches the journal and the forwarding outboxes with its frame
+// bytes attached (zero re-encodes), and a poll response splices those same
+// bytes back out once per peer.
 type Backend interface {
 	// RegisterGroup assigns a new client ID in the given sharing group
 	// (group 0 is the default everyone-shares namespace).
@@ -31,12 +37,23 @@ type Backend interface {
 	// client ID, so reconnects keep version stamps and idempotency keys
 	// stable instead of minting a fresh identity.
 	Attach(client uint32)
-	Push(from uint32, b *Batch) *PushReply
+	PushEncoded(from uint32, eb *EncodedBatch) *PushReply
 	Fetch(path string) *FetchReply
 	Head(path string) (version.ID, bool)
 	FetchRange(path string, off, n int64) ([]byte, error)
-	Poll(client uint32) []*Batch
+	PollEncoded(client uint32) []*EncodedBatch
 }
+
+// Codec names a wire codec for DialOpts.
+type Codec string
+
+// Wire codecs. The zero value negotiates: binary first, falling back to gob
+// when the server does not speak the binary preamble (an old peer).
+const (
+	CodecAuto   Codec = ""
+	CodecBinary Codec = "binary"
+	CodecGob    Codec = "gob"
+)
 
 // request is the single on-the-wire request message.
 type request struct {
@@ -79,6 +96,11 @@ type ServeConfig struct {
 	// Stats, when non-nil, receives the transport's connection and request
 	// counters (load harnesses read them to prove goroutine boundedness).
 	Stats *ServeStats
+	// ForceGob disables binary-codec negotiation: every connection is served
+	// as a gob stream, exactly like a server from before the binary codec
+	// existed. Interop tests use it as the old-server stand-in; operationally
+	// it is the escape hatch if a codec bug ships.
+	ForceGob bool
 }
 
 // DefaultWriteTimeout is the response-write deadline Serve applies when the
@@ -120,19 +142,19 @@ func ServeWith(lis net.Listener, backend Backend, cfg ServeConfig) error {
 
 // serveConn runs one fallback connection's request loop on its own
 // goroutine. It returns (closing the connection) on the first decode or
-// response-write failure: a gob stream cannot resynchronize after a short
-// write, so continuing would desynchronize every later exchange. The
-// returned error reports why the connection ended (nil for a clean EOF).
+// response-write failure: neither stream can resynchronize after a short
+// write (gob has no framing; a binary peer's frame boundary is lost), so
+// continuing would desynchronize every later exchange. The returned error
+// reports why the connection ended (nil for a clean EOF).
 func serveConn(conn net.Conn, backend Backend, cfg ServeConfig, stats *ServeStats) error {
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	cc := newConnCodec(conn, bufio.NewReader(conn), cfg.ForceGob)
 	var client uint32
 	for {
 		if cfg.IdleTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(cfg.IdleTimeout))
 		}
-		if err := serveOne(conn, dec, enc, backend, cfg, stats, &client); err != nil {
+		if err := serveOne(cc, backend, cfg, stats, &client); err != nil {
 			if errors.Is(err, io.EOF) {
 				return nil
 			}
@@ -141,12 +163,129 @@ func serveConn(conn net.Conn, backend Backend, cfg ServeConfig, stats *ServeStat
 	}
 }
 
+// Connection codec modes.
+const (
+	codecModeUnknown = iota
+	codecModeGob
+	codecModeBinary
+)
+
+// connCodec is one server-side connection's codec state: the sniffed mode
+// (binary peers announce themselves with codecMagic before their first
+// frame; everything else is a gob stream), the shared buffered reader both
+// codecs decode from, and the lazily-built gob machinery.
+type connCodec struct {
+	conn     net.Conn
+	br       *bufio.Reader
+	forceGob bool
+	mode     int
+	dec      *gob.Decoder
+	enc      *gob.Encoder
+}
+
+func newConnCodec(conn net.Conn, br *bufio.Reader, forceGob bool) *connCodec {
+	return &connCodec{conn: conn, br: br, forceGob: forceGob}
+}
+
+func (cc *connCodec) useGob() {
+	cc.mode = codecModeGob
+	cc.dec = gob.NewDecoder(cc.br)
+	cc.enc = gob.NewEncoder(cc.conn)
+}
+
+// negotiate sniffs the connection's codec from its first byte. A gob stream
+// frames every message with a uvarint byte count ≥ 1, so a leading 0x00 can
+// only be the binary codec's magic preamble.
+func (cc *connCodec) negotiate() error {
+	if cc.mode != codecModeUnknown {
+		return nil
+	}
+	if cc.forceGob {
+		cc.useGob()
+		return nil
+	}
+	first, err := cc.br.Peek(1)
+	if err != nil {
+		return err
+	}
+	if first[0] != codecMagic[0] {
+		cc.useGob()
+		return nil
+	}
+	var magic [4]byte
+	if _, err := io.ReadFull(cc.br, magic[:]); err != nil {
+		return fmt.Errorf("wire: codec preamble: %w", err)
+	}
+	if magic != codecMagic {
+		return fmt.Errorf("wire: unsupported codec preamble %x", magic)
+	}
+	cc.mode = codecModeBinary
+	return nil
+}
+
+// name reports the negotiated codec ("" before the first request).
+func (cc *connCodec) name() string {
+	switch cc.mode {
+	case codecModeGob:
+		return string(CodecGob)
+	case codecModeBinary:
+		return string(CodecBinary)
+	}
+	return ""
+}
+
+// readRequest decodes one request. For binary push requests it returns the
+// batch's raw payload (retained by the caller in an EncodedBatch — the
+// decoded batch aliases it); nil otherwise.
+func (cc *connCodec) readRequest(req *request) ([]byte, error) {
+	if err := cc.negotiate(); err != nil {
+		return nil, err
+	}
+	if cc.mode == codecModeGob {
+		return nil, cc.dec.Decode(req)
+	}
+	// The frame buffer is allocated fresh, not pooled: push frames are
+	// retained for the batch's lifetime (journal + outboxes), and non-push
+	// requests are a few dozen bytes.
+	payload, err := readFrame(cc.br, nil)
+	if err != nil {
+		return nil, err
+	}
+	return decodeRequest(payload, req)
+}
+
+// writeResponse encodes one response. ebs carries a poll's batches in
+// already-encoded form; the binary codec splices their payloads verbatim,
+// while the gob fallback encodes the decoded batches the legacy way.
+func (cc *connCodec) writeResponse(resp *response, ebs []*EncodedBatch) error {
+	if cc.mode == codecModeGob {
+		if ebs != nil {
+			resp.Batches = make([]*Batch, len(ebs))
+			for i, eb := range ebs {
+				resp.Batches[i] = eb.Batch()
+			}
+		}
+		return cc.enc.Encode(resp)
+	}
+	bp := getFrameBuf()
+	buf := beginFrame((*bp)[:0])
+	buf = appendResponse(buf, resp, ebs)
+	err := finishFrame(buf, 0)
+	if err == nil {
+		_, err = cc.conn.Write(buf)
+	}
+	*bp = buf[:0]
+	putFrameBuf(bp)
+	return err
+}
+
 // serveOne decodes and answers exactly one request — the dispatch shared by
 // the fallback per-connection loop and the pool workers. A clean peer
 // shutdown surfaces as io.EOF.
-func serveOne(conn net.Conn, dec *gob.Decoder, enc *gob.Encoder, backend Backend, cfg ServeConfig, stats *ServeStats, client *uint32) error {
+func serveOne(cc *connCodec, backend Backend, cfg ServeConfig, stats *ServeStats, client *uint32) error {
 	var req request
-	if err := dec.Decode(&req); err != nil {
+	raw, err := cc.readRequest(&req)
+	if err != nil {
 		if errors.Is(err, io.EOF) {
 			return io.EOF
 		}
@@ -156,6 +295,7 @@ func serveOne(conn net.Conn, dec *gob.Decoder, enc *gob.Encoder, backend Backend
 		stats.requests.Add(1)
 	}
 	var resp response
+	var ebs []*EncodedBatch
 	switch req.Op {
 	case "register":
 		*client = backend.RegisterGroup(req.Group)
@@ -165,8 +305,27 @@ func serveOne(conn net.Conn, dec *gob.Decoder, enc *gob.Encoder, backend Backend
 		backend.Attach(*client)
 		resp.Client = *client
 	case "push":
-		req.B.Client = *client
-		resp.Push = backend.Push(*client, req.B)
+		if req.B == nil {
+			resp.Err = "push without batch"
+			break
+		}
+		if req.B.Client != *client {
+			req.B.Client = *client
+			// The batch payload carries Client at a fixed offset so the
+			// server can rebind the claimed identity in the retained frame
+			// too — forwarded and journaled bytes must agree with the
+			// decoded struct.
+			if len(raw) >= 4 {
+				binary.LittleEndian.PutUint32(raw[:4], *client)
+			}
+		}
+		var eb *EncodedBatch
+		if raw != nil {
+			eb = NewEncodedBatchRaw(req.B, raw)
+		} else {
+			eb = NewEncodedBatch(req.B)
+		}
+		resp.Push = backend.PushEncoded(*client, eb)
 	case "fetch":
 		resp.Fetch = backend.Fetch(req.Path)
 	case "head":
@@ -178,16 +337,16 @@ func serveOne(conn net.Conn, dec *gob.Decoder, enc *gob.Encoder, backend Backend
 		}
 		resp.Data = data
 	case "poll":
-		resp.Batches = backend.Poll(*client)
+		ebs = backend.PollEncoded(*client)
 	default:
 		resp.Err = fmt.Sprintf("unknown op %q", req.Op)
 	}
 	if cfg.WriteTimeout > 0 {
-		conn.SetWriteDeadline(time.Now().Add(cfg.WriteTimeout))
+		cc.conn.SetWriteDeadline(time.Now().Add(cfg.WriteTimeout))
 	}
-	err := enc.Encode(&resp)
+	err = cc.writeResponse(&resp, ebs)
 	if cfg.WriteTimeout > 0 {
-		conn.SetWriteDeadline(time.Time{})
+		cc.conn.SetWriteDeadline(time.Time{})
 	}
 	if err != nil {
 		return fmt.Errorf("write: %w", err)
@@ -251,13 +410,24 @@ func Classify(err error) ErrClass {
 type NetClient struct {
 	mu      sync.Mutex
 	conn    net.Conn
-	enc     *gob.Encoder
-	dec     *gob.Decoder
+	binary  bool
+	enc     *gob.Encoder  // gob codec only
+	dec     *gob.Decoder  // gob codec only
+	br      *bufio.Reader // binary codec frame reads
+	rbuf    []byte        // binary codec response scratch (under mu)
 	id      uint32
 	timeout time.Duration
 	broken  bool
 	traffic *metrics.TrafficMeter
 	meter   *metrics.CPUMeter
+}
+
+// Codec reports the codec this connection negotiated ("binary" or "gob").
+func (c *NetClient) Codec() string {
+	if c.binary {
+		return string(CodecBinary)
+	}
+	return string(CodecGob)
 }
 
 // DialOpts configures DialWith.
@@ -282,6 +452,10 @@ type DialOpts struct {
 	// loopback connections per run and would otherwise exhaust the local
 	// port and TIME_WAIT tables, skewing back-to-back measurements.
 	HardClose bool
+	// Codec selects the wire codec. CodecAuto (the zero value) tries the
+	// binary codec and falls back to gob when the server closes on the
+	// preamble — the old-server interop path.
+	Codec Codec
 }
 
 // Dial connects to a Serve listener and registers a new client. tlsConf may
@@ -295,10 +469,37 @@ func Dial(addr string, tlsConf *tls.Config, meter *metrics.CPUMeter, traffic *me
 // OpTimeout is set it also bounds connection establishment — including the
 // TLS handshake, which otherwise blocks forever if the peer (or a fault in
 // between) swallows handshake bytes.
+//
+// With CodecAuto the binary codec is tried first; if the connection was
+// established but the identity exchange died (the signature of an old gob
+// server closing on the unrecognized preamble), the dial is repeated
+// speaking gob.
 func DialWith(addr string, o DialOpts) (*NetClient, error) {
+	switch o.Codec {
+	case CodecGob:
+		c, err, _ := dialCodec(addr, o, false)
+		return c, err
+	case CodecBinary:
+		c, err, _ := dialCodec(addr, o, true)
+		return c, err
+	}
+	c, err, exchangeFailed := dialCodec(addr, o, true)
+	if err != nil && exchangeFailed {
+		if c2, err2, _ := dialCodec(addr, o, false); err2 == nil {
+			return c2, nil
+		}
+	}
+	return c, err
+}
+
+// dialCodec performs one connection attempt with a fixed codec.
+// exchangeFailed reports that TCP (and TLS) came up but the identity
+// exchange then failed — the only case where falling back to the other
+// codec can help.
+func dialCodec(addr string, o DialOpts, binaryCodec bool) (_ *NetClient, _ error, exchangeFailed bool) {
 	conn, err := net.DialTimeout("tcp", addr, o.OpTimeout)
 	if err != nil {
-		return nil, &TransportError{Phase: "dial", Err: fmt.Errorf("%s: %w", addr, err)}
+		return nil, &TransportError{Phase: "dial", Err: fmt.Errorf("%s: %w", addr, err)}, false
 	}
 	if o.HardClose {
 		if tc, ok := conn.(*net.TCPConn); ok {
@@ -312,18 +513,34 @@ func DialWith(addr string, o DialOpts) (*NetClient, error) {
 		tc := tls.Client(conn, o.TLS)
 		if err := tc.Handshake(); err != nil {
 			conn.Close()
-			return nil, &TransportError{Phase: "dial", Err: fmt.Errorf("%s: tls: %w", addr, err)}
+			return nil, &TransportError{Phase: "dial", Err: fmt.Errorf("%s: tls: %w", addr, err)}, false
 		}
 		conn.SetDeadline(time.Time{})
 		conn = tc
 	}
 	c := &NetClient{
 		conn:    conn,
-		enc:     gob.NewEncoder(conn),
-		dec:     gob.NewDecoder(conn),
+		binary:  binaryCodec,
 		timeout: o.OpTimeout,
 		traffic: o.Traffic,
 		meter:   o.Meter,
+	}
+	if binaryCodec {
+		c.br = bufio.NewReader(conn)
+		if o.OpTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(o.OpTimeout))
+		}
+		_, err := conn.Write(codecMagic[:])
+		if o.OpTimeout > 0 {
+			conn.SetWriteDeadline(time.Time{})
+		}
+		if err != nil {
+			conn.Close()
+			return nil, &TransportError{Phase: "dial", Err: fmt.Errorf("%s: codec preamble: %w", addr, err)}, true
+		}
+	} else {
+		c.enc = gob.NewEncoder(conn)
+		c.dec = gob.NewDecoder(conn)
 	}
 	req := request{Op: "register", Group: o.Group}
 	if o.AttachID != 0 {
@@ -335,10 +552,10 @@ func DialWith(addr string, o DialOpts) (*NetClient, error) {
 		// The identity exchange is part of connection establishment: a
 		// failure here never leaves server-visible state behind, so report
 		// it as a dial failure (always retryable).
-		return nil, &TransportError{Phase: "dial", Err: err}
+		return nil, &TransportError{Phase: "dial", Err: err}, true
 	}
 	c.id = resp.Client
-	return c, nil
+	return c, nil, false
 }
 
 // roundTrip sends req and waits for the response. wireBytes is the
@@ -359,21 +576,60 @@ func (c *NetClient) roundTrip(req request, wireBytes int64) (*response, error) {
 		c.conn.SetDeadline(time.Now().Add(c.timeout))
 		defer c.conn.SetDeadline(time.Time{})
 	}
-	if err := c.enc.Encode(&req); err != nil {
-		c.broken = true
-		return nil, &TransportError{Phase: "send", Err: err}
-	}
 	var resp response
-	if err := c.dec.Decode(&resp); err != nil {
-		// A gob stream cannot resynchronize after a torn exchange; poison
-		// the connection so later callers fail fast instead of misparsing.
-		c.broken = true
-		return nil, &TransportError{Phase: "recv", Err: err}
+	if c.binary {
+		if err := c.exchangeBinary(&req, &resp); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := c.enc.Encode(&req); err != nil {
+			c.broken = true
+			return nil, &TransportError{Phase: "send", Err: err}
+		}
+		if err := c.dec.Decode(&resp); err != nil {
+			// A gob stream cannot resynchronize after a torn exchange; poison
+			// the connection so later callers fail fast instead of misparsing.
+			c.broken = true
+			return nil, &TransportError{Phase: "recv", Err: err}
+		}
 	}
 	if resp.Err != "" {
 		return nil, errors.New(resp.Err)
 	}
 	return &resp, nil
+}
+
+// exchangeBinary performs one framed request/response exchange. The caller
+// holds c.mu. Any failure — including a frame that fails its checksum or
+// bounds checks — poisons the connection: the strict request/response
+// pairing is lost either way.
+func (c *NetClient) exchangeBinary(req *request, resp *response) error {
+	bp := getFrameBuf()
+	buf := beginFrame((*bp)[:0])
+	buf, err := appendRequest(buf, req)
+	if err == nil {
+		err = finishFrame(buf, 0)
+	}
+	if err == nil {
+		_, err = c.conn.Write(buf)
+	}
+	*bp = buf[:0]
+	putFrameBuf(bp)
+	if err != nil {
+		c.broken = true
+		return &TransportError{Phase: "send", Err: err}
+	}
+	payload, err := readFrame(c.br, c.rbuf)
+	if err != nil {
+		c.broken = true
+		return &TransportError{Phase: "recv", Err: err}
+	}
+	c.rbuf = payload // keep the grown scratch for the next response
+	if err := decodeResponse(payload, resp); err != nil {
+		c.broken = true
+		return &TransportError{Phase: "recv", Err: err}
+	}
+	return nil
 }
 
 // Register implements Endpoint.

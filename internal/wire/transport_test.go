@@ -97,6 +97,24 @@ func (f *fakeBackend) Poll(client uint32) []*Batch {
 	return out
 }
 
+// PushEncoded/PollEncoded adapt the legacy-shaped fake to the encoded
+// Backend interface the transport dispatches into.
+func (f *fakeBackend) PushEncoded(from uint32, eb *EncodedBatch) *PushReply {
+	return f.Push(from, eb.Batch())
+}
+
+func (f *fakeBackend) PollEncoded(client uint32) []*EncodedBatch {
+	bs := f.Poll(client)
+	if bs == nil {
+		return nil
+	}
+	out := make([]*EncodedBatch, len(bs))
+	for i, b := range bs {
+		out[i] = NewEncodedBatch(b)
+	}
+	return out
+}
+
 func startServer(t *testing.T, backend Backend) (addr string, stop func()) {
 	t.Helper()
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
