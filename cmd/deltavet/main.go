@@ -1,8 +1,8 @@
-// Command deltavet is the project's multichecker: it runs the six
+// Command deltavet is the project's multichecker: it runs the nine
 // invariant analyzers (lockorder, blockunderlock, detreplay, errsync,
-// crashsafe, wiretaint) over the packages named on the command line and
-// exits non-zero if any unsuppressed finding remains. CI runs it alongside
-// `go vet` and the full-module race detector:
+// crashsafe, wiretaint, atomicsafe, poolsafe, leakcheck) over the packages
+// named on the command line and exits non-zero if any unsuppressed finding
+// remains. CI runs it alongside `go vet` and the full-module race detector:
 //
 //	go run ./cmd/deltavet ./...
 //
@@ -10,16 +10,27 @@
 // interprocedural analyzers see the whole-tree call graph — a finding in
 // package A may exist only because of a caller in package B.
 //
+// Exit codes: 0 clean, 1 findings, 2 usage/configuration error, 3 the
+// packages failed to load or an analyzer crashed — so CI can tell "the code
+// is dirty" from "the checker never ran".
+//
 // With -json the findings are emitted as a JSON array on stdout (CI uploads
-// this as an artifact); the default text form `file:line:col: analyzer:
-// message` is what the GitHub Actions problem matcher annotates.
+// this as an artifact); on a load failure -json still emits valid JSON, an
+// object with a single "error" key. With -sarif the findings are emitted as
+// a SARIF 2.1.0 log for code-scanning upload. The default text form
+// `file:line:col: analyzer: message` is what the GitHub Actions problem
+// matcher annotates. -since <git-ref> keeps only findings in files changed
+// since that ref — the differential mode CI uses to annotate new findings
+// without re-litigating the whole tree.
 //
 // Suppression: an inline `//deltavet:allow <analyzer> <reason>` comment on
 // the finding's line (or the line above) silences that analyzer there; the
 // deltavet.allow file at the module root records standing per-function
 // exemptions (`<analyzer> <pkgpath> <Func|Type.Method> <reason>`). Both
 // require a reason — the point is a reviewable inventory of every place the
-// invariants are intentionally bent, not a mute button.
+// invariants are intentionally bent, not a mute button. An allow entry whose
+// target function no longer exists is itself reported as an `allowstale`
+// finding: suppressions must not outlive the code they excuse.
 package main
 
 import (
@@ -33,11 +44,14 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/atomicsafe"
 	"repro/internal/analysis/blockunderlock"
 	"repro/internal/analysis/crashsafe"
 	"repro/internal/analysis/detreplay"
 	"repro/internal/analysis/errsync"
+	"repro/internal/analysis/leakcheck"
 	"repro/internal/analysis/lockorder"
+	"repro/internal/analysis/poolsafe"
 	"repro/internal/analysis/wiretaint"
 )
 
@@ -71,6 +85,16 @@ var wiretaintScope = []string{
 	"internal/kvstore",
 }
 
+// leakcheckScope is where fds, tickers, and goroutines churn at scale: the
+// bounded transport, the load harness, the chaos harness, and the server. A
+// leak per accept multiplied by 10k clients is an fd-exhaustion outage.
+var leakcheckScope = []string{
+	"internal/wire",
+	"internal/loadgen",
+	"internal/chaos",
+	"internal/server",
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], ".", os.Stdout, os.Stderr))
 }
@@ -82,12 +106,30 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	allowPath := fs.String("allow", "", "path to the deltavet.allow file (default: deltavet.allow at the module root, if present)")
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout instead of text lines")
+	sarifOut := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log on stdout")
+	since := fs.String("since", "", "git ref: keep only findings in files changed since this ref")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintf(stderr, "deltavet: -json and -sarif are mutually exclusive\n")
 		return 2
 	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
+	}
+
+	// loadFailed reports a failure to even analyze (exit 3), keeping the
+	// machine-readable output shape valid for CI consumers.
+	loadFailed := func(err error) int {
+		fmt.Fprintf(stderr, "deltavet: %v\n", err)
+		if *jsonOut {
+			json.NewEncoder(stdout).Encode(map[string]string{"error": err.Error()})
+		} else if *sarifOut {
+			writeSARIF(stdout, nil, "", err)
+		}
+		return 3
 	}
 
 	var allows []analysis.Allow
@@ -110,8 +152,7 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 
 	pkgs, err := analysis.Load(dir, patterns...)
 	if err != nil {
-		fmt.Fprintf(stderr, "deltavet: %v\n", err)
-		return 2
+		return loadFailed(err)
 	}
 
 	// One program over everything loaded: interprocedural facts (call
@@ -122,19 +163,40 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 		as := analyzersFor(pkg.PkgPath)
 		ds, err := prog.Run(pkg, as...)
 		if err != nil {
-			fmt.Fprintf(stderr, "deltavet: %v\n", err)
-			return 2
+			return loadFailed(err)
 		}
 		diags = append(diags, ds...)
 	}
 
 	kept := analysis.Suppress(pkgs, diags, allows)
-	if *jsonOut {
+	// Suppressions that outlived their target are findings themselves.
+	kept = append(kept, analysis.StaleAllows(pkgs, allows)...)
+
+	root := dir
+	if r, err := moduleRoot(dir); err == nil {
+		root = r
+	}
+	if *since != "" {
+		changed, err := changedFiles(root, *since)
+		if err != nil {
+			fmt.Fprintf(stderr, "deltavet: -since %s: %v\n", *since, err)
+			return 2
+		}
+		kept = filterByFiles(kept, changed, root)
+	}
+
+	switch {
+	case *jsonOut:
 		if err := writeJSON(stdout, kept); err != nil {
 			fmt.Fprintf(stderr, "deltavet: %v\n", err)
 			return 2
 		}
-	} else {
+	case *sarifOut:
+		if err := writeSARIF(stdout, kept, root, nil); err != nil {
+			fmt.Fprintf(stderr, "deltavet: %v\n", err)
+			return 2
+		}
+	default:
 		for _, d := range kept {
 			fmt.Fprintf(stdout, "%s\n", d)
 		}
@@ -144,6 +206,45 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// changedFiles lists the paths `git diff --name-only <ref>` reports, made
+// absolute against root.
+func changedFiles(root, ref string) (map[string]bool, error) {
+	cmd := exec.Command("git", "diff", "--name-only", ref, "--")
+	cmd.Dir = root
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+			return nil, fmt.Errorf("git diff: %s", strings.TrimSpace(string(ee.Stderr)))
+		}
+		return nil, err
+	}
+	set := make(map[string]bool)
+	for _, line := range strings.Split(string(out), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		set[filepath.Join(root, filepath.FromSlash(line))] = true
+	}
+	return set, nil
+}
+
+// filterByFiles keeps the diagnostics whose file is in changed. Relative
+// diagnostic paths resolve against root.
+func filterByFiles(diags []analysis.Diagnostic, changed map[string]bool, root string) []analysis.Diagnostic {
+	kept := make([]analysis.Diagnostic, 0, len(diags))
+	for _, d := range diags {
+		f := d.Pos.Filename
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(root, f)
+		}
+		if changed[f] {
+			kept = append(kept, d)
+		}
+	}
+	return kept
 }
 
 // jsonDiag is the -json wire form of one finding.
@@ -171,11 +272,14 @@ func writeJSON(w io.Writer, diags []analysis.Diagnostic) error {
 	return enc.Encode(out)
 }
 
-// analyzersFor selects the analyzers for one package: the concurrency and
-// durability checkers run everywhere; detreplay, crashsafe, and wiretaint
-// only on their scoped paths.
+// analyzersFor selects the analyzers for one package: the concurrency,
+// durability, and shared-state checkers run everywhere; detreplay,
+// crashsafe, wiretaint, and leakcheck only on their scoped paths.
 func analyzersFor(pkgPath string) []*analysis.Analyzer {
-	as := []*analysis.Analyzer{lockorder.Analyzer, blockunderlock.Analyzer, errsync.Analyzer}
+	as := []*analysis.Analyzer{
+		lockorder.Analyzer, blockunderlock.Analyzer, errsync.Analyzer,
+		atomicsafe.Analyzer, poolsafe.Analyzer,
+	}
 	if inScope(pkgPath, replayScope) {
 		as = append(as, detreplay.Analyzer)
 	}
@@ -184,6 +288,9 @@ func analyzersFor(pkgPath string) []*analysis.Analyzer {
 	}
 	if inScope(pkgPath, wiretaintScope) {
 		as = append(as, wiretaint.Analyzer)
+	}
+	if inScope(pkgPath, leakcheckScope) {
+		as = append(as, leakcheck.Analyzer)
 	}
 	return as
 }

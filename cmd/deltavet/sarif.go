@@ -1,0 +1,124 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// SARIF 2.1.0 log shapes — just the subset code-scanning consumers read.
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool        sarifTool           `json:"tool"`
+	Results     []sarifResult       `json:"results"`
+	Invocations []sarifInvocation   `json:"invocations,omitempty"`
+}
+
+type sarifInvocation struct {
+	ExecutionSuccessful bool   `json:"executionSuccessful"`
+	ExitCodeDescription string `json:"exitCodeDescription,omitempty"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// writeSARIF emits one SARIF run holding diags. URIs are relative to root so
+// code-scanning can anchor annotations in the repository. A non-nil loadErr
+// produces a valid log with no results and a failed invocation — the caller
+// still exits 3, but the artifact stays parseable.
+func writeSARIF(w io.Writer, diags []analysis.Diagnostic, root string, loadErr error) error {
+	ruleSet := make(map[string]bool)
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		ruleSet[d.Analyzer] = true
+		uri := d.Pos.Filename
+		if root != "" {
+			if rel, err := filepath.Rel(root, uri); err == nil && !strings.HasPrefix(rel, "..") {
+				uri = rel
+			}
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "warning",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(uri)},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	ids := make([]string, 0, len(ruleSet))
+	for id := range ruleSet {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	rules := make([]sarifRule, 0, len(ids))
+	for _, id := range ids {
+		rules = append(rules, sarifRule{ID: id, ShortDescription: sarifMessage{Text: "deltavet " + id + " invariant"}})
+	}
+	run := sarifRun{
+		Tool:    sarifTool{Driver: sarifDriver{Name: "deltavet", Rules: rules}},
+		Results: results,
+	}
+	if loadErr != nil {
+		run.Invocations = []sarifInvocation{{ExecutionSuccessful: false, ExitCodeDescription: loadErr.Error()}}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Runs:    []sarifRun{run},
+	})
+}

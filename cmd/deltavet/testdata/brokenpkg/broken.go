@@ -1,0 +1,8 @@
+// Package brokenpkg fails to parse on purpose: the driver integration test
+// asserts a load failure exits 3 (not 1 or 2) and that -json still emits
+// valid JSON. It lives under testdata so wildcard builds never touch it.
+package brokenpkg
+
+func Broken() {
+	this is not go
+}

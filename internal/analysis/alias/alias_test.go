@@ -1,0 +1,292 @@
+package alias
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/callgraph"
+)
+
+// load typechecks one import-free source file and returns everything the
+// package API consumes.
+func load(t *testing.T, src string) (*token.FileSet, *ast.File, *types.Package, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return fset, f, pkg, info
+}
+
+func funcDecl(t *testing.T, f *ast.File, name string) *ast.FuncDecl {
+	t.Helper()
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd
+		}
+	}
+	t.Fatalf("no function %q", name)
+	return nil
+}
+
+// objNamed finds the local object called name inside fd.
+func objNamed(info *types.Info, fd *ast.FuncDecl, name string) types.Object {
+	var out types.Object
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			if o := info.Defs[id]; o != nil {
+				out = o
+				return false
+			}
+		}
+		return true
+	})
+	return out
+}
+
+const trackSrc = `package p
+
+func get() *int { x := 0; return &x }
+
+func F() int {
+	a := get()
+	b := a
+	var c *int
+	c = b
+	d := other()
+	_ = d
+	return *c
+}
+
+func other() *int { y := 1; return &y }
+
+func Derived() []byte {
+	buf := mk()
+	head := buf[:4]
+	grown := append(buf, 1)
+	return append(head, grown...)
+}
+
+func mk() []byte { return make([]byte, 8) }
+
+func Tuple() (*int, error) {
+	v, err := pair()
+	u := v
+	_ = u
+	return v, err
+}
+
+func pair() (*int, error) { x := 2; return &x, nil }
+`
+
+func TestTrackAliasChains(t *testing.T) {
+	_, f, _, info := load(t, trackSrc)
+	fd := funcDecl(t, f, "F")
+	seedOf := func(e ast.Expr) *Seed {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "get" {
+			return &Seed{Expr: e, Tag: "get"}
+		}
+		return nil
+	}
+	tr := Track(info, fd.Body, nil, seedOf)
+	if len(tr.Seeds) != 1 {
+		t.Fatalf("seeds = %d, want 1", len(tr.Seeds))
+	}
+	for _, name := range []string{"a", "b", "c"} {
+		obj := objNamed(info, fd, name)
+		if obj == nil {
+			t.Fatalf("no object %q", name)
+		}
+		if got := tr.SeedsOf(obj); len(got) != 1 || got[0].Tag != "get" {
+			t.Errorf("SeedsOf(%s) = %v, want the get seed", name, got)
+		}
+	}
+	if d := objNamed(info, fd, "d"); len(tr.SeedsOf(d)) != 0 {
+		t.Errorf("d should not alias the get seed")
+	}
+}
+
+func TestTrackDerivations(t *testing.T) {
+	_, f, _, info := load(t, trackSrc)
+	fd := funcDecl(t, f, "Derived")
+	seedOf := func(e ast.Expr) *Seed {
+		if call, ok := e.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "mk" {
+				return &Seed{Expr: e, Tag: "mk"}
+			}
+		}
+		return nil
+	}
+	tr := Track(info, fd.Body, nil, seedOf)
+	for _, name := range []string{"buf", "head", "grown"} {
+		obj := objNamed(info, fd, name)
+		if got := tr.SeedsOf(obj); len(got) != 1 {
+			t.Errorf("SeedsOf(%s) = %v, want the mk seed (slicing and append preserve the backing array)", name, got)
+		}
+	}
+}
+
+func TestTrackTupleResultIndex(t *testing.T) {
+	_, f, _, info := load(t, trackSrc)
+	fd := funcDecl(t, f, "Tuple")
+	seedOf := func(e ast.Expr) *Seed {
+		if call, ok := e.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "pair" {
+				return &Seed{Expr: e, Tag: "pair", Result: 0}
+			}
+		}
+		return nil
+	}
+	tr := Track(info, fd.Body, nil, seedOf)
+	if v := objNamed(info, fd, "v"); len(tr.SeedsOf(v)) != 1 {
+		t.Errorf("v (result 0) should carry the seed")
+	}
+	if u := objNamed(info, fd, "u"); len(tr.SeedsOf(u)) != 1 {
+		t.Errorf("u copies v, should carry the seed")
+	}
+	if errObj := objNamed(info, fd, "err"); len(tr.SeedsOf(errObj)) != 0 {
+		t.Errorf("err (result 1) must NOT carry a Result-0 seed")
+	}
+}
+
+const paramsSrc = `package p
+
+type sink struct{ kept []*int }
+
+var global *int
+
+func storeField(s *sink, v *int) { s.kept = append(s.kept, v) }
+
+func storeGlobal(v *int) { global = v }
+
+func viaHelper(s *sink, v *int) { storeField(s, v) }
+
+func twoDeep(s *sink, v *int) { viaHelper(s, v) }
+
+func pure(v *int) int { return *v }
+`
+
+func buildGraph(t *testing.T, src string) (*callgraph.Graph, *types.Package, *types.Info) {
+	t.Helper()
+	fset, f, pkg, info := load(t, src)
+	g := callgraph.Build([]*callgraph.Source{{Fset: fset, Files: []*ast.File{f}, Pkg: pkg, Info: info}})
+	return g, pkg, info
+}
+
+func lookupFunc(t *testing.T, pkg *types.Package, name string) *types.Func {
+	t.Helper()
+	fn, ok := pkg.Scope().Lookup(name).(*types.Func)
+	if !ok {
+		t.Fatalf("no func %q", name)
+	}
+	return fn
+}
+
+func TestParamsEscapeFixpoint(t *testing.T) {
+	g, pkg, _ := buildGraph(t, paramsSrc)
+	// Direct property: a parameter stored into a field, global, or slice.
+	sum := Params(g, func(fi *FuncInfo) map[int]string {
+		out := map[int]string{}
+		ast.Inspect(fi.Node.Decl.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, rhs := range as.Rhs {
+				// append(s.kept, v) or plain v on the RHS of a field/global store.
+				ast.Inspect(rhs, func(x ast.Node) bool {
+					if e, ok := x.(ast.Expr); ok {
+						if idx := fi.ParamOf(e); idx >= 0 {
+							for _, lhs := range as.Lhs {
+								if _, isSel := lhs.(*ast.SelectorExpr); isSel {
+									out[idx] = "stored into a field"
+								}
+								if id, ok := lhs.(*ast.Ident); ok {
+									if v, ok := fi.Info.Uses[id].(*types.Var); ok && v.Parent() == v.Pkg().Scope() {
+										out[idx] = "stored into a global"
+									}
+								}
+							}
+						}
+					}
+					return true
+				})
+			}
+			return true
+		})
+		return out
+	})
+
+	if w := sum.Has(lookupFunc(t, pkg, "storeField"), 1); w == nil || w.Why != "stored into a field" {
+		t.Errorf("storeField param 1: got %+v, want direct field-store", w)
+	}
+	if w := sum.Has(lookupFunc(t, pkg, "storeGlobal"), 0); w == nil {
+		t.Errorf("storeGlobal param 0: want direct global-store")
+	}
+	if w := sum.Has(lookupFunc(t, pkg, "viaHelper"), 1); w == nil {
+		t.Errorf("viaHelper param 1: want derived via storeField")
+	} else if got := w.ChainString(); got != "storeField" {
+		t.Errorf("viaHelper witness chain = %q, want storeField", got)
+	}
+	if w := sum.Has(lookupFunc(t, pkg, "twoDeep"), 1); w == nil {
+		t.Errorf("twoDeep param 1: want derived two levels down")
+	} else if got := w.ChainString(); !strings.Contains(got, "viaHelper") || !strings.Contains(got, "storeField") {
+		t.Errorf("twoDeep witness chain = %q, want viaHelper -> storeField", got)
+	}
+	if w := sum.Has(lookupFunc(t, pkg, "pure"), 0); w != nil {
+		t.Errorf("pure param 0 must not have the property, got %+v", w)
+	}
+}
+
+const returnsSrc = `package p
+
+var pool []*int
+
+func rawGet() *int { x := 0; return &x }
+
+func wrapped() *int { v := rawGet(); return v }
+
+func twoHops() *int { return wrapped() }
+
+func unrelated() *int { y := 1; return &y }
+`
+
+func TestReturnsTracked(t *testing.T) {
+	g, pkg, _ := buildGraph(t, returnsSrc)
+	got := ReturnsTracked(g, func(info *types.Info, e ast.Expr) string {
+		if call, ok := e.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "rawGet" {
+				return "raw origin"
+			}
+		}
+		return ""
+	})
+	for _, name := range []string{"wrapped", "twoHops"} {
+		if got[lookupFunc(t, pkg, name)] == "" {
+			t.Errorf("%s should be returns-tracked", name)
+		}
+	}
+	if got[lookupFunc(t, pkg, "unrelated")] != "" {
+		t.Errorf("unrelated must not be returns-tracked")
+	}
+}

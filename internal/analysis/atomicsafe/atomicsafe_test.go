@@ -1,0 +1,12 @@
+package atomicsafe_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/atomicsafe"
+)
+
+func TestAtomicsafe(t *testing.T) {
+	analysistest.Run(t, atomicsafe.Analyzer, "atomics")
+}

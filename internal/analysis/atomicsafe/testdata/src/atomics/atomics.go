@@ -1,0 +1,122 @@
+// Package atomics exercises every atomicsafe diagnostic kind, plus the
+// sanctioned copy-on-write shapes that must stay silent.
+package atomics
+
+import "sync/atomic"
+
+type state struct {
+	members map[int]string
+	n       int
+}
+
+type registry struct {
+	cur atomic.Pointer[state]
+}
+
+// GoodSwap is the copy-on-write discipline the analyzer exists to protect:
+// build a fresh value, mutate it while private, publish, never touch again.
+func (r *registry) GoodSwap(k int, v string) {
+	old := r.cur.Load()
+	next := &state{members: map[int]string{}}
+	if old != nil {
+		for k2, v2 := range old.members {
+			next.members[k2] = v2
+		}
+	}
+	next.members[k] = v // before the Store: private, fine
+	next.n = len(next.members)
+	r.cur.Store(next)
+}
+
+func (r *registry) BadPublishThenMutate(k int, v string) {
+	next := &state{members: map[int]string{}}
+	r.cur.Store(next)
+	next.members[k] = v // want `mutation after the value was published`
+}
+
+func (r *registry) BadPublishAlias() {
+	next := &state{}
+	other := next
+	r.cur.CompareAndSwap(nil, next)
+	other.n = 1 // want `mutation after the value was published`
+}
+
+func (r *registry) BadPublishOnSomePath(k int, v string, flaky bool) {
+	next := &state{members: map[int]string{}}
+	if flaky {
+		r.cur.Store(next)
+	}
+	next.members[k] = v // want `mutation after the value was published`
+}
+
+func (r *registry) BadLoadMutate(k int, v string) {
+	cur := r.cur.Load()
+	cur.members[k] = v // want `mutation of a value loaded from atomic pointer`
+}
+
+func (r *registry) BadLoadDelete(k int) {
+	cur := r.cur.Load()
+	delete(cur.members, k) // want `mutation of a value loaded from atomic pointer`
+}
+
+func scrub(s *state) { s.members = nil }
+
+func wash(s *state) { scrub(s) }
+
+func (r *registry) BadLoadMutateViaCallee() {
+	cur := r.cur.Load()
+	scrub(cur) // want `passed to scrub, which mutates it`
+}
+
+func (r *registry) BadLoadMutateViaChain() {
+	cur := r.cur.Load()
+	wash(cur) // want `passed to wash, which mutates it \(via scrub\)`
+}
+
+func (r *registry) BadPublishMutateViaCallee() {
+	next := &state{}
+	r.cur.Store(next)
+	scrub(next) // want `passed to scrub, which mutates it`
+}
+
+func (r *registry) GoodReadLoaded() int {
+	cur := r.cur.Load()
+	if cur == nil {
+		return 0
+	}
+	return cur.n // reads of a loaded snapshot are the whole point
+}
+
+// ---- mixed plain/atomic field access ----
+
+type counter struct {
+	hits int64
+	name string
+}
+
+func (c *counter) Incr() { atomic.AddInt64(&c.hits, 1) }
+
+func (c *counter) BadRead() int64 {
+	return c.hits // want `field hits is accessed atomically elsewhere`
+}
+
+func (c *counter) GoodRead() int64 { return atomic.LoadInt64(&c.hits) }
+
+func (c *counter) GoodName() string { return c.name }
+
+// ---- atomic-bearing struct copies ----
+
+type gauge struct {
+	val  atomic.Int64
+	name string
+}
+
+func copyGauge(g *gauge) int64 {
+	cp := *g // want `copying this value copies atomic field val`
+	return cp.val.Load()
+}
+
+func goodPointer(g *gauge) int64 {
+	p := g // copying the pointer is fine
+	return p.val.Load()
+}

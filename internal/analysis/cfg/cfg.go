@@ -434,9 +434,12 @@ func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt, label string) {
 }
 
 func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
-	// The select itself is an event (a potentially blocking op), so it is
-	// recorded in the head block where analyzers can see it.
-	b.add(s)
+	// Only the comm statements are recorded, each in its own body block —
+	// adding the whole SelectStmt to the head would duplicate every case
+	// body there, and a must-analysis would then see a case's effects as
+	// happening unconditionally before the branch. Analyzers that care
+	// about the select as a blocking event (blockunderlock) walk the AST,
+	// not the CFG.
 	head := b.cur
 	join := b.newBlock("select.join")
 	b.breaks = append(b.breaks, breakTarget{label: label, block: join})

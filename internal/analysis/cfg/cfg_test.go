@@ -358,3 +358,87 @@ func f(x int) int {
 		t.Errorf("String() missing exit")
 	}
 }
+
+func TestDeferInLoopStaysInBody(t *testing.T) {
+	_, g := buildFunc(t, `
+func f(xs []int) {
+	for range xs {
+		defer sync()
+	}
+	rename()
+}`, "f")
+	// Deferred calls run at function exit, after rename — and the loop may
+	// run zero times. Neither the builder nor a must-analysis over the graph
+	// may treat the defer as preceding rename.
+	if mustPrecede(g, "sync", "rename") {
+		t.Errorf("deferred sync in a maybe-zero-iteration loop must not dominate rename:\n%s", g)
+	}
+	// The DeferStmt node must survive as a body node (analyzers key defer
+	// semantics off the node itself, e.g. leakcheck's deferred Close).
+	defers := 0
+	for _, b := range g.Postorder() {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				defers++
+			}
+		}
+	}
+	if defers != 1 {
+		t.Errorf("defer node count = %d, want 1:\n%s", defers, g)
+	}
+}
+
+func TestSelectEmptyDefaultLeaks(t *testing.T) {
+	_, g := buildFunc(t, `
+func f(ch chan int) {
+	select {
+	case <-ch:
+		sync()
+	default:
+	}
+	rename()
+}`, "f")
+	// The nonblocking-poll shape: the empty default arm reaches rename
+	// without sync.
+	if mustPrecede(g, "sync", "rename") {
+		t.Errorf("empty select default bypasses sync:\n%s", g)
+	}
+}
+
+func TestLabeledBreakOnlyExit(t *testing.T) {
+	_, g := buildFunc(t, `
+func f() {
+	outer:
+	for {
+		for {
+			sync()
+			break outer
+		}
+	}
+	rename()
+}`, "f")
+	// Both loops are infinite; the only path to rename is the labeled break,
+	// which follows sync. The break edge must target the OUTER loop's exit.
+	if !mustPrecede(g, "sync", "rename") {
+		t.Errorf("labeled break is the only exit and follows sync:\n%s", g)
+	}
+}
+
+func TestLabeledContinueSkipsRestOfOuterBody(t *testing.T) {
+	_, g := buildFunc(t, `
+func f(xs, ys []int) {
+	outer:
+	for range xs {
+		for range ys {
+			continue outer
+		}
+		sync()
+	}
+	rename()
+}`, "f")
+	// continue outer must jump to the outer loop header, bypassing the sync
+	// that follows the inner loop in the outer body.
+	if mustPrecede(g, "sync", "rename") {
+		t.Errorf("labeled continue bypasses the rest of the outer body:\n%s", g)
+	}
+}

@@ -1,0 +1,138 @@
+// Package leaks exercises every leakcheck diagnostic kind alongside the
+// ownership conventions the transport actually uses, which must stay silent.
+package leaks
+
+import (
+	"net"
+	"time"
+)
+
+func GoodDeferClose(addr string) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	_, err = c.Write([]byte("x"))
+	return err
+}
+
+func GoodErrExitBareReturn(addr string) net.Conn {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil // acquire failed: nothing to close
+	}
+	return c // ownership transfers to the caller
+}
+
+func GoodAcceptHandOff(lis net.Listener, quit chan struct{}) error {
+	for {
+		select {
+		case <-quit:
+			return nil
+		default:
+		}
+		c, err := lis.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer c.Close()
+			_, _ = c.Write([]byte("hi"))
+		}()
+	}
+}
+
+func closeQuietly(c net.Conn) {
+	if c != nil {
+		c.Close()
+	}
+}
+
+func shutdown(c net.Conn) { closeQuietly(c) }
+
+func GoodCloseViaHelperChain(addr string) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return
+	}
+	shutdown(c)
+}
+
+type client struct{ conn net.Conn }
+
+func GoodStoreIntoStruct(addr string) (*client, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &client{conn: c}, nil // the client owns the conn now
+}
+
+func GoodTickerDeferStop(quit chan struct{}) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+		case <-quit:
+			return
+		}
+	}
+}
+
+func BadLeakOnSomePath(addr string, flaky bool) error {
+	c, err := net.Dial("tcp", addr) // want `resource from net.Dial is not closed on every path: it leaks at the return on line \d+`
+	if err != nil {
+		return err
+	}
+	if flaky {
+		return nil // leaks c
+	}
+	return c.Close()
+}
+
+func BadLeakTicker(n int) int {
+	t := time.NewTicker(time.Second) // want `resource from time.NewTicker is not closed on every path`
+	total := 0
+	for i := 0; i < n; i++ {
+		<-t.C
+		total++
+	}
+	return total
+}
+
+func BadLeakListener(conns chan<- net.Conn) error {
+	lis, err := net.Listen("tcp", "127.0.0.1:0") // want `resource from net.Listen is not closed on every path`
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 3; i++ {
+		c, err := lis.Accept()
+		if err != nil {
+			return err // leaks lis
+		}
+		conns <- c // the conn is handed off; the listener is not
+	}
+	return nil // leaks lis here too
+}
+
+func BadUnstoppableGoroutine(work chan int) {
+	go func() { // want `spawned goroutine has no termination path`
+		for {
+			<-work
+		}
+	}()
+}
+
+func GoodStoppableGoroutine(work chan int, quit chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-work:
+			case <-quit:
+				return
+			}
+		}
+	}()
+}

@@ -1,0 +1,111 @@
+// Package pools exercises every poolsafe diagnostic kind alongside the
+// sanctioned pooled-buffer shapes that must stay silent.
+package pools
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+// getBuf is clean: returning the pooled object transfers the Put obligation
+// to the caller. It also marks getBuf as a pool getter, so callers' buffers
+// are tracked.
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+func putBuf(bp *[]byte) { bufPool.Put(bp) }
+
+func GoodDirect() {
+	bp := bufPool.Get().(*[]byte)
+	*bp = (*bp)[:0]
+	bufPool.Put(bp)
+}
+
+func GoodDefer(n int) int {
+	bp := getBuf()
+	defer putBuf(bp)
+	if n > 0 {
+		return n
+	}
+	return len(*bp)
+}
+
+func GoodAllPaths(cond bool) {
+	bp := getBuf()
+	if cond {
+		putBuf(bp)
+		return
+	}
+	putBuf(bp)
+}
+
+func GoodLoopReuse(n int) {
+	for i := 0; i < n; i++ {
+		bp := getBuf()
+		*bp = append((*bp)[:0], byte(i))
+		putBuf(bp)
+	}
+}
+
+func BadLeakOnEarlyReturn(cond bool) int {
+	bp := getBuf() // want `not returned to its pool on every path`
+	if cond {
+		return 0 // this path leaks bp
+	}
+	putBuf(bp)
+	return 1
+}
+
+func BadUseAfterPut() byte {
+	bp := getBuf()
+	putBuf(bp)
+	return (*bp)[0] // want `bp is used after it was returned to the pool`
+}
+
+func BadUseAfterPutViaHelper() int {
+	bp := getBuf()
+	putBuf(bp)
+	return len(*bp) // want `bp is used after it was returned to the pool`
+}
+
+type op struct{ data *[]byte }
+
+type holder struct {
+	last *[]byte
+	ops  []op
+}
+
+func (h *holder) BadEscapeField() {
+	bp := getBuf()
+	h.last = bp // want `escapes into a long-lived structure \(stored into field last\)`
+	putBuf(bp)
+}
+
+func (h *holder) BadEscapeComposite() {
+	bp := getBuf()
+	h.ops = append(h.ops, op{data: bp}) // want `escapes into a long-lived structure \(placed in a composite literal\)`
+	putBuf(bp)
+}
+
+func BadEscapeChannel(ch chan *[]byte) {
+	bp := getBuf()
+	ch <- bp // want `escapes into a long-lived structure \(sent on a channel\)`
+}
+
+var lastGlobal *[]byte
+
+func BadEscapeGlobal() {
+	bp := getBuf()
+	lastGlobal = bp // want `escapes into a long-lived structure \(stored into package variable lastGlobal\)`
+	putBuf(bp)
+}
+
+var rawPool sync.Pool // no New func: Get hands back a nil interface when empty
+
+// GoodNilGetter is the nil-from-pool idiom: the only path that does not hand
+// the object onward is the path where the pool gave nothing back, so the
+// nil comparison waives the Put-on-every-path obligation.
+func GoodNilGetter() []byte {
+	if v := rawPool.Get(); v != nil {
+		return v.([]byte)[:0]
+	}
+	return nil
+}

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 	"os"
 	"strings"
@@ -23,6 +24,10 @@ type Allow struct {
 	PkgPath  string
 	Func     string
 	Reason   string
+	// File and Line locate the entry in its allow file, so stale entries can
+	// be reported as findings pointing at the line to delete.
+	File string
+	Line int
 }
 
 // ParseAllowFile reads a deltavet.allow file. Entries without a reason are
@@ -47,9 +52,51 @@ func ParseAllowFile(path string) ([]Allow, error) {
 			PkgPath:  f[1],
 			Func:     f[2],
 			Reason:   strings.Join(f[3:], " "),
+			File:     path,
+			Line:     i + 1,
 		})
 	}
 	return out, nil
+}
+
+// StaleAllows reports allow-file entries whose target function no longer
+// exists: a suppression that outlives its code rots silently and hides the
+// next real finding with the same shape. An entry is only checked when some
+// loaded package suffix-matches its PkgPath — running deltavet on a slice of
+// the tree must not condemn entries for packages it never loaded.
+func StaleAllows(pkgs []*Package, allows []Allow) []Diagnostic {
+	var out []Diagnostic
+	for _, al := range allows {
+		matched := false
+		found := false
+		for _, pkg := range pkgs {
+			if !PathSuffixMatch(pkg.PkgPath, al.PkgPath) {
+				continue
+			}
+			matched = true
+			for _, f := range pkg.Files {
+				for _, d := range f.Decls {
+					fd, ok := d.(*ast.FuncDecl)
+					if !ok || fd.Name == nil {
+						continue
+					}
+					obj, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+					if ok && FuncDisplayName(obj) == al.Func {
+						found = true
+					}
+				}
+			}
+		}
+		if matched && !found {
+			out = append(out, Diagnostic{
+				Analyzer: "allowstale",
+				Pos:      token.Position{Filename: al.File, Line: al.Line},
+				Message: fmt.Sprintf("stale allow entry: %s has no function %s (analyzer %s); delete the entry or update its target",
+					al.PkgPath, al.Func, al.Analyzer),
+			})
+		}
+	}
+	return out
 }
 
 // Suppress filters diags down to the findings not covered by an inline
