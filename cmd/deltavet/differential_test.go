@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestChangedFilesDivergedBranch: -since must diff against the merge base of
+// HEAD and the ref, not the ref itself — after the main branch moves on, a
+// feature branch's differential set contains only the branch's own changes,
+// not the files main touched since the fork point.
+func TestChangedFilesDivergedBranch(t *testing.T) {
+	if _, err := exec.LookPath("git"); err != nil {
+		t.Skip("git not on PATH")
+	}
+	dir := t.TempDir()
+	git := func(args ...string) string {
+		t.Helper()
+		out, err := gitOutput(dir, append([]string{
+			"-c", "user.email=vet@example.com", "-c", "user.name=vet",
+			"-c", "commit.gpgsign=false",
+		}, args...)...)
+		if err != nil {
+			t.Fatalf("git %v: %v", args, err)
+		}
+		return out
+	}
+	write := func(name string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("package p\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	git("init", "-q")
+	write("base.go")
+	git("add", ".")
+	git("commit", "-q", "-m", "base")
+	mainBranch := git("rev-parse", "--abbrev-ref", "HEAD")
+
+	git("checkout", "-q", "-b", "feature")
+	write("feature.go")
+	git("add", ".")
+	git("commit", "-q", "-m", "feature work")
+
+	git("checkout", "-q", mainBranch)
+	write("mainonly.go")
+	git("add", ".")
+	git("commit", "-q", "-m", "main moved on")
+	git("checkout", "-q", "feature")
+
+	changed, err := changedFiles(dir, mainBranch)
+	if err != nil {
+		t.Fatalf("changedFiles: %v", err)
+	}
+	if !changed[filepath.Join(dir, "feature.go")] {
+		t.Errorf("feature.go missing from the changed set: %v", changed)
+	}
+	if changed[filepath.Join(dir, "mainonly.go")] {
+		t.Errorf("mainonly.go in the changed set: diffing against the ref, not the merge base")
+	}
+	if changed[filepath.Join(dir, "base.go")] {
+		t.Errorf("unchanged base.go in the changed set: %v", changed)
+	}
+}
+
+// fingerprintOf extracts the deltavet fingerprint of the single result in a
+// SARIF log produced by writeSARIF.
+func fingerprintOf(t *testing.T, raw string) string {
+	t.Helper()
+	var log struct {
+		Runs []struct {
+			Results []struct {
+				PartialFingerprints map[string]string `json:"partialFingerprints"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(raw), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if len(log.Runs) != 1 || len(log.Runs[0].Results) != 1 {
+		t.Fatalf("unexpected SARIF shape: %s", raw)
+	}
+	fp := log.Runs[0].Results[0].PartialFingerprints[fingerprintKey]
+	if fp == "" {
+		t.Fatalf("result has no %s fingerprint: %s", fingerprintKey, raw)
+	}
+	return fp
+}
+
+// TestSARIFFingerprintGolden pins the fingerprint scheme: fnv64a over
+// rule + NUL + repo-relative URI + NUL + trimmed source line. The literal
+// hex is the golden value — a change to the inputs or the hash shows up as
+// a new fingerprint, which orphans every match code-scanning has stored, so
+// it must be deliberate (and bump the fingerprintKey version).
+func TestSARIFFingerprintGolden(t *testing.T) {
+	const golden = "7bb4598f82250ae9"
+
+	root := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(root, "pkg"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := filepath.Join(root, "pkg", "file.go")
+	if err := os.WriteFile(src, []byte("alpha\nbeta\n\ts.files[k] = v\ngamma\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diag := analysis.Diagnostic{
+		Analyzer: "racecheck",
+		Pos:      token.Position{Filename: src, Line: 3, Column: 2},
+		Message:  "write to state.files without holding state.mu",
+	}
+	var out strings.Builder
+	if err := writeSARIF(&out, []analysis.Diagnostic{diag}, root, nil); err != nil {
+		t.Fatal(err)
+	}
+	if fp := fingerprintOf(t, out.String()); fp != golden {
+		t.Errorf("fingerprint = %s, want %s (scheme changed? bump %s)", fp, golden, fingerprintKey)
+	}
+
+	// Stability across code motion: shift the same line down one and point
+	// the (renumbered) diagnostic at it — same rule, URI, and line content,
+	// so the same fingerprint, even with a different message.
+	if err := os.WriteFile(src, []byte("// moved\nalpha\nbeta\n\ts.files[k] = v\ngamma\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	moved := diag
+	moved.Pos.Line = 4
+	moved.Message = "write to state.files without holding state.mu — guard inferred from 9/9 guarded accesses (e.g. file.go:99)"
+	out.Reset()
+	if err := writeSARIF(&out, []analysis.Diagnostic{moved}, root, nil); err != nil {
+		t.Fatal(err)
+	}
+	if fp := fingerprintOf(t, out.String()); fp != golden {
+		t.Errorf("fingerprint changed when the line moved: %s, want %s", fp, golden)
+	}
+}

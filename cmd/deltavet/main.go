@@ -1,14 +1,18 @@
-// Command deltavet is the project's multichecker: it runs the nine
+// Command deltavet is the project's multichecker: it runs the ten
 // invariant analyzers (lockorder, blockunderlock, detreplay, errsync,
-// crashsafe, wiretaint, atomicsafe, poolsafe, leakcheck) over the packages
-// named on the command line and exits non-zero if any unsuppressed finding
-// remains. CI runs it alongside `go vet` and the full-module race detector:
+// crashsafe, wiretaint, atomicsafe, poolsafe, leakcheck, racecheck) over
+// the packages named on the command line and exits non-zero if any
+// unsuppressed finding remains. CI runs it alongside `go vet` and the
+// full-module race detector:
 //
 //	go run ./cmd/deltavet ./...
 //
 // All named packages are loaded into ONE analysis.Program, so the
 // interprocedural analyzers see the whole-tree call graph — a finding in
-// package A may exist only because of a caller in package B.
+// package A may exist only because of a caller in package B. Packages are
+// analyzed concurrently by a GOMAXPROCS-sized worker pool sharing that
+// Program; findings are merged and sorted by position, so the output is
+// deterministic regardless of worker scheduling.
 //
 // Exit codes: 0 clean, 1 findings, 2 usage/configuration error, 3 the
 // packages failed to load or an analyzer crashed — so CI can tell "the code
@@ -20,8 +24,10 @@
 // a SARIF 2.1.0 log for code-scanning upload. The default text form
 // `file:line:col: analyzer: message` is what the GitHub Actions problem
 // matcher annotates. -since <git-ref> keeps only findings in files changed
-// since that ref — the differential mode CI uses to annotate new findings
-// without re-litigating the whole tree.
+// since the merge base of HEAD and that ref — the differential mode CI uses
+// to annotate new findings on a PR branch without re-litigating the whole
+// tree or blaming the branch for changes that landed on main after it
+// forked.
 //
 // Suppression: an inline `//deltavet:allow <analyzer> <reason>` comment on
 // the finding's line (or the line above) silences that analyzer there; the
@@ -41,7 +47,10 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
+	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/atomicsafe"
@@ -52,6 +61,7 @@ import (
 	"repro/internal/analysis/leakcheck"
 	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/poolsafe"
+	"repro/internal/analysis/racecheck"
 	"repro/internal/analysis/wiretaint"
 )
 
@@ -93,6 +103,16 @@ var leakcheckScope = []string{
 	"internal/loadgen",
 	"internal/chaos",
 	"internal/server",
+}
+
+// racecheckScope is where shared mutable state lives behind the stripe and
+// per-client locks: the sharded server (including the chunk and applied
+// stores), the kvstore, the sync engine, and the transport.
+var racecheckScope = []string{
+	"internal/server",
+	"internal/kvstore",
+	"internal/core",
+	"internal/wire",
 }
 
 func main() {
@@ -158,14 +178,9 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 	// One program over everything loaded: interprocedural facts (call
 	// graph, taint, blocking summaries) span the whole analyzed tree.
 	prog := analysis.NewProgram(pkgs)
-	var diags []analysis.Diagnostic
-	for _, pkg := range pkgs {
-		as := analyzersFor(pkg.PkgPath)
-		ds, err := prog.Run(pkg, as...)
-		if err != nil {
-			return loadFailed(err)
-		}
-		diags = append(diags, ds...)
+	diags, err := analyzeAll(prog, pkgs)
+	if err != nil {
+		return loadFailed(err)
 	}
 
 	kept := analysis.Suppress(pkgs, diags, allows)
@@ -208,20 +223,67 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// changedFiles lists the paths `git diff --name-only <ref>` reports, made
-// absolute against root.
-func changedFiles(root, ref string) (map[string]bool, error) {
-	cmd := exec.Command("git", "diff", "--name-only", ref, "--")
-	cmd.Dir = root
-	out, err := cmd.Output()
-	if err != nil {
-		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
-			return nil, fmt.Errorf("git diff: %s", strings.TrimSpace(string(ee.Stderr)))
+// analyzeAll runs every package's analyzer set over the shared program with
+// a GOMAXPROCS-sized worker pool. Results are collected per package and
+// merged with a position sort, so the output order is independent of worker
+// scheduling. The first analyzer error wins (any error means exit 3 anyway).
+func analyzeAll(prog *analysis.Program, pkgs []*analysis.Package) ([]analysis.Diagnostic, error) {
+	results := make([][]analysis.Diagnostic, len(pkgs))
+	errs := make([]error, len(pkgs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *analysis.Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = prog.Run(pkg, analyzersFor(pkg.PkgPath)...)
+		}(i, pkg)
+	}
+	wg.Wait()
+	var diags []analysis.Diagnostic
+	for i := range pkgs {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		return nil, err
+		diags = append(diags, results[i]...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}
+
+// changedFiles lists the paths changed since the merge base of HEAD and
+// ref, made absolute against root. Diffing the merge base — not ref
+// directly — keeps a PR branch's differential run scoped to the branch's
+// own commits: after main moves on, `git diff origin/main` would also
+// report every file main touched since the fork point.
+func changedFiles(root, ref string) (map[string]bool, error) {
+	base, err := gitOutput(root, "merge-base", "HEAD", ref)
+	if err != nil {
+		return nil, fmt.Errorf("git merge-base HEAD %s: %w", ref, err)
+	}
+	out, err := gitOutput(root, "diff", "--name-only", base, "--")
+	if err != nil {
+		return nil, fmt.Errorf("git diff: %w", err)
 	}
 	set := make(map[string]bool)
-	for _, line := range strings.Split(string(out), "\n") {
+	for _, line := range strings.Split(out, "\n") {
 		line = strings.TrimSpace(line)
 		if line == "" {
 			continue
@@ -229,6 +291,21 @@ func changedFiles(root, ref string) (map[string]bool, error) {
 		set[filepath.Join(root, filepath.FromSlash(line))] = true
 	}
 	return set, nil
+}
+
+// gitOutput runs one git command in root and returns its trimmed stdout,
+// folding stderr into the error for diagnostics.
+func gitOutput(root string, args ...string) (string, error) {
+	cmd := exec.Command("git", args...)
+	cmd.Dir = root
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+			return "", fmt.Errorf("%s", strings.TrimSpace(string(ee.Stderr)))
+		}
+		return "", err
+	}
+	return strings.TrimSpace(string(out)), nil
 }
 
 // filterByFiles keeps the diagnostics whose file is in changed. Relative
@@ -291,6 +368,9 @@ func analyzersFor(pkgPath string) []*analysis.Analyzer {
 	}
 	if inScope(pkgPath, leakcheckScope) {
 		as = append(as, leakcheck.Analyzer)
+	}
+	if inScope(pkgPath, racecheckScope) {
+		as = append(as, racecheck.Analyzer)
 	}
 	return as
 }

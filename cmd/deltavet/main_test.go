@@ -21,7 +21,7 @@ func TestFlagsBadFixture(t *testing.T) {
 		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
 	}
 	got := out.String()
-	for _, analyzer := range []string{"lockorder", "blockunderlock", "detreplay", "errsync", "crashsafe", "wiretaint", "atomicsafe", "poolsafe", "leakcheck"} {
+	for _, analyzer := range []string{"lockorder", "blockunderlock", "detreplay", "errsync", "crashsafe", "wiretaint", "atomicsafe", "poolsafe", "leakcheck", "racecheck"} {
 		if !strings.Contains(got, analyzer) {
 			t.Errorf("no %s finding in output:\n%s", analyzer, got)
 		}
@@ -62,6 +62,18 @@ func TestFlagsBadFixture(t *testing.T) {
 	if !strings.Contains(got, "storage fsync") {
 		t.Errorf("no errsync finding for the dropped storagefault Sync error:\n%s", got)
 	}
+	// The seeded data races: the striped-map write that skips the stripe
+	// lock (guard inferred through the lock-set helper, witness chain
+	// included) and the forward path that skips the per-peer pushMu.
+	for _, msg := range []string{
+		"write to raceStripe.vals without holding raceStripe.lk",
+		"(via lockStripe",
+		"write to racePeer.pending without holding racePeer.pushMu",
+	} {
+		if !strings.Contains(got, msg) {
+			t.Errorf("no racecheck finding %q in output:\n%s", msg, got)
+		}
+	}
 }
 
 // TestJSONOutput checks the -json mode round-trips the same findings as a
@@ -92,7 +104,7 @@ func TestJSONOutput(t *testing.T) {
 		}
 		seen[d.Analyzer] = true
 	}
-	for _, analyzer := range []string{"lockorder", "blockunderlock", "detreplay", "errsync", "crashsafe", "wiretaint", "atomicsafe", "poolsafe", "leakcheck"} {
+	for _, analyzer := range []string{"lockorder", "blockunderlock", "detreplay", "errsync", "crashsafe", "wiretaint", "atomicsafe", "poolsafe", "leakcheck", "racecheck"} {
 		if !seen[analyzer] {
 			t.Errorf("no %s finding in JSON output", analyzer)
 		}

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
+	"fmt"
+	"hash/fnv"
 	"io"
+	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -18,9 +22,9 @@ type sarifLog struct {
 }
 
 type sarifRun struct {
-	Tool        sarifTool           `json:"tool"`
-	Results     []sarifResult       `json:"results"`
-	Invocations []sarifInvocation   `json:"invocations,omitempty"`
+	Tool        sarifTool         `json:"tool"`
+	Results     []sarifResult     `json:"results"`
+	Invocations []sarifInvocation `json:"invocations,omitempty"`
 }
 
 type sarifInvocation struct {
@@ -47,10 +51,11 @@ type sarifMessage struct {
 }
 
 type sarifResult struct {
-	RuleID    string          `json:"ruleId"`
-	Level     string          `json:"level"`
-	Message   sarifMessage    `json:"message"`
-	Locations []sarifLocation `json:"locations"`
+	RuleID              string            `json:"ruleId"`
+	Level               string            `json:"level"`
+	Message             sarifMessage      `json:"message"`
+	Locations           []sarifLocation   `json:"locations"`
+	PartialFingerprints map[string]string `json:"partialFingerprints,omitempty"`
 }
 
 type sarifLocation struct {
@@ -78,6 +83,7 @@ type sarifRegion struct {
 func writeSARIF(w io.Writer, diags []analysis.Diagnostic, root string, loadErr error) error {
 	ruleSet := make(map[string]bool)
 	results := make([]sarifResult, 0, len(diags))
+	lines := newLineReader()
 	for _, d := range diags {
 		ruleSet[d.Analyzer] = true
 		uri := d.Pos.Filename
@@ -86,16 +92,20 @@ func writeSARIF(w io.Writer, diags []analysis.Diagnostic, root string, loadErr e
 				uri = rel
 			}
 		}
+		uri = filepath.ToSlash(uri)
 		results = append(results, sarifResult{
 			RuleID:  d.Analyzer,
 			Level:   "warning",
 			Message: sarifMessage{Text: d.Message},
 			Locations: []sarifLocation{{
 				PhysicalLocation: sarifPhysical{
-					ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(uri)},
+					ArtifactLocation: sarifArtifact{URI: uri},
 					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
 				},
 			}},
+			PartialFingerprints: map[string]string{
+				fingerprintKey: fingerprint(d.Analyzer, uri, lines.at(d.Pos.Filename, d.Pos.Line)),
+			},
 		})
 	}
 	ids := make([]string, 0, len(ruleSet))
@@ -121,4 +131,59 @@ func writeSARIF(w io.Writer, diags []analysis.Diagnostic, root string, loadErr e
 		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
 		Runs:    []sarifRun{run},
 	})
+}
+
+// fingerprintKey names the deltavet fingerprint scheme. Versioned so the
+// hash inputs can change without colliding with old uploads: GitHub code
+// scanning matches results across pushes by (key, value) pairs.
+const fingerprintKey = "deltavetFingerprint/v1"
+
+// fingerprint is the stable identity of one finding across pushes: the
+// rule, the repo-relative path, and the (whitespace-trimmed) source line it
+// points at — NOT the line number, which shifts whenever code moves above
+// it, and NOT the message, which may embed line numbers of exemplar sites.
+func fingerprint(rule, uri, context string) string {
+	h := fnv.New64a()
+	io.WriteString(h, rule)
+	h.Write([]byte{0})
+	io.WriteString(h, uri)
+	h.Write([]byte{0})
+	io.WriteString(h, context)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// lineReader caches file contents so each diagnosed file is read once per
+// SARIF emission. Unreadable files hash an empty context — the fingerprint
+// stays stable, just less collision-resistant.
+type lineReader struct {
+	files map[string][]string
+}
+
+func newLineReader() *lineReader { return &lineReader{files: make(map[string][]string)} }
+
+func (r *lineReader) at(path string, line int) string {
+	ls, ok := r.files[path]
+	if !ok {
+		ls = readLines(path)
+		r.files[path] = ls
+	}
+	if line < 1 || line > len(ls) {
+		return ""
+	}
+	return strings.TrimSpace(ls[line-1])
+}
+
+func readLines(path string) []string {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		out = append(out, sc.Text())
+	}
+	return out
 }

@@ -1,0 +1,83 @@
+// Seeded racecheck bugs: a striped map written without its stripe lock and
+// a forwarding path that skips the per-peer pushMu. The guarded accesses
+// outnumber the buggy ones, so guard inference converges on the right lock
+// and the findings carry its evidence (vote counts, exemplar sites, and the
+// lock-set-helper witness chain).
+package server
+
+import "sync"
+
+type raceStripe struct {
+	lk   sync.RWMutex
+	vals map[string]int64
+}
+
+type raceTable struct {
+	stripes [16]raceStripe
+}
+
+// lockStripe is the sanctioned acquisition path for stripe locks.
+//
+//deltavet:lockorder-helper
+func (t *raceTable) lockStripe(i int) { t.stripes[i].lk.Lock() }
+
+//deltavet:lockorder-helper
+func (t *raceTable) unlockStripe(i int) { t.stripes[i].lk.Unlock() }
+
+func (t *raceTable) set(i int, k string, v int64) {
+	t.lockStripe(i)
+	t.stripes[i].vals[k] = v
+	t.unlockStripe(i)
+}
+
+func (t *raceTable) get(i int, k string) int64 {
+	t.stripes[i].lk.RLock()
+	v := t.stripes[i].vals[k]
+	t.stripes[i].lk.RUnlock()
+	return v
+}
+
+func (t *raceTable) total(i int) int {
+	t.stripes[i].lk.RLock()
+	defer t.stripes[i].lk.RUnlock()
+	return len(t.stripes[i].vals)
+}
+
+// BadStripeSkip indexes straight into the stripe map with no lock: the
+// striped-map race racecheck exists to catch.
+func (t *raceTable) BadStripeSkip(i int, k string, v int64) {
+	t.stripes[i].vals[k] = v
+}
+
+type racePeer struct {
+	pushMu  sync.Mutex
+	dedup   map[uint64]bool
+	pending []string
+}
+
+func (p *racePeer) enqueue(seq uint64, m string) {
+	p.pushMu.Lock()
+	defer p.pushMu.Unlock()
+	p.dedup[seq] = true
+	p.pending = append(p.pending, m)
+}
+
+func (p *racePeer) drainOne() string {
+	p.pushMu.Lock()
+	defer p.pushMu.Unlock()
+	if len(p.pending) == 0 {
+		return ""
+	}
+	m := p.pending[0]
+	p.pending = p.pending[1:]
+	return m
+}
+
+// BadForwardSkipsPushMu forwards without taking pushMu: the dedup peek is a
+// tolerated dirty read, the pending append is the race.
+func (p *racePeer) BadForwardSkipsPushMu(seq uint64, m string) {
+	if p.dedup[seq] {
+		return
+	}
+	p.pending = append(p.pending, m)
+}

@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"sync"
 
 	"repro/internal/analysis/callgraph"
 	"repro/internal/analysis/cfg"
@@ -14,13 +15,25 @@ import (
 // blockunderlock's "transitively blocks" summary). One Program is built per
 // driver invocation and shared by every per-package Pass, so summaries are
 // computed once however many packages are analyzed.
+//
+// CFG and Fact are safe for concurrent use: the driver analyzes packages in
+// parallel, and every worker shares this one Program.
 type Program struct {
 	Packages []*Package
 	Graph    *callgraph.Graph
 
+	mu    sync.Mutex
 	cfgs  map[*ast.FuncDecl]*cfg.Graph
-	facts map[*Analyzer]any
+	facts map[*Analyzer]*factEntry
 	byPkg map[*types.Package]*Package
+}
+
+// factEntry guards one analyzer's program fact: the once runs the build
+// outside Program.mu, so a build that itself calls CFG (they all do) cannot
+// deadlock, and concurrent passes of the same analyzer share one build.
+type factEntry struct {
+	once sync.Once
+	val  any
 }
 
 // NewProgram builds the call graph over pkgs and returns the shared
@@ -43,13 +56,17 @@ func NewProgram(pkgs []*Package) *Program {
 		Packages: pkgs,
 		Graph:    callgraph.Build(srcs),
 		cfgs:     make(map[*ast.FuncDecl]*cfg.Graph),
-		facts:    make(map[*Analyzer]any),
+		facts:    make(map[*Analyzer]*factEntry),
 		byPkg:    byPkg,
 	}
 }
 
 // CFG returns the (cached) control-flow graph of a function declaration.
+// Building under the lock keeps graph identity stable: every caller gets
+// the same *cfg.Graph for a declaration, however many run concurrently.
 func (p *Program) CFG(fd *ast.FuncDecl) *cfg.Graph {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if g, ok := p.cfgs[fd]; ok {
 		return g
 	}
@@ -61,14 +78,18 @@ func (p *Program) CFG(fd *ast.FuncDecl) *cfg.Graph {
 // Fact returns the analyzer's memoized program-wide fact, building it on
 // first use. Analyzers use this for summaries that are a property of the
 // whole program rather than one package (transitive blocking, taint
-// signatures), so the fixpoint runs once even though Run is per-package.
+// signatures), so the fixpoint runs once even though Run is per-package —
+// and once across packages even when the driver runs passes in parallel.
 func (p *Program) Fact(a *Analyzer, build func(*Program) any) any {
-	if f, ok := p.facts[a]; ok {
-		return f
+	p.mu.Lock()
+	e := p.facts[a]
+	if e == nil {
+		e = &factEntry{}
+		p.facts[a] = e
 	}
-	f := build(p)
-	p.facts[a] = f
-	return f
+	p.mu.Unlock()
+	e.once.Do(func() { e.val = build(p) })
+	return e.val
 }
 
 // PackageOf maps a types.Package back to its loaded Package, or nil for

@@ -1,0 +1,16 @@
+package racecheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/racecheck"
+)
+
+func TestRaces(t *testing.T) {
+	analysistest.Run(t, racecheck.Analyzer, "races")
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, racecheck.Analyzer, "raceclean")
+}

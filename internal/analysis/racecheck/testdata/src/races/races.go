@@ -1,0 +1,175 @@
+// Package races seeds the bug shapes racecheck exists to catch: a striped
+// map touched without its stripe lock, a write under the read lock, a
+// forwarding path that skips pushMu, and violations of explicit
+// //deltavet:guardedby declarations. The guarded sites outnumber the buggy
+// ones so inference picks the right lock and the findings carry its
+// evidence.
+package races
+
+import "sync"
+
+// ---- striped map: stripe.mu guards stripe.files ----
+
+type stripe struct {
+	mu    sync.RWMutex
+	files map[string]int
+}
+
+type table struct {
+	stripes [8]stripe
+}
+
+func hash(k string) int { return len(k) % 8 }
+
+// lockAll takes every stripe lock (coarse path for clears and snapshots).
+//
+//deltavet:lockorder-helper
+func (t *table) lockAll() {
+	for i := range t.stripes {
+		t.stripes[i].mu.Lock()
+	}
+}
+
+//deltavet:lockorder-helper
+func (t *table) unlockAll() {
+	for i := range t.stripes {
+		t.stripes[i].mu.Unlock()
+	}
+}
+
+// clearAll writes every stripe under the helper-acquired locks: the guard
+// arrives "via lockAll", which is the witness chain inference cites.
+func (t *table) clearAll() {
+	t.lockAll()
+	for i := range t.stripes {
+		t.stripes[i].files = map[string]int{}
+	}
+	t.unlockAll()
+}
+
+func (t *table) put(k string, v int) {
+	s := &t.stripes[hash(k)]
+	s.mu.Lock()
+	s.files[k] = v
+	s.mu.Unlock()
+}
+
+func (t *table) get(k string) int {
+	s := &t.stripes[hash(k)]
+	s.mu.RLock()
+	v := s.files[k]
+	s.mu.RUnlock()
+	return v
+}
+
+func (t *table) size() int {
+	n := 0
+	for i := range t.stripes {
+		s := &t.stripes[i]
+		s.mu.RLock()
+		n += len(s.files)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// BadSkipStripeLock indexes the stripe but never takes its lock.
+func (t *table) BadSkipStripeLock(k string, v int) {
+	s := &t.stripes[hash(k)]
+	s.files[k] = v // want `write to stripe.files without holding stripe.mu — guard inferred from 5/6 guarded accesses \(e\.g\. races\.go:\d+ \(via lockAll\), races\.go:\d+\)`
+}
+
+// BadWriteUnderRLock mutates while holding only the read half.
+func (t *table) BadWriteUnderRLock(k string, v int) {
+	s := &t.stripes[hash(k)]
+	s.mu.RLock()
+	s.files[k] = v // want `write to stripe.files while holding only stripe\.mu\.RLock`
+	s.mu.RUnlock()
+}
+
+// ---- per-client record: pushMu guards dedup and outbox ----
+
+type peer struct {
+	pushMu sync.Mutex
+	dedup  map[uint64]bool
+	outbox []int
+}
+
+// appendLocked is called only with pushMu held; the lock reaches its body
+// through the call-site entry context, not a lock op of its own.
+func (p *peer) appendLocked(v int) {
+	p.outbox = append(p.outbox, v)
+}
+
+func (p *peer) record(seq uint64) {
+	p.pushMu.Lock()
+	defer p.pushMu.Unlock()
+	p.dedup[seq] = true
+	p.appendLocked(int(seq))
+}
+
+func (p *peer) push(seq uint64, v int) {
+	p.pushMu.Lock()
+	p.dedup[seq] = true
+	p.outbox = append(p.outbox, v)
+	p.pushMu.Unlock()
+}
+
+// BadForward is the forwarding path that skips pushMu: the dedup read is a
+// legal dirty read (reads vote, they don't report), the outbox append is
+// the race.
+func (p *peer) BadForward(seq uint64, v int) {
+	if p.dedup[seq] {
+		return
+	}
+	p.outbox = append(p.outbox, v) // want `write to peer.outbox without holding peer.pushMu — guard inferred from 4/6 guarded accesses \(e\.g\. races\.go:\d+ \(held at every call site of appendLocked\)`
+}
+
+// ---- explicit //deltavet:guardedby declarations ----
+
+type counters struct {
+	mu sync.Mutex
+	//deltavet:guardedby mu
+	hits int
+}
+
+func (c *counters) hit() {
+	c.mu.Lock()
+	c.hits++
+	c.mu.Unlock()
+}
+
+// BadPeekThenBump violates the declared guard; with only one guarded site,
+// voting alone would never reach a majority — the annotation is the guard.
+func (c *counters) BadPeekThenBump() {
+	c.hits++ // want `write to counters.hits without holding counters\.mu — guard declared by //deltavet:guardedby mu`
+}
+
+// ---- cross-struct declaration: registry.mu guards journal.lines ----
+
+type registry struct {
+	mu    sync.Mutex
+	names map[string]bool
+}
+
+type journal struct {
+	//deltavet:guardedby registry.mu
+	lines []string
+}
+
+func (r *registry) log(j *journal, s string) {
+	r.mu.Lock()
+	j.lines = append(j.lines, s)
+	r.mu.Unlock()
+}
+
+func BadDirectLog(j *journal, s string) {
+	j.lines = append(j.lines, s) // want `write to journal.lines without holding registry\.mu — guard declared by //deltavet:guardedby registry\.mu`
+}
+
+// ---- a declaration that resolves to nothing is itself a finding ----
+
+type badAnno struct {
+	//deltavet:guardedby nosuchlock
+	x int // want `guardedby nosuchlock does not resolve`
+}

@@ -39,9 +39,15 @@ func ParseAllowFile(path string) ([]Allow, error) {
 	}
 	var out []Allow
 	for i, line := range strings.Split(string(data), "\n") {
-		line = strings.TrimSpace(line)
+		line = strings.TrimSpace(line) // also drops the \r of CRLF files
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
+		}
+		// A trailing comment may annotate an entry on the same line
+		// (`... reason # reviewed 2026-08`); everything from " #" on is
+		// dropped, so a reason cannot itself contain " #".
+		if j := strings.Index(line, " #"); j >= 0 {
+			line = strings.TrimSpace(line[:j])
 		}
 		f := strings.Fields(line)
 		if len(f) < 4 {
